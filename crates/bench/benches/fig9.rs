@@ -1,0 +1,33 @@
+//! Regenerates the *qualitative* content of **Fig. 8 / Fig. 9**: where the
+//! global interconnect wiring lands on the die for each topology, and why
+//! only TopH is physically feasible.
+//!
+//! Paper reference: Top1 draws all wiring toward the heavily congested
+//! center; Top4 is four times as congested and infeasible; TopH distributes
+//! cells and wiring through the directional local-group interconnects, with
+//! the remaining center hot-spot caused by the diagonal NE channels.
+
+use mempool::{ClusterConfig, Topology};
+use mempool_bench::banner;
+use mempool_physical::{congestion_summary, floorplan};
+
+fn main() {
+    banner(
+        "Fig. 8/9",
+        "wiring-density floorplans (darker = denser global wiring)",
+    );
+    for topo in [Topology::Top1, Topology::Top4, Topology::TopH] {
+        let plan = floorplan(&ClusterConfig::paper(topo));
+        println!("\n--- {topo} (8x8 tile grid) ---");
+        print!("{}", plan.render());
+        println!(
+            "center density {:.2}  |  spread (cv) {:.2}",
+            plan.center_density(),
+            plan.spread()
+        );
+    }
+    println!("\n--- congestion summary ---");
+    print!("{}", congestion_summary(ClusterConfig::paper));
+    println!("paper: Top4 is ~4x Top1 at the center and physically infeasible; TopH");
+    println!("distributes its wiring and closes timing at 700 MHz (TT).");
+}

@@ -1,0 +1,99 @@
+//! Criterion microbenches of the simulator's hot paths: fabric
+//! arbitration, core stepping, the address scrambler, and a whole-cluster
+//! cycle. These measure *simulator* performance (host time), not modeled
+//! hardware time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_mem::{AddressMap, Scrambler};
+use mempool_noc::{Fabric, Offer};
+use mempool_riscv::assemble;
+use mempool_snitch::{Fetch, SnitchConfig, SnitchCore};
+use std::hint::black_box;
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut net = Fabric::butterfly(64, 4).expect("valid");
+    let offers: Vec<Offer> = (0..64)
+        .map(|input| Offer {
+            input,
+            dest: (input * 7 + 3) % 64,
+        })
+        .collect();
+    c.bench_function("fabric_resolve_64x64_full_load", |b| {
+        b.iter(|| {
+            let granted = net.resolve(black_box(&offers), &mut |_| true);
+            black_box(granted)
+        })
+    });
+}
+
+fn bench_scrambler(c: &mut Criterion) {
+    let map = AddressMap::new(64, 16, 256).expect("valid");
+    let scr = Scrambler::new(map, 4096).expect("valid");
+    c.bench_function("scramble_1k_addresses", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for addr in (0..4096u32).step_by(4) {
+                acc = acc.wrapping_add(scr.scramble(black_box(addr)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_core_step(c: &mut Criterion) {
+    let program = assemble(
+        "loop: addi a0, a0, 1\nslli a1, a0, 3\nxor a2, a1, a0\nand a3, a2, a1\nj loop\n",
+    )
+    .expect("assembles");
+    let image: Vec<_> = program
+        .words()
+        .iter()
+        .map(|&w| mempool_riscv::decode(w).expect("decodes"))
+        .collect();
+    c.bench_function("snitch_step_1k_instructions", |b| {
+        b.iter_batched(
+            || SnitchCore::new(SnitchConfig::default()),
+            |mut core| {
+                for _ in 0..1000 {
+                    let f = image
+                        .get((core.pc() / 4) as usize)
+                        .map_or(Fetch::Fault, |&i| Fetch::Ready(i));
+                    core.step(f, true);
+                }
+                black_box(core)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cluster_cycle(c: &mut Criterion) {
+    let program = assemble(
+        "csrr t0, mhartid\nslli t0, t0, 2\nli t1, 0x20000\nadd t0, t0, t1\n\
+         loop: lw a0, (t0)\naddi a0, a0, 1\nsw a0, (t0)\nj loop\n",
+    )
+    .expect("assembles");
+    c.bench_function("cluster_cycle_64core_topH", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster =
+                    Cluster::snitch(ClusterConfig::small(Topology::TopH)).expect("valid");
+                cluster.load_program(&program).expect("loads");
+                cluster
+            },
+            |mut cluster| {
+                cluster.step_cycles(100);
+                black_box(cluster.stats().bank_accesses)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fabric, bench_scrambler, bench_core_step, bench_cluster_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # mempool-bench
+//!
+//! The benchmark harness of the MemPool reproduction: one bench target per
+//! figure/table of the paper, each printing the same rows/series the paper
+//! reports, plus Criterion microbenches of the simulator itself.
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig5` | Fig. 5a/5b — throughput & latency vs load, Top1/Top4/TopH |
+//! | `fig6` | Fig. 6a/6b — TopH with the hybrid addressing scheme, p_local sweep |
+//! | `fig7` | Fig. 7 — matmul/2dconv/dct on all topologies ± scrambling, normalized to the ideal baseline |
+//! | `fig9` | Fig. 8/9 — wiring-density floorplans and the Top4 infeasibility verdict |
+//! | `fig10` | Fig. 10 — energy per instruction; §VI-D power numbers |
+//! | `table_physical` | §VI-B/§VI-C — area, timing, feasibility per topology |
+//! | `scorecard` | one PASS/FAIL line per paper claim (the quick repro audit) |
+//! | `ablations` | design-choice sweeps: outstanding loads, sequential-region size, I-cache size, barrier style, scaling |
+//! | `microbench` | Criterion microbenches: fabric arbitration, ISS stepping, scrambler |
+//!
+//! `fig5`/`fig6`/`fig7` additionally write SVG plots to `target/figures/`.
+//! Run everything with `cargo bench --workspace`. Set
+//! `MEMPOOL_BENCH_QUICK=1` to sweep the reduced 64-core cluster instead of
+//! the full 256-core system.
+
+pub mod plot;
+
+use mempool::{ClusterConfig, Topology};
+
+/// Whether to run the full 256-core sweeps (default) or the reduced
+/// cluster (`MEMPOOL_BENCH_QUICK=1`).
+pub fn full_scale() -> bool {
+    std::env::var_os("MEMPOOL_BENCH_QUICK").is_none()
+}
+
+/// The cluster configuration benchmarks run on.
+pub fn bench_config(topology: Topology) -> ClusterConfig {
+    if full_scale() {
+        ClusterConfig::paper(topology)
+    } else {
+        ClusterConfig::small(topology)
+    }
+}
+
+/// Prints a header naming the experiment and the configuration scale.
+pub fn banner(figure: &str, what: &str) {
+    let cfg = bench_config(Topology::TopH);
+    println!();
+    println!("================================================================");
+    println!("{figure}: {what}");
+    println!(
+        "configuration: {} cores ({} tiles x {} cores), {} KiB L1",
+        cfg.num_cores(),
+        cfg.num_tiles,
+        cfg.cores_per_tile,
+        cfg.num_banks() as u32 * cfg.rows_per_bank * 4 / 1024,
+    );
+    println!("================================================================");
+}
+
+/// Prints a row of right-aligned cells under a fixed-width layout.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float cell.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}

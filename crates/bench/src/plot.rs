@@ -1,0 +1,404 @@
+//! Minimal, dependency-free SVG charts so the bench targets regenerate the
+//! paper's figures as *images*, not just tables. Written to
+//! `target/figures/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Line colors, cycled per series.
+const COLORS: &[&str] = &["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+/// One named line of a plot.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) samples, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A simple line plot with optional logarithmic y axis.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    /// Figure title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The lines.
+    pub series: Vec<Series>,
+    /// Log-10 y axis (for latency explosions).
+    pub log_y: bool,
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl LinePlot {
+    /// Renders the plot as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let y = if self.log_y { y.max(1e-9).log10() } else { y };
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() {
+            (x_min, x_max, y_min, y_max) = (0.0, 1.0, 0.0, 1.0);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        if !self.log_y {
+            y_min = y_min.min(0.0);
+        }
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| {
+            let y = if self.log_y { y.max(1e-9).log10() } else { y };
+            MARGIN_T + plot_h - (y - y_min) / (y_max - y_min) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        );
+        // Ticks + grid.
+        for i in 0..=5 {
+            let t = i as f64 / 5.0;
+            let xv = x_min + t * (x_max - x_min);
+            let x = sx(xv);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x}" y1="{MARGIN_T}" x2="{x}" y2="{}" stroke="#dddddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{x}" y="{}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                fmt_tick(xv)
+            );
+            let yv = y_min + t * (y_max - y_min);
+            let y = MARGIN_T + plot_h - t * plot_h;
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#dddddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let label = if self.log_y {
+                format!("1e{yv:.1}")
+            } else {
+                fmt_tick(yv)
+            };
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end">{label}</text>"#,
+                MARGIN_L - 6.0,
+                y + 4.0
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let mut path = String::new();
+            for &(x, y) in &s.points {
+                let _ = write!(path, "{:.1},{:.1} ", sx(x), sy(y));
+            }
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+            );
+            let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 22.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                xml_escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A grouped bar chart (for Fig. 7's normalized performance bars).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Figure title.
+    pub title: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Group labels along x (e.g. kernels).
+    pub groups: Vec<String>,
+    /// One named bar series per group member (e.g. topologies); each
+    /// series has one value per group.
+    pub series: Vec<Series>,
+}
+
+impl BarChart {
+    /// Renders the chart as a standalone SVG document. The y values of
+    /// each series are taken from `points[i].1` per group `i`.
+    pub fn to_svg(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(1.0f64, f64::max)
+            * 1.1;
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+        let base_y = MARGIN_T + plot_h;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{base_y}" x2="{}" y2="{base_y}" stroke="black"/>"#,
+            MARGIN_L + plot_w
+        );
+        // Reference line at 1.0 (the ideal baseline).
+        let ref_y = base_y - 1.0 / y_max * plot_h;
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{ref_y}" x2="{}" y2="{ref_y}" stroke="#999999" stroke-dasharray="4 3"/>"##,
+            MARGIN_L + plot_w
+        );
+        let groups = self.groups.len().max(1) as f64;
+        let group_w = plot_w / groups;
+        let bar_w = group_w * 0.8 / self.series.len().max(1) as f64;
+        for (g, label) in self.groups.iter().enumerate() {
+            let gx = MARGIN_L + g as f64 * group_w;
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+                gx + group_w / 2.0,
+                base_y + 18.0,
+                xml_escape(label)
+            );
+            for (i, s) in self.series.iter().enumerate() {
+                let v = s.points.get(g).map_or(0.0, |p| p.1);
+                let h = (v / y_max * plot_h).max(0.0);
+                let x = gx + group_w * 0.1 + i as f64 * bar_w;
+                let color = COLORS[i % COLORS.len()];
+                let _ = writeln!(
+                    svg,
+                    r#"<rect x="{x:.1}" y="{:.1}" width="{:.1}" height="{h:.1}" fill="{color}"/>"#,
+                    base_y - h,
+                    bar_w * 0.9
+                );
+            }
+        }
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{lx}" y="{}" width="14" height="10" fill="{color}"/>"#,
+                ly - 6.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 20.0,
+                ly + 4.0,
+                xml_escape(&s.name)
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes `svg` to `<workspace>/target/figures/<name>.svg` and returns the
+/// path (benches run with the package directory as CWD, so the location is
+/// anchored to this crate's manifest instead).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_figure(name: &str, svg: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/figures");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.svg"));
+    std::fs::write(&path, svg)?;
+    let canonical = path.canonicalize().unwrap_or(path);
+    Ok(canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> LinePlot {
+        LinePlot {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series {
+                    name: "a".into(),
+                    points: vec![(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)],
+                },
+                Series {
+                    name: "b".into(),
+                    points: vec![(0.0, 4.0), (2.0, 1.0)],
+                },
+            ],
+            log_y: false,
+        }
+    }
+
+    #[test]
+    fn line_plot_produces_valid_skeleton() {
+        let svg = sample_plot().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn log_scale_compresses_large_values() {
+        let mut p = sample_plot();
+        p.series[0].points = vec![(0.0, 1.0), (1.0, 10_000.0)];
+        p.log_y = true;
+        let svg = p.to_svg();
+        assert!(svg.contains("1e"));
+    }
+
+    #[test]
+    fn empty_plot_does_not_panic() {
+        let p = LinePlot {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: vec![],
+            log_y: false,
+        };
+        assert!(p.to_svg().contains("</svg>"));
+    }
+
+    #[test]
+    fn bar_chart_has_one_rect_per_bar_plus_legend() {
+        let chart = BarChart {
+            title: "bars".into(),
+            y_label: "rel".into(),
+            groups: vec!["k1".into(), "k2".into()],
+            series: vec![
+                Series {
+                    name: "top1".into(),
+                    points: vec![(0.0, 0.2), (1.0, 1.0)],
+                },
+                Series {
+                    name: "topH".into(),
+                    points: vec![(0.0, 0.8), (1.0, 1.0)],
+                },
+            ],
+        };
+        let svg = chart.to_svg();
+        // 4 bars + 2 legend swatches + background.
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 1);
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut p = sample_plot();
+        p.title = "a < b & c".into();
+        let svg = p.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

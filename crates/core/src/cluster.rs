@@ -1,0 +1,627 @@
+//! The cycle-accurate MemPool cluster simulator.
+
+use crate::net::Net;
+use crate::tile::{ProgramImage, Tile};
+use crate::{
+    ClusterConfig, ClusterStats, Core, RefillNetwork, Request, Response, Topology,
+    ValidateConfigError,
+};
+use mempool_mem::{AddressMap, CacheStats, Scrambler};
+use mempool_noc::Ring;
+use mempool_snitch::DataResponse;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A refill transaction on the I-cache ring (§III-B's "low-overhead refill
+/// network").
+#[derive(Debug, Clone, Copy)]
+struct RefillPacket {
+    tile: usize,
+    line: u32,
+}
+
+/// The modeled AXI refill ring: one stop per tile plus an L2 stop.
+struct RefillRing {
+    ring: Ring<RefillPacket>,
+    l2_stop: usize,
+    l2_latency: u32,
+    /// Requests being served by L2: completion cycle, requesting tile,
+    /// line.
+    serving: VecDeque<(u64, usize, u32)>,
+}
+
+impl RefillRing {
+    fn new(num_tiles: usize, l2_latency: u32) -> Self {
+        RefillRing {
+            ring: Ring::new(num_tiles + 1),
+            l2_stop: num_tiles,
+            l2_latency,
+            serving: VecDeque::new(),
+        }
+    }
+
+    fn cycle(&mut self, tiles: &mut [Tile], now: u64) {
+        self.ring.advance();
+        // Responses arriving at tiles install their lines.
+        for (t, tile) in tiles.iter_mut().enumerate() {
+            while let Some(pkt) = self.ring.eject(t) {
+                tile.complete_refill(pkt.line);
+            }
+        }
+        // Requests arriving at L2 start their access.
+        while let Some(pkt) = self.ring.eject(self.l2_stop) {
+            self.serving
+                .push_back((now + u64::from(self.l2_latency), pkt.tile, pkt.line));
+        }
+        // Completed L2 accesses head back (in order; retry on a busy link).
+        while let Some(&(ready, tile, line)) = self.serving.front() {
+            if ready > now || !self.ring.try_inject(self.l2_stop, tile, RefillPacket { tile, line })
+            {
+                break;
+            }
+            self.serving.pop_front();
+        }
+        // Tile misses enter the ring.
+        for (t, tile) in tiles.iter_mut().enumerate() {
+            if let Some(line) = tile.peek_refill_request() {
+                if self.ring.try_inject(t, self.l2_stop, RefillPacket { tile: t, line }) {
+                    tile.take_refill_request();
+                }
+            }
+        }
+    }
+}
+
+/// Error returned by [`Cluster::run`] when the program does not finish
+/// within the cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunTimeoutError {
+    budget: u64,
+}
+
+impl RunTimeoutError {
+    /// The exhausted cycle budget.
+    pub fn budget(self) -> u64 {
+        self.budget
+    }
+}
+
+impl fmt::Display for RunTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program did not finish within {} cycles", self.budget)
+    }
+}
+
+impl std::error::Error for RunTimeoutError {}
+
+/// Placement of one core within the cluster, handed to the core factory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreLocation {
+    /// Global core index (also the hart ID).
+    pub core: usize,
+    /// Tile index.
+    pub tile: usize,
+    /// Lane within the tile (0..cores_per_tile).
+    pub lane: usize,
+}
+
+/// A cycle-accurate MemPool cluster, generic over the core model `C` —
+/// [`SnitchCore`](mempool_snitch::SnitchCore) for real programs, or a
+/// synthetic traffic generator for network analysis (§V-A).
+///
+/// # Examples
+///
+/// Run a two-instruction-per-core program on the 64-core test cluster:
+///
+/// ```
+/// use mempool::{Cluster, ClusterConfig, Topology};
+/// use mempool_riscv::assemble;
+///
+/// let program = assemble("csrr a0, mhartid\necall\n")?;
+/// let mut cluster = Cluster::snitch(ClusterConfig::small(Topology::TopH))?;
+/// cluster.load_program(&program)?;
+/// cluster.run(10_000)?;
+/// assert_eq!(cluster.cores()[5].reg(mempool_riscv::Reg::A0), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Cluster<C> {
+    config: ClusterConfig,
+    map: AddressMap,
+    scrambler: Option<Scrambler>,
+    cores: Vec<C>,
+    tiles: Vec<Tile>,
+    net: Net,
+    /// Per-core output latch between the core and the interconnect.
+    out_latches: Vec<Option<Request>>,
+    image: ProgramImage,
+    now: u64,
+    stats: ClusterStats,
+    in_flight: u64,
+    deliveries: Vec<Response>,
+    refill_ring: Option<RefillRing>,
+    trace: Option<crate::MemoryTrace>,
+}
+
+impl<C: Core> Cluster<C> {
+    /// Builds a cluster, constructing each core through `factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateConfigError`] when the configuration is
+    /// geometrically inconsistent.
+    pub fn new(
+        config: ClusterConfig,
+        mut factory: impl FnMut(CoreLocation) -> C,
+    ) -> Result<Self, ValidateConfigError> {
+        config.validate()?;
+        let map = config.address_map()?;
+        let scrambler = config.scrambler()?;
+        let cores = (0..config.num_cores())
+            .map(|core| {
+                factory(CoreLocation {
+                    core,
+                    tile: core / config.cores_per_tile,
+                    lane: core % config.cores_per_tile,
+                })
+            })
+            .collect();
+        Ok(Cluster {
+            map,
+            scrambler,
+            cores,
+            tiles: (0..config.num_tiles).map(|_| Tile::new(&config)).collect(),
+            net: Net::new(&config),
+            out_latches: vec![None; config.num_cores()],
+            image: ProgramImage::default(),
+            now: 0,
+            stats: ClusterStats::with_tiles(config.num_tiles),
+            in_flight: 0,
+            deliveries: Vec::new(),
+            refill_ring: match config.icache.refill_network {
+                RefillNetwork::Fixed => None,
+                RefillNetwork::Ring { l2_latency } => {
+                    Some(RefillRing::new(config.num_tiles, l2_latency))
+                }
+            },
+            trace: None,
+            config,
+        })
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The interleaved address map.
+    pub fn address_map(&self) -> AddressMap {
+        self.map
+    }
+
+    /// The hybrid-addressing scrambler, if enabled.
+    pub fn scrambler(&self) -> Option<Scrambler> {
+        self.scrambler
+    }
+
+    /// Current cycle count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// The cores, indexed by global core ID.
+    pub fn cores(&self) -> &[C] {
+        &self.cores
+    }
+
+    /// Mutable access to the cores (e.g. to set per-hart entry points).
+    pub fn cores_mut(&mut self) -> &mut [C] {
+        &mut self.cores
+    }
+
+    /// Number of requests issued but not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// A human-readable description of the instantiated hardware: the
+    /// hierarchy, port counts and register placement that give this
+    /// configuration its latency/throughput behaviour.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "MemPool cluster: {} cores in {} tiles ({} topology)",
+            c.num_cores(),
+            c.num_tiles,
+            c.topology
+        );
+        let _ = writeln!(
+            out,
+            "  L1: {} banks x {} rows = {} KiB, {}",
+            c.num_banks(),
+            c.rows_per_bank,
+            self.map.size_bytes() / 1024,
+            match c.seq_region_bytes {
+                Some(b) => format!("hybrid map with {b} B sequential regions"),
+                None => "fully interleaved map".to_owned(),
+            }
+        );
+        let ports = c.topology.remote_ports(c.cores_per_tile);
+        let _ = writeln!(
+            out,
+            "  tile: {} cores, {} banks, {} remote port pair(s), {} B I-cache ({}-way)",
+            c.cores_per_tile, c.banks_per_tile, ports, c.icache.size_bytes, c.icache.ways
+        );
+        let (_, regs) = self.net.occupancy();
+        let topology_desc = match c.topology {
+            Topology::Ideal => "single-cycle conflict-free crossbar (baseline)".to_owned(),
+            Topology::Top1 => format!(
+                "one {0}x{0} radix-{1} butterfly, mid-stage pipeline registers",
+                c.num_tiles, c.radix
+            ),
+            Topology::Top4 => format!(
+                "{2} parallel {0}x{0} radix-{1} butterflies (one per core lane)",
+                c.num_tiles, c.radix, c.cores_per_tile
+            ),
+            Topology::TopH => format!(
+                "4 groups of {0} tiles: {0}x{0} local crossbars + N/NE/E radix-{1} butterflies",
+                c.tiles_per_group(),
+                c.radix
+            ),
+        };
+        let _ = writeln!(out, "  global interconnect: {topology_desc}");
+        let _ = writeln!(out, "  global register slots: {regs} (elastic, depth 2)");
+        let _ = writeln!(
+            out,
+            "  zero-load latency: 1 cycle local{}",
+            match c.topology {
+                Topology::Ideal => ", 1 cycle anywhere (idealized)".to_owned(),
+                Topology::Top1 | Topology::Top4 => ", 5 cycles remote".to_owned(),
+                Topology::TopH => ", 3 cycles in-group, 5 cycles cross-group".to_owned(),
+            }
+        );
+        out
+    }
+
+    /// Starts recording every core's memory requests (cycle, pre-scramble
+    /// address, read/write) into a [`MemoryTrace`](crate::MemoryTrace).
+    pub fn start_trace(&mut self) {
+        self.trace = Some(crate::MemoryTrace::new(self.config.num_cores()));
+    }
+
+    /// Stops recording and returns the captured trace (`None` when tracing
+    /// was never started).
+    pub fn take_trace(&mut self) -> Option<crate::MemoryTrace> {
+        self.trace.take()
+    }
+
+    /// FNV-1a digest over the entire L1 contents (physical order) — a
+    /// cheap determinism check: identical programs and seeds must produce
+    /// identical digests on every run.
+    pub fn l1_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for tile in &self.tiles {
+            for bank in &tile.banks {
+                for row in 0..bank.rows() {
+                    let word = bank.peek(row).expect("row in range");
+                    for byte in word.to_le_bytes() {
+                        hash ^= u64::from(byte);
+                        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+            }
+        }
+        hash
+    }
+
+    /// Combined I-cache statistics over all tiles.
+    pub fn icache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for tile in &self.tiles {
+            let s = tile.icache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    /// Loads (pre-decodes) a program into the shared instruction memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error of the first malformed instruction word.
+    pub fn load_program(
+        &mut self,
+        program: &mempool_riscv::Program,
+    ) -> Result<(), mempool_riscv::DecodeError> {
+        self.image = ProgramImage::from_program(program)?;
+        self.stats.icache_refills = 0;
+        Ok(())
+    }
+
+    /// Reads a word from L1 at a *programmer-view* address (the hybrid
+    /// scrambler is applied, as a core would). Returns `None` when the
+    /// address is out of range.
+    pub fn read_word(&self, vaddr: u32) -> Option<u32> {
+        let phys = self.scrambler.map_or(vaddr, |s| s.scramble(vaddr));
+        let at = self.map.decode(phys)?;
+        self.tiles[at.tile as usize].banks[at.bank as usize].peek(at.row)
+    }
+
+    /// Writes a word to L1 at a programmer-view address (for test setup and
+    /// input data). Returns `None` when the address is out of range.
+    pub fn write_word(&mut self, vaddr: u32, value: u32) -> Option<()> {
+        let phys = self.scrambler.map_or(vaddr, |s| s.scramble(vaddr));
+        let at = self.map.decode(phys)?;
+        self.tiles[at.tile as usize].banks[at.bank as usize].poke(at.row, value);
+        Some(())
+    }
+
+    /// Bulk [`write_word`](Cluster::write_word) of consecutive words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of L1.
+    pub fn write_words(&mut self, vaddr: u32, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_word(vaddr + 4 * i as u32, v)
+                .unwrap_or_else(|| panic!("address {:#x} out of L1", vaddr + 4 * i as u32));
+        }
+    }
+
+    /// Bulk [`read_word`](Cluster::read_word) of consecutive words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of L1.
+    pub fn read_words(&self, vaddr: u32, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| {
+                self.read_word(vaddr + 4 * i as u32)
+                    .unwrap_or_else(|| panic!("address {:#x} out of L1", vaddr + 4 * i as u32))
+            })
+            .collect()
+    }
+
+    /// Advances the whole cluster by one clock cycle.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        let cpt = self.config.cores_per_tile;
+
+        // 1. I-cache refill transport (fixed-latency ports or the ring).
+        match &mut self.refill_ring {
+            None => {
+                for tile in &mut self.tiles {
+                    tile.refill_tick(now);
+                }
+            }
+            Some(ring) => ring.cycle(&mut self.tiles, now),
+        }
+
+        // 2. Response phase: master response registers deliver; tile
+        //    response crossbars route bank responses toward cores or remote
+        //    ports; long-haul response networks advance.
+        self.deliveries.clear();
+        self.net
+            .deliver_master_resp(&mut self.tiles, &mut self.deliveries);
+        if !matches!(self.config.topology, Topology::Ideal) {
+            for t in 0..self.tiles.len() {
+                let net = &self.net;
+                let tile = &mut self.tiles[t];
+                let port_for = |resp: &Response| net.resp_port_for(t, resp, cpt);
+                tile.route_responses(t, cpt, &mut self.deliveries, &port_for);
+            }
+            self.net.route_responses(&mut self.tiles, cpt);
+        }
+        for resp in self.deliveries.drain(..) {
+            self.stats.latency.record(now - resp.issued_at);
+            self.stats.responses_delivered += 1;
+            self.in_flight -= 1;
+            self.cores[resp.core as usize].deliver(DataResponse {
+                tag: resp.tag,
+                data: resp.data,
+            });
+        }
+
+        // 3. Core phase.
+        for c in 0..self.cores.len() {
+            let ready = self.out_latches[c].is_none();
+            let tile_idx = c / cpt;
+            let issued = {
+                let (cores, tiles) = (&mut self.cores, &mut self.tiles);
+                let image = &self.image;
+                let tile = &mut tiles[tile_idx];
+                cores[c].step(&mut |pc| tile.fetch(pc, image, now), ready)
+            };
+            if let Some(dr) = issued {
+                debug_assert!(ready, "core issued against backpressure");
+                let phys = self.scrambler.map_or(dr.addr, |s| s.scramble(dr.addr));
+                let Some(at) = self.map.decode(phys) else {
+                    // An address outside L1 is a guest-program bug: kill the
+                    // offending core, keep the cluster alive.
+                    self.stats.memory_faults += 1;
+                    self.cores[c].fault();
+                    continue;
+                };
+                if at.tile as usize == tile_idx {
+                    self.stats.local_requests += 1;
+                } else {
+                    self.stats.remote_requests += 1;
+                    if self.config.topology == Topology::TopH {
+                        let tpg = self.config.tiles_per_group();
+                        let gs = tile_idx / tpg;
+                        let gd = at.tile as usize / tpg;
+                        match gs ^ gd {
+                            0 => self.stats.group_local_requests += 1,
+                            2 => self.stats.direction_requests[0] += 1, // N
+                            3 => self.stats.direction_requests[1] += 1, // NE
+                            1 => self.stats.direction_requests[2] += 1, // E
+                            _ => unreachable!("four groups"),
+                        }
+                    }
+                }
+                self.stats.requests_issued += 1;
+                self.in_flight += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.record(
+                        c,
+                        crate::TraceEvent {
+                            cycle: now,
+                            addr: dr.addr,
+                            write: dr.kind.is_write(),
+                        },
+                    );
+                }
+                self.out_latches[c] = Some(Request {
+                    core: c as u32,
+                    tag: dr.tag,
+                    addr: phys,
+                    kind: dr.kind,
+                    issued_at: now,
+                });
+            }
+        }
+
+        // 4. Request phase: long-haul networks, then tile crossbars + bank
+        //    accesses, then core latches into the master port registers.
+        if let Net::Ideal(ideal) = &mut self.net {
+            self.stats.bank_accesses += ideal.route_requests(
+                &mut self.out_latches,
+                &mut self.tiles,
+                &self.map,
+                &mut self.stats.tile_accesses,
+            );
+        } else {
+            self.net.route_longhaul_requests(&mut self.tiles, &self.map);
+            for (t, latches) in self.out_latches.chunks_mut(cpt).enumerate() {
+                let served = self.tiles[t].accept_requests(t, latches, &self.map, now);
+                self.stats.bank_accesses += served;
+                self.stats.tile_accesses[t] += served;
+            }
+            self.net.route_port_requests(&mut self.out_latches, &self.map);
+        }
+
+        // 5. End-of-cycle commit.
+        for tile in &mut self.tiles {
+            tile.commit();
+        }
+        self.net.commit();
+        self.stats.icache_refills = self.tiles.iter().map(Tile::refills).sum();
+        let (occupied, total) = self.net.occupancy();
+        self.stats.net_occupancy_sum += occupied;
+        self.stats.net_register_slots = total;
+        self.stats.cycles += 1;
+    }
+
+    /// Runs `n` cycles unconditionally (for open-ended traffic experiments).
+    pub fn step_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.cycle();
+        }
+    }
+
+    /// Runs until every core reports [`Core::done`] and all in-flight
+    /// requests drained, or the budget expires.
+    ///
+    /// Returns the number of cycles executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunTimeoutError`] when the budget expires first.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, RunTimeoutError> {
+        let start = self.now;
+        while !(self.in_flight == 0 && self.cores.iter().all(Core::done)) {
+            if self.now - start >= max_cycles {
+                return Err(RunTimeoutError { budget: max_cycles });
+            }
+            self.cycle();
+        }
+        Ok(self.now - start)
+    }
+
+    /// Resets all transient machine state — cores are rebuilt via
+    /// `factory`, networks and latches drain, statistics restart — while
+    /// **keeping L1 contents and warm I-caches**. Use it to chain program
+    /// phases over the same data set.
+    pub fn reset_with(&mut self, mut factory: impl FnMut(CoreLocation) -> C) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            *core = factory(CoreLocation {
+                core: i,
+                tile: i / self.config.cores_per_tile,
+                lane: i % self.config.cores_per_tile,
+            });
+        }
+        for tile in &mut self.tiles {
+            tile.clear_transient();
+        }
+        self.net = Net::new(&self.config);
+        self.out_latches.iter_mut().for_each(|l| *l = None);
+        self.in_flight = 0;
+        self.stats = ClusterStats::with_tiles(self.config.num_tiles);
+        if let Some(ring) = &mut self.refill_ring {
+            *ring = RefillRing::new(self.config.num_tiles, ring.l2_latency);
+        }
+    }
+}
+
+impl Cluster<mempool_snitch::SnitchCore> {
+    /// [`reset_with`](Cluster::reset_with) specialized for Snitch cores
+    /// (hart IDs re-assigned from the configuration template).
+    pub fn reset(&mut self) {
+        let template = self.config.core;
+        self.reset_with(|loc| {
+            mempool_snitch::SnitchCore::new(mempool_snitch::SnitchConfig {
+                hartid: loc.core as u32,
+                ..template
+            })
+        });
+    }
+
+    /// Builds a cluster of Snitch cores with hart IDs assigned by global
+    /// core index, using the configuration's core template.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateConfigError`] when the configuration is
+    /// inconsistent.
+    pub fn snitch(config: ClusterConfig) -> Result<Self, ValidateConfigError> {
+        let template = config.core;
+        Cluster::new(config, |loc| {
+            mempool_snitch::SnitchCore::new(mempool_snitch::SnitchConfig {
+                hartid: loc.core as u32,
+                ..template
+            })
+        })
+    }
+
+    /// Sum of per-core statistics over all cores.
+    pub fn core_stats_total(&self) -> mempool_snitch::CoreStats {
+        let mut total = mempool_snitch::CoreStats::default();
+        for core in &self.cores {
+            let s = core.stats();
+            total.instret += s.instret;
+            total.cycles += s.cycles;
+            total.loads += s.loads;
+            total.stores += s.stores;
+            total.amos += s.amos;
+            total.muls += s.muls;
+            total.divs += s.divs;
+            total.taken_branches += s.taken_branches;
+            total.stall_scoreboard += s.stall_scoreboard;
+            total.stall_lsu_full += s.stall_lsu_full;
+            total.stall_port += s.stall_port;
+            total.stall_fetch += s.stall_fetch;
+            total.stall_fence += s.stall_fence;
+            total.stall_exec += s.stall_exec;
+        }
+        total
+    }
+}

@@ -1,0 +1,433 @@
+//! A functional (untimed) reference simulator of the whole cluster.
+//!
+//! [`FunctionalSim`] executes the same programs as the cycle-accurate
+//! [`Cluster`](crate::Cluster) — same ISA, same hybrid address map, same
+//! shared-L1 semantics — but with zero timing: one instruction per live
+//! core per round-robin step, memory served instantly and sequentially
+//! consistent. Use it for fast golden runs, kernel bring-up, and as a
+//! differential target for the timed model.
+
+use crate::tile::ProgramImage;
+use crate::{ClusterConfig, L1Memory, ValidateConfigError};
+use mempool_mem::{AddressMap, Scrambler};
+use mempool_riscv::{csr, CsrOp, Instr, Reg};
+use mempool_snitch::semantics;
+use std::fmt;
+
+/// Error returned by [`FunctionalSim::run`] when cores do not halt within
+/// the step budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalTimeoutError {
+    budget: u64,
+}
+
+impl fmt::Display for FunctionalTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program did not halt within {} functional steps", self.budget)
+    }
+}
+
+impl std::error::Error for FunctionalTimeoutError {}
+
+#[derive(Debug, Clone)]
+struct FuncCore {
+    pc: u32,
+    regs: [u32; 32],
+    halted: bool,
+    faulted: bool,
+    mscratch: u32,
+    instret: u64,
+}
+
+impl FuncCore {
+    fn new() -> Self {
+        FuncCore {
+            pc: 0,
+            regs: [0; 32],
+            halted: false,
+            faulted: false,
+            mscratch: 0,
+            instret: 0,
+        }
+    }
+}
+
+/// The untimed whole-cluster interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use mempool::{ClusterConfig, FunctionalSim, L1Memory, Topology};
+/// use mempool_riscv::assemble;
+///
+/// let program = assemble(
+///     "li a0, 0x8000\nli a1, 1\namoadd.w a2, a1, (a0)\necall\n",
+/// )?;
+/// let mut sim = FunctionalSim::new(ClusterConfig::small(Topology::TopH))?;
+/// sim.load_program(&program)?;
+/// sim.run(1_000_000)?;
+/// assert_eq!(sim.read_word(0x8000), Some(64)); // 64 cores
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct FunctionalSim {
+    config: ClusterConfig,
+    map: AddressMap,
+    scrambler: Option<Scrambler>,
+    /// Flat physical L1, word-addressed.
+    mem: Vec<u32>,
+    /// LR reservations: per core, the physical word address reserved.
+    reservations: Vec<Option<u32>>,
+    cores: Vec<FuncCore>,
+    image: ProgramImage,
+    steps: u64,
+}
+
+impl FunctionalSim {
+    /// Builds the functional simulator for a configuration (topology is
+    /// irrelevant to results and ignored by the model).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateConfigError`] on inconsistent geometry.
+    pub fn new(config: ClusterConfig) -> Result<Self, ValidateConfigError> {
+        config.validate()?;
+        let map = config.address_map()?;
+        Ok(FunctionalSim {
+            map,
+            scrambler: config.scrambler()?,
+            mem: vec![0; (map.size_bytes() / 4) as usize],
+            reservations: vec![None; config.num_cores()],
+            cores: (0..config.num_cores()).map(|_| FuncCore::new()).collect(),
+            image: ProgramImage::default(),
+            steps: 0,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Instructions retired in total.
+    pub fn instret(&self) -> u64 {
+        self.cores.iter().map(|c| c.instret).sum()
+    }
+
+    /// Round-robin steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether any core halted with a fault.
+    pub fn any_faulted(&self) -> bool {
+        self.cores.iter().any(|c| c.faulted)
+    }
+
+    /// Reads an architectural register of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn reg(&self, core: usize, reg: Reg) -> u32 {
+        self.cores[core].regs[reg.index() as usize]
+    }
+
+    /// Loads (pre-decodes) a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error.
+    pub fn load_program(
+        &mut self,
+        program: &mempool_riscv::Program,
+    ) -> Result<(), mempool_riscv::DecodeError> {
+        self.image = ProgramImage::from_program(program)?;
+        Ok(())
+    }
+
+    /// Physical word index of a programmer-view address, or `None` when
+    /// out of L1.
+    fn phys_word(&self, vaddr: u32) -> Option<usize> {
+        let phys = self.scrambler.map_or(vaddr, |s| s.scramble(vaddr));
+        if u64::from(phys) >= self.map.size_bytes() {
+            return None;
+        }
+        Some((phys / 4) as usize)
+    }
+
+    /// Runs until every core halts, interleaving one instruction per live
+    /// core per round. Returns the number of rounds executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FunctionalTimeoutError`] when the budget expires first.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, FunctionalTimeoutError> {
+        let start = self.steps;
+        while self.cores.iter().any(|c| !c.halted) {
+            if self.steps - start >= max_steps {
+                return Err(FunctionalTimeoutError { budget: max_steps });
+            }
+            self.steps += 1;
+            for core in 0..self.cores.len() {
+                if !self.cores[core].halted {
+                    self.step_core(core);
+                }
+            }
+        }
+        Ok(self.steps - start)
+    }
+
+    fn step_core(&mut self, core: usize) {
+        let pc = self.cores[core].pc;
+        let Some(instr) = self.image.at(pc) else {
+            self.cores[core].halted = true;
+            self.cores[core].faulted = true;
+            return;
+        };
+        let r = |c: &FuncCore, reg: Reg| c.regs[reg.index() as usize];
+        let mut next_pc = pc.wrapping_add(4);
+        // Split borrows: copy the core state out, write back after.
+        let mut c = self.cores[core].clone();
+        match instr {
+            Instr::Lui { rd, imm } => write(&mut c, rd, imm),
+            Instr::Auipc { rd, imm } => write(&mut c, rd, pc.wrapping_add(imm)),
+            Instr::Jal { rd, offset } => {
+                write(&mut c, rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = r(&c, rs1).wrapping_add(offset as u32) & !1;
+                write(&mut c, rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Instr::Branch { op, rs1, rs2, offset } => {
+                if op.taken(r(&c, rs1), r(&c, rs2)) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let v = semantics::alu(op, r(&c, rs1), imm as u32);
+                write(&mut c, rd, v);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let v = semantics::alu(op, r(&c, rs1), r(&c, rs2));
+                write(&mut c, rd, v);
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let v = semantics::muldiv(op, r(&c, rs1), r(&c, rs2));
+                write(&mut c, rd, v);
+            }
+            Instr::Load { op, rd, rs1, offset } => {
+                let addr = r(&c, rs1).wrapping_add(offset as u32);
+                match self.phys_word(addr) {
+                    Some(w) => {
+                        let v = op.extract(self.mem[w], addr & 3);
+                        write(&mut c, rd, v);
+                    }
+                    None => fault(&mut c),
+                }
+            }
+            Instr::Store { op, rs2, rs1, offset } => {
+                let addr = r(&c, rs1).wrapping_add(offset as u32);
+                match self.phys_word(addr) {
+                    Some(w) => {
+                        self.mem[w] = op.merge(self.mem[w], r(&c, rs2), addr & 3);
+                        self.invalidate_reservations(w as u32, None);
+                    }
+                    None => fault(&mut c),
+                }
+            }
+            Instr::Amo { op, rd, rs1, rs2 } => {
+                let addr = r(&c, rs1);
+                match self.phys_word(addr) {
+                    Some(w) => {
+                        let old = self.mem[w];
+                        self.mem[w] = op.apply(old, r(&c, rs2));
+                        self.invalidate_reservations(w as u32, None);
+                        write(&mut c, rd, old);
+                    }
+                    None => fault(&mut c),
+                }
+            }
+            Instr::LrW { rd, rs1 } => {
+                let addr = r(&c, rs1);
+                match self.phys_word(addr) {
+                    Some(w) => {
+                        self.reservations[core] = Some(w as u32);
+                        let v = self.mem[w];
+                        write(&mut c, rd, v);
+                    }
+                    None => fault(&mut c),
+                }
+            }
+            Instr::ScW { rd, rs1, rs2 } => {
+                let addr = r(&c, rs1);
+                match self.phys_word(addr) {
+                    Some(w) => {
+                        if self.reservations[core] == Some(w as u32) {
+                            self.mem[w] = r(&c, rs2);
+                            self.invalidate_reservations(w as u32, Some(core));
+                            self.reservations[core] = None;
+                            write(&mut c, rd, 0);
+                        } else {
+                            write(&mut c, rd, 1);
+                        }
+                    }
+                    None => fault(&mut c),
+                }
+            }
+            Instr::Csr { op, rd, rs1, csr: addr } => {
+                let old = self.read_csr(&c, core, addr);
+                let src = r(&c, rs1);
+                apply_csr(&mut c, op, addr, src, rs1.is_zero());
+                write(&mut c, rd, old);
+            }
+            Instr::CsrImm { op, rd, imm, csr: addr } => {
+                let old = self.read_csr(&c, core, addr);
+                apply_csr(&mut c, op, addr, u32::from(imm), imm == 0);
+                write(&mut c, rd, old);
+            }
+            Instr::Fence | Instr::FenceI => {}
+            Instr::Ecall | Instr::Ebreak | Instr::Wfi => c.halted = true,
+        }
+        c.instret += 1;
+        if !c.halted {
+            c.pc = next_pc;
+        }
+        self.cores[core] = c;
+    }
+
+    fn read_csr(&self, c: &FuncCore, core: usize, addr: u16) -> u32 {
+        match addr {
+            csr::MHARTID => core as u32,
+            csr::MCYCLE => self.steps as u32,
+            csr::MCYCLEH => (self.steps >> 32) as u32,
+            csr::MINSTRET => c.instret as u32,
+            csr::MINSTRETH => (c.instret >> 32) as u32,
+            csr::MSCRATCH => c.mscratch,
+            _ => 0,
+        }
+    }
+
+    fn invalidate_reservations(&mut self, word: u32, keep: Option<usize>) {
+        for (i, res) in self.reservations.iter_mut().enumerate() {
+            if *res == Some(word) && keep != Some(i) {
+                *res = None;
+            }
+        }
+    }
+}
+
+fn write(c: &mut FuncCore, rd: Reg, value: u32) {
+    if !rd.is_zero() {
+        c.regs[rd.index() as usize] = value;
+    }
+}
+
+fn fault(c: &mut FuncCore) {
+    c.halted = true;
+    c.faulted = true;
+}
+
+fn apply_csr(c: &mut FuncCore, op: CsrOp, addr: u16, src: u32, src_is_zero: bool) {
+    if addr != csr::MSCRATCH {
+        return;
+    }
+    match op {
+        CsrOp::Rw => c.mscratch = src,
+        CsrOp::Rs if !src_is_zero => c.mscratch |= src,
+        CsrOp::Rc if !src_is_zero => c.mscratch &= !src,
+        _ => {}
+    }
+}
+
+impl L1Memory for FunctionalSim {
+    fn read_word(&self, vaddr: u32) -> Option<u32> {
+        self.phys_word(vaddr).map(|w| self.mem[w])
+    }
+
+    fn write_word(&mut self, vaddr: u32, value: u32) -> Option<()> {
+        let w = self.phys_word(vaddr)?;
+        self.mem[w] = value;
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use mempool_riscv::assemble;
+
+    fn sim() -> FunctionalSim {
+        FunctionalSim::new(ClusterConfig::small(Topology::TopH)).unwrap()
+    }
+
+    #[test]
+    fn hartid_and_arithmetic() {
+        let program = assemble("csrr t0, mhartid\nmul a0, t0, t0\necall\n").unwrap();
+        let mut s = sim();
+        s.load_program(&program).unwrap();
+        s.run(10_000).unwrap();
+        assert_eq!(s.reg(5, Reg::A0), 25);
+        assert_eq!(s.reg(63, Reg::A0), 63 * 63);
+        assert!(!s.any_faulted());
+    }
+
+    #[test]
+    fn amo_reduction_matches_closed_form() {
+        let program =
+            assemble("li t0, 0x8000\ncsrr t1, mhartid\namoadd.w zero, t1, (t0)\necall\n").unwrap();
+        let mut s = sim();
+        s.load_program(&program).unwrap();
+        s.run(10_000).unwrap();
+        assert_eq!(s.read_word(0x8000), Some(64 * 63 / 2));
+    }
+
+    #[test]
+    fn spin_barrier_terminates_under_round_robin() {
+        // A counting barrier with a spin loop must make progress because
+        // every live core steps each round.
+        let program = assemble(
+            "li t0, 0x8000\nli t1, 1\namoadd.w zero, t1, (t0)\n\
+             spin: lw t2, (t0)\nli t3, 64\nblt t2, t3, spin\necall\n",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.load_program(&program).unwrap();
+        s.run(100_000).unwrap();
+        assert_eq!(s.read_word(0x8000), Some(64));
+    }
+
+    #[test]
+    fn lr_sc_contention_is_serializable() {
+        // Every core increments via LR/SC retry loops.
+        let program = assemble(
+            "li t0, 0x8000\n\
+             retry: lr.w t1, (t0)\naddi t1, t1, 1\nsc.w t2, t1, (t0)\nbnez t2, retry\necall\n",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.load_program(&program).unwrap();
+        s.run(1_000_000).unwrap();
+        assert_eq!(s.read_word(0x8000), Some(64));
+    }
+
+    #[test]
+    fn out_of_range_access_faults() {
+        let program = assemble("li t0, 0x7f000000\nlw a0, (t0)\necall\n").unwrap();
+        let mut s = sim();
+        s.load_program(&program).unwrap();
+        s.run(10_000).unwrap();
+        assert!(s.any_faulted());
+    }
+
+    #[test]
+    fn memory_trait_round_trips_via_scrambler() {
+        let mut s = sim();
+        s.write_word(0x123 * 4, 77).unwrap();
+        assert_eq!(s.read_word(0x123 * 4), Some(77));
+        assert_eq!(s.read_word(0xffff_fff0), None);
+    }
+}

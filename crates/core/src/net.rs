@@ -1,0 +1,898 @@
+//! The three global interconnect topologies of §III-C, plus the ideal
+//! crossbar baseline of §V-C.
+//!
+//! Register placement (the source of the paper's 1/3/5-cycle latencies):
+//!
+//! * every tile has a register boundary at each **master request port** and
+//!   each **master response port**;
+//! * `Top1`/`Top4` butterflies have a single pipeline register row midway
+//!   through their layers (when they have at least two layers);
+//! * `TopH` has an additional register boundary at each local group's
+//!   master interface (the `boundary_*` rows), crossed only by inter-group
+//!   traffic;
+//! * slave request ports and outbound response ports carry 1-deep wire
+//!   latches (the "optional elastic buffer at each switch output" of the
+//!   paper) so a blocked packet retries without re-crossing the fabric.
+
+use crate::tile::Tile;
+use crate::{ClusterConfig, Request, Response, Topology};
+use mempool_mem::AddressMap;
+use mempool_noc::{ElasticBuffer, Fabric, Offer, RoundRobin};
+
+/// Direction indices for TopH ports: L is port 0, then N/NE/E.
+const DIR_PARTNER_XOR: [usize; 3] = [2, 3, 1]; // N, NE, E
+
+pub(crate) enum Net {
+    Ideal(IdealNet),
+    Global(GlobalNet),
+    Hier(HierNet),
+}
+
+impl Net {
+    pub fn new(config: &ClusterConfig) -> Net {
+        match config.topology {
+            Topology::Ideal => Net::Ideal(IdealNet::new(config)),
+            Topology::Top1 => Net::Global(GlobalNet::new(config, 1, true)),
+            Topology::Top4 => Net::Global(GlobalNet::new(config, config.cores_per_tile, false)),
+            Topology::TopH => Net::Hier(HierNet::new(config)),
+        }
+    }
+
+    /// The tile response-crossbar output port (0-based among the K remote
+    /// ports) a remote response leaves through.
+    pub fn resp_port_for(&self, tile: usize, resp: &Response, cores_per_tile: usize) -> usize {
+        match self {
+            Net::Ideal(_) => 0,
+            Net::Global(g) => {
+                if g.concentrate {
+                    0
+                } else {
+                    resp.core as usize % cores_per_tile
+                }
+            }
+            Net::Hier(h) => h.port_for(tile, resp.core as usize / cores_per_tile),
+        }
+    }
+
+    pub fn deliver_master_resp(&mut self, tiles: &mut [Tile], deliveries: &mut Vec<Response>) {
+        match self {
+            Net::Ideal(n) => n.deliver(tiles, deliveries),
+            Net::Global(n) => n.deliver(deliveries),
+            Net::Hier(n) => n.deliver(deliveries),
+        }
+    }
+
+    pub fn route_responses(&mut self, tiles: &mut [Tile], cores_per_tile: usize) {
+        match self {
+            Net::Ideal(_) => {}
+            Net::Global(n) => n.route_responses(tiles, cores_per_tile),
+            Net::Hier(n) => n.route_responses(tiles, cores_per_tile),
+        }
+    }
+
+    pub fn route_longhaul_requests(&mut self, tiles: &mut [Tile], map: &AddressMap) {
+        match self {
+            Net::Ideal(_) => {}
+            Net::Global(n) => n.route_longhaul(tiles, map),
+            Net::Hier(n) => n.route_longhaul(tiles, map),
+        }
+    }
+
+    pub fn route_port_requests(&mut self, latches: &mut [Option<Request>], map: &AddressMap) {
+        match self {
+            Net::Ideal(_) => {}
+            Net::Global(n) => n.route_ports(latches, map),
+            Net::Hier(n) => n.route_ports(latches, map),
+        }
+    }
+
+    pub fn commit(&mut self) {
+        match self {
+            Net::Ideal(_) => {}
+            Net::Global(n) => n.commit(),
+            Net::Hier(n) => n.commit(),
+        }
+    }
+
+    /// (occupied, total) register slots across the global interconnect —
+    /// the buffer-occupancy congestion metric.
+    pub fn occupancy(&self) -> (u64, u64) {
+        fn count<T>(regs: &[ElasticBuffer<T>]) -> (u64, u64) {
+            let occupied = regs.iter().map(|r| r.len() as u64).sum();
+            let total = regs.iter().map(|r| r.capacity() as u64).sum();
+            (occupied, total)
+        }
+        match self {
+            Net::Ideal(_) => (0, 0),
+            Net::Global(n) => {
+                let mut acc = count(&n.master_req);
+                let r = count(&n.master_resp);
+                acc = (acc.0 + r.0, acc.1 + r.1);
+                for port in &n.mid_req {
+                    let m = count(port);
+                    acc = (acc.0 + m.0, acc.1 + m.1);
+                }
+                for port in &n.mid_resp {
+                    let m = count(port);
+                    acc = (acc.0 + m.0, acc.1 + m.1);
+                }
+                acc
+            }
+            Net::Hier(n) => {
+                let mut acc = count(&n.master_req);
+                for part in [
+                    count(&n.master_resp),
+                    count(&n.boundary_req),
+                    count(&n.boundary_resp),
+                ] {
+                    acc = (acc.0 + part.0, acc.1 + part.1);
+                }
+                acc
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ideal full crossbar (baseline).
+// ---------------------------------------------------------------------------
+
+/// The §V-C baseline: all banks reachable in one cycle, no routing
+/// conflicts; only bank conflicts serialize (round-robin per bank).
+pub(crate) struct IdealNet {
+    /// One arbiter per global bank, over all cores.
+    rr: Vec<RoundRobin>,
+    banks_per_tile: usize,
+}
+
+impl IdealNet {
+    fn new(config: &ClusterConfig) -> Self {
+        IdealNet {
+            rr: (0..config.num_banks())
+                .map(|_| RoundRobin::new(config.num_cores()))
+                .collect(),
+            banks_per_tile: config.banks_per_tile,
+        }
+    }
+
+    /// Resolves all core latches directly against the banks.
+    pub fn route_requests(
+        &mut self,
+        latches: &mut [Option<Request>],
+        tiles: &mut [Tile],
+        map: &AddressMap,
+        tile_accesses: &mut [u64],
+    ) -> u64 {
+        // Bucket contenders per global bank.
+        let mut contenders: Vec<(usize, usize)> = Vec::new(); // (bank, core)
+        for (core, latch) in latches.iter().enumerate() {
+            if let Some(req) = latch {
+                let at = map.decode(req.addr).expect("validated at issue");
+                let bank = at.tile as usize * self.banks_per_tile + at.bank as usize;
+                contenders.push((bank, core));
+            }
+        }
+        contenders.sort_unstable();
+        let mut accesses = 0;
+        let mut i = 0;
+        while i < contenders.len() {
+            let bank = contenders[i].0;
+            let mut j = i;
+            while j < contenders.len() && contenders[j].0 == bank {
+                j += 1;
+            }
+            let tile = bank / self.banks_per_tile;
+            let bank_in_tile = bank % self.banks_per_tile;
+            if tiles[tile].bank_resp[bank_in_tile].can_push() {
+                let cores: Vec<usize> = contenders[i..j].iter().map(|&(_, c)| c).collect();
+                let winner = self.rr[bank].grant(&cores).expect("nonempty");
+                let req = latches[winner].take().expect("contender had a request");
+                let at = map.decode(req.addr).expect("validated");
+                let resp = crate::tile::ideal_bank_access(&mut tiles[tile], &req, at);
+                tiles[tile].bank_resp[bank_in_tile].push(resp);
+                tile_accesses[tile] += 1;
+                accesses += 1;
+            }
+            i = j;
+        }
+        accesses
+    }
+
+    fn deliver(&mut self, tiles: &mut [Tile], deliveries: &mut Vec<Response>) {
+        for tile in tiles {
+            for reg in &mut tile.bank_resp {
+                if let Some(resp) = reg.pop() {
+                    deliveries.push(resp);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top1 / Top4: one or four global radix-4 butterflies.
+// ---------------------------------------------------------------------------
+
+pub(crate) struct GlobalNet {
+    num_tiles: usize,
+    cores_per_tile: usize,
+    ports: usize,
+    /// Top1 concentrates the tile's cores onto one port.
+    concentrate: bool,
+    rr_concentrator: Vec<RoundRobin>,
+    /// `[tile * ports + p]`.
+    master_req: Vec<ElasticBuffer<Request>>,
+    master_resp: Vec<ElasticBuffer<Response>>,
+    /// Per port: request butterfly segment A (or the whole network when it
+    /// has a single layer).
+    req_a: Vec<Fabric>,
+    req_b: Vec<Fabric>,
+    /// `[port][row]` mid-stage pipeline registers (empty when unsplit).
+    mid_req: Vec<Vec<ElasticBuffer<Request>>>,
+    resp_a: Vec<Fabric>,
+    resp_b: Vec<Fabric>,
+    mid_resp: Vec<Vec<ElasticBuffer<Response>>>,
+    split: bool,
+}
+
+fn butterfly_layer_count(ports: usize, radix: usize) -> usize {
+    let mut n = ports;
+    let mut k = 0;
+    while n > 1 {
+        n /= radix;
+        k += 1;
+    }
+    k
+}
+
+impl GlobalNet {
+    fn new(config: &ClusterConfig, ports: usize, concentrate: bool) -> Self {
+        let n = config.num_tiles;
+        let k = butterfly_layer_count(n, config.radix);
+        let split = k >= 2;
+        let mid = k.div_ceil(2);
+        let mut req_a = Vec::new();
+        let mut req_b = Vec::new();
+        let mut resp_a = Vec::new();
+        let mut resp_b = Vec::new();
+        let mut mid_req = Vec::new();
+        let mut mid_resp = Vec::new();
+        for _ in 0..ports {
+            if split {
+                req_a.push(Fabric::butterfly_segment(n, config.radix, 0, mid).expect("validated"));
+                req_b.push(Fabric::butterfly_segment(n, config.radix, mid, k).expect("validated"));
+                resp_a.push(Fabric::butterfly_segment(n, config.radix, 0, mid).expect("validated"));
+                resp_b.push(Fabric::butterfly_segment(n, config.radix, mid, k).expect("validated"));
+                mid_req.push((0..n).map(|_| ElasticBuffer::new(2)).collect());
+                mid_resp.push((0..n).map(|_| ElasticBuffer::new(2)).collect());
+            } else {
+                req_a.push(Fabric::butterfly(n, config.radix).expect("validated"));
+                resp_a.push(Fabric::butterfly(n, config.radix).expect("validated"));
+                mid_req.push(Vec::new());
+                mid_resp.push(Vec::new());
+            }
+        }
+        GlobalNet {
+            num_tiles: n,
+            cores_per_tile: config.cores_per_tile,
+            ports,
+            concentrate,
+            rr_concentrator: (0..n).map(|_| RoundRobin::new(config.cores_per_tile)).collect(),
+            master_req: (0..n * ports).map(|_| ElasticBuffer::new(2)).collect(),
+            master_resp: (0..n * ports).map(|_| ElasticBuffer::new(2)).collect(),
+            req_a,
+            req_b,
+            mid_req,
+            resp_a,
+            resp_b,
+            mid_resp,
+            split,
+        }
+    }
+
+    fn route_longhaul(&mut self, tiles: &mut [Tile], map: &AddressMap) {
+        for p in 0..self.ports {
+            if self.split {
+                // Segment B: mid registers -> destination tile slave latches.
+                let mut offers = Vec::new();
+                let mut rows = Vec::new();
+                for (row, reg) in self.mid_req[p].iter().enumerate() {
+                    if let Some(req) = reg.head() {
+                        let at = map.decode(req.addr).expect("validated");
+                        offers.push(Offer {
+                            input: row,
+                            dest: at.tile as usize,
+                        });
+                        rows.push(row);
+                    }
+                }
+                if !offers.is_empty() {
+                    let granted = self.req_b[p]
+                        .resolve(&offers, &mut |tile| tiles[tile].slave_req[p].is_none());
+                    for (i, &g) in granted.iter().enumerate() {
+                        if g {
+                            let req = self.mid_req[p][rows[i]].pop().expect("head existed");
+                            let at = map.decode(req.addr).expect("validated");
+                            tiles[at.tile as usize].slave_req[p] = Some(req);
+                        }
+                    }
+                }
+                // Segment A: master request registers -> mid registers.
+                let mut offers = Vec::new();
+                let mut srcs = Vec::new();
+                for tile in 0..self.num_tiles {
+                    let reg = &self.master_req[tile * self.ports + p];
+                    if let Some(req) = reg.head() {
+                        let at = map.decode(req.addr).expect("validated");
+                        offers.push(Offer {
+                            input: tile,
+                            dest: at.tile as usize,
+                        });
+                        srcs.push(tile);
+                    }
+                }
+                if !offers.is_empty() {
+                    let mid = &self.mid_req[p];
+                    let granted = self.req_a[p].resolve(&offers, &mut |row| mid[row].can_push());
+                    for (i, &g) in granted.iter().enumerate() {
+                        if g {
+                            let offer = offers[i];
+                            let row = self.req_a[p].output_port(offer.input, offer.dest);
+                            let req = self.master_req[srcs[i] * self.ports + p]
+                                .pop()
+                                .expect("head existed");
+                            self.mid_req[p][row].push(req);
+                        }
+                    }
+                }
+            } else {
+                // Single-layer network: master registers -> slave latches.
+                let mut offers = Vec::new();
+                let mut srcs = Vec::new();
+                for tile in 0..self.num_tiles {
+                    if let Some(req) = self.master_req[tile * self.ports + p].head() {
+                        let at = map.decode(req.addr).expect("validated");
+                        offers.push(Offer {
+                            input: tile,
+                            dest: at.tile as usize,
+                        });
+                        srcs.push(tile);
+                    }
+                }
+                if !offers.is_empty() {
+                    let granted = self.req_a[p]
+                        .resolve(&offers, &mut |tile| tiles[tile].slave_req[p].is_none());
+                    for (i, &g) in granted.iter().enumerate() {
+                        if g {
+                            let req = self.master_req[srcs[i] * self.ports + p]
+                                .pop()
+                                .expect("head existed");
+                            let at = map.decode(req.addr).expect("validated");
+                            tiles[at.tile as usize].slave_req[p] = Some(req);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_ports(&mut self, latches: &mut [Option<Request>], map: &AddressMap) {
+        let cpt = self.cores_per_tile;
+        for tile in 0..self.num_tiles {
+            if self.concentrate {
+                let reg = &mut self.master_req[tile * self.ports];
+                if !reg.can_push() {
+                    continue;
+                }
+                let mut lanes = Vec::new();
+                for lane in 0..cpt {
+                    if let Some(req) = &latches[tile * cpt + lane] {
+                        let at = map.decode(req.addr).expect("validated");
+                        if at.tile as usize != tile {
+                            lanes.push(lane);
+                        }
+                    }
+                }
+                if let Some(winner) = self.rr_concentrator[tile].grant(&lanes) {
+                    let req = latches[tile * cpt + winner].take().expect("lane had request");
+                    reg.push(req);
+                }
+            } else {
+                for lane in 0..cpt {
+                    let Some(req) = latches[tile * cpt + lane] else {
+                        continue;
+                    };
+                    let at = map.decode(req.addr).expect("validated");
+                    if at.tile as usize == tile {
+                        continue;
+                    }
+                    let reg = &mut self.master_req[tile * self.ports + lane];
+                    if reg.can_push() {
+                        latches[tile * cpt + lane] = None;
+                        reg.push(req);
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_responses(&mut self, tiles: &mut [Tile], cores_per_tile: usize) {
+        for p in 0..self.ports {
+            if self.split {
+                // Segment B': mid response registers -> master response regs.
+                let mut offers = Vec::new();
+                let mut rows = Vec::new();
+                for (row, reg) in self.mid_resp[p].iter().enumerate() {
+                    if let Some(resp) = reg.head() {
+                        offers.push(Offer {
+                            input: row,
+                            dest: resp.core as usize / cores_per_tile,
+                        });
+                        rows.push(row);
+                    }
+                }
+                if !offers.is_empty() {
+                    let master = &self.master_resp;
+                    let ports = self.ports;
+                    let granted = self.resp_b[p]
+                        .resolve(&offers, &mut |tile| master[tile * ports + p].can_push());
+                    for (i, &g) in granted.iter().enumerate() {
+                        if g {
+                            let resp = self.mid_resp[p][rows[i]].pop().expect("head existed");
+                            let tile = resp.core as usize / cores_per_tile;
+                            self.master_resp[tile * self.ports + p].push(resp);
+                        }
+                    }
+                }
+                // Segment A': tile response-out latches -> mid registers.
+                let mut offers = Vec::new();
+                let mut srcs = Vec::new();
+                for (tile, t) in tiles.iter().enumerate() {
+                    if let Some(resp) = &t.resp_out[p] {
+                        offers.push(Offer {
+                            input: tile,
+                            dest: resp.core as usize / cores_per_tile,
+                        });
+                        srcs.push(tile);
+                    }
+                }
+                if !offers.is_empty() {
+                    let mid = &self.mid_resp[p];
+                    let granted = self.resp_a[p].resolve(&offers, &mut |row| mid[row].can_push());
+                    for (i, &g) in granted.iter().enumerate() {
+                        if g {
+                            let offer = offers[i];
+                            let row = self.resp_a[p].output_port(offer.input, offer.dest);
+                            let resp = tiles[srcs[i]].resp_out[p].take().expect("latch full");
+                            self.mid_resp[p][row].push(resp);
+                        }
+                    }
+                }
+            } else {
+                let mut offers = Vec::new();
+                let mut srcs = Vec::new();
+                for (tile, t) in tiles.iter().enumerate() {
+                    if let Some(resp) = &t.resp_out[p] {
+                        offers.push(Offer {
+                            input: tile,
+                            dest: resp.core as usize / cores_per_tile,
+                        });
+                        srcs.push(tile);
+                    }
+                }
+                if !offers.is_empty() {
+                    let master = &self.master_resp;
+                    let ports = self.ports;
+                    let granted = self.resp_a[p]
+                        .resolve(&offers, &mut |tile| master[tile * ports + p].can_push());
+                    for (i, &g) in granted.iter().enumerate() {
+                        if g {
+                            let resp = tiles[srcs[i]].resp_out[p].take().expect("latch full");
+                            let tile = resp.core as usize / cores_per_tile;
+                            self.master_resp[tile * self.ports + p].push(resp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, deliveries: &mut Vec<Response>) {
+        for reg in &mut self.master_resp {
+            if let Some(resp) = reg.pop() {
+                deliveries.push(resp);
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        for reg in &mut self.master_req {
+            reg.commit();
+        }
+        for reg in &mut self.master_resp {
+            reg.commit();
+        }
+        for port in &mut self.mid_req {
+            for reg in port {
+                reg.commit();
+            }
+        }
+        for port in &mut self.mid_resp {
+            for reg in port {
+                reg.commit();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TopH: hierarchical — local group crossbars + N/NE/E inter-group
+// butterflies.
+// ---------------------------------------------------------------------------
+
+pub(crate) struct HierNet {
+    num_tiles: usize,
+    cores_per_tile: usize,
+    tiles_per_group: usize,
+    /// Per tile: crossbar (cores × 4 ports) routing requests to L/N/NE/E.
+    port_router: Vec<Fabric>,
+    /// `[tile * 4 + port]`, port 0 = L, 1 = N, 2 = NE, 3 = E.
+    master_req: Vec<ElasticBuffer<Request>>,
+    master_resp: Vec<ElasticBuffer<Response>>,
+    /// Per group: the 16×16 fully-connected local crossbars.
+    local_req: Vec<Fabric>,
+    local_resp: Vec<Fabric>,
+    /// `[(group * 3 + dir) * tiles_per_group + row]`, dir 0 = N, 1 = NE,
+    /// 2 = E: the register boundary at the group's master interface.
+    boundary_req: Vec<ElasticBuffer<Request>>,
+    boundary_resp: Vec<ElasticBuffer<Response>>,
+    /// Per (group, dir): the 16×16 radix-4 butterflies.
+    inter_req: Vec<Fabric>,
+    inter_resp: Vec<Fabric>,
+}
+
+#[allow(clippy::needless_range_loop)] // `d` indexes three parallel tables
+impl HierNet {
+    fn new(config: &ClusterConfig) -> Self {
+        let n = config.num_tiles;
+        let tpg = config.tiles_per_group();
+        let groups = config.num_groups();
+        let mk_bfly = || Fabric::butterfly(tpg, config.radix).expect("validated");
+        HierNet {
+            num_tiles: n,
+            cores_per_tile: config.cores_per_tile,
+            tiles_per_group: tpg,
+            port_router: (0..n)
+                .map(|_| Fabric::crossbar(config.cores_per_tile, 4).expect("validated"))
+                .collect(),
+            master_req: (0..n * 4).map(|_| ElasticBuffer::new(2)).collect(),
+            master_resp: (0..n * 4).map(|_| ElasticBuffer::new(2)).collect(),
+            local_req: (0..groups)
+                .map(|_| Fabric::crossbar(tpg, tpg).expect("validated"))
+                .collect(),
+            local_resp: (0..groups)
+                .map(|_| Fabric::crossbar(tpg, tpg).expect("validated"))
+                .collect(),
+            boundary_req: (0..groups * 3 * tpg).map(|_| ElasticBuffer::new(2)).collect(),
+            boundary_resp: (0..groups * 3 * tpg).map(|_| ElasticBuffer::new(2)).collect(),
+            inter_req: (0..groups * 3).map(|_| mk_bfly()).collect(),
+            inter_resp: (0..groups * 3).map(|_| mk_bfly()).collect(),
+        }
+    }
+
+    fn group_of(&self, tile: usize) -> usize {
+        tile / self.tiles_per_group
+    }
+
+    /// The tile port (0 = L, 1 = N, 2 = NE, 3 = E) used to reach `dst` from
+    /// `src`. Must not be called for `src == dst` (local-bank traffic skips
+    /// the remote ports).
+    pub fn port_for(&self, src: usize, dst: usize) -> usize {
+        let gs = self.group_of(src);
+        let gd = self.group_of(dst);
+        match gs ^ gd {
+            0 => 0,                 // L
+            2 => 1,                 // N
+            3 => 2,                 // NE
+            1 => 3,                 // E
+            _ => unreachable!("four groups"),
+        }
+    }
+
+    fn route_longhaul(&mut self, tiles: &mut [Tile], map: &AddressMap) {
+        let tpg = self.tiles_per_group;
+        let groups = self.num_tiles / tpg;
+        // Stage: group boundary registers -> inter-group butterflies ->
+        // partner-tile slave latches.
+        for g in 0..groups {
+            for d in 0..3 {
+                let partner = g ^ DIR_PARTNER_XOR[d];
+                let base = (g * 3 + d) * tpg;
+                let mut offers = Vec::new();
+                let mut rows = Vec::new();
+                for i in 0..tpg {
+                    if let Some(req) = self.boundary_req[base + i].head() {
+                        let at = map.decode(req.addr).expect("validated");
+                        offers.push(Offer {
+                            input: i,
+                            dest: at.tile as usize % tpg,
+                        });
+                        rows.push(i);
+                    }
+                }
+                if offers.is_empty() {
+                    continue;
+                }
+                let granted = self.inter_req[g * 3 + d].resolve(&offers, &mut |t| {
+                    tiles[partner * tpg + t].slave_req[d + 1].is_none()
+                });
+                for (i, &gr) in granted.iter().enumerate() {
+                    if gr {
+                        let req = self.boundary_req[base + rows[i]].pop().expect("head");
+                        let at = map.decode(req.addr).expect("validated");
+                        debug_assert_eq!(at.tile as usize / tpg, partner);
+                        tiles[at.tile as usize].slave_req[d + 1] = Some(req);
+                    }
+                }
+            }
+        }
+        // Stage: local L crossbars (within each group).
+        for g in 0..groups {
+            let mut offers = Vec::new();
+            let mut srcs = Vec::new();
+            for i in 0..tpg {
+                let tile = g * tpg + i;
+                if let Some(req) = self.master_req[tile * 4].head() {
+                    let at = map.decode(req.addr).expect("validated");
+                    debug_assert_eq!(at.tile as usize / tpg, g, "L port crosses groups");
+                    offers.push(Offer {
+                        input: i,
+                        dest: at.tile as usize % tpg,
+                    });
+                    srcs.push(tile);
+                }
+            }
+            if offers.is_empty() {
+                continue;
+            }
+            let granted = self.local_req[g]
+                .resolve(&offers, &mut |t| tiles[g * tpg + t].slave_req[0].is_none());
+            for (i, &gr) in granted.iter().enumerate() {
+                if gr {
+                    let req = self.master_req[srcs[i] * 4].pop().expect("head");
+                    let at = map.decode(req.addr).expect("validated");
+                    tiles[at.tile as usize].slave_req[0] = Some(req);
+                }
+            }
+        }
+        // Stage: tile master N/NE/E registers -> group boundary registers
+        // (point-to-point wiring, no arbitration).
+        for tile in 0..self.num_tiles {
+            let g = self.group_of(tile);
+            let i = tile % tpg;
+            for d in 0..3 {
+                let reg = &mut self.master_req[tile * 4 + 1 + d];
+                let boundary = &mut self.boundary_req[(g * 3 + d) * tpg + i];
+                if reg.head().is_some() && boundary.can_push() {
+                    boundary.push(reg.pop().expect("head"));
+                }
+            }
+        }
+    }
+
+    fn route_ports(&mut self, latches: &mut [Option<Request>], map: &AddressMap) {
+        let cpt = self.cores_per_tile;
+        for tile in 0..self.num_tiles {
+            let mut offers = Vec::new();
+            let mut lanes = Vec::new();
+            for lane in 0..cpt {
+                if let Some(req) = &latches[tile * cpt + lane] {
+                    let at = map.decode(req.addr).expect("validated");
+                    let dst = at.tile as usize;
+                    if dst != tile {
+                        offers.push(Offer {
+                            input: lane,
+                            dest: self.port_for(tile, dst),
+                        });
+                        lanes.push(lane);
+                    }
+                }
+            }
+            if offers.is_empty() {
+                continue;
+            }
+            let master = &self.master_req;
+            let granted = self.port_router[tile]
+                .resolve(&offers, &mut |port| master[tile * 4 + port].can_push());
+            for (i, &g) in granted.iter().enumerate() {
+                if g {
+                    let req = latches[tile * cpt + lanes[i]].take().expect("lane had request");
+                    self.master_req[tile * 4 + offers[i].dest].push(req);
+                }
+            }
+        }
+    }
+
+    fn route_responses(&mut self, tiles: &mut [Tile], cores_per_tile: usize) {
+        let tpg = self.tiles_per_group;
+        let groups = self.num_tiles / tpg;
+        // Stage: boundary response registers -> tile master response regs
+        // (point-to-point).
+        for g in 0..groups {
+            for d in 0..3 {
+                for i in 0..tpg {
+                    let boundary = &mut self.boundary_resp[(g * 3 + d) * tpg + i];
+                    let master = &mut self.master_resp[(g * tpg + i) * 4 + 1 + d];
+                    if boundary.head().is_some() && master.can_push() {
+                        master.push(boundary.pop().expect("head"));
+                    }
+                }
+            }
+        }
+        // Stage: partner-tile response-out latches -> inter-group response
+        // butterflies -> boundary response registers.
+        for g in 0..groups {
+            for d in 0..3 {
+                let partner = g ^ DIR_PARTNER_XOR[d];
+                let base = (g * 3 + d) * tpg;
+                let mut offers = Vec::new();
+                let mut srcs = Vec::new();
+                for i in 0..tpg {
+                    let tile = partner * tpg + i;
+                    if let Some(resp) = &tiles[tile].resp_out[d + 1] {
+                        let dst_tile = resp.core as usize / cores_per_tile;
+                        if dst_tile / tpg != g {
+                            continue; // belongs to the other direction pairing
+                        }
+                        offers.push(Offer {
+                            input: i,
+                            dest: dst_tile % tpg,
+                        });
+                        srcs.push(tile);
+                    }
+                }
+                if offers.is_empty() {
+                    continue;
+                }
+                let boundary = &self.boundary_resp;
+                let granted = self.inter_resp[g * 3 + d]
+                    .resolve(&offers, &mut |row| boundary[base + row].can_push());
+                for (i, &gr) in granted.iter().enumerate() {
+                    if gr {
+                        let resp = tiles[srcs[i]].resp_out[d + 1].take().expect("latch");
+                        let row = resp.core as usize / cores_per_tile % tpg;
+                        self.boundary_resp[base + row].push(resp);
+                    }
+                }
+            }
+        }
+        // Stage: local L response crossbars.
+        for g in 0..groups {
+            let mut offers = Vec::new();
+            let mut srcs = Vec::new();
+            for i in 0..tpg {
+                let tile = g * tpg + i;
+                if let Some(resp) = &tiles[tile].resp_out[0] {
+                    offers.push(Offer {
+                        input: i,
+                        dest: resp.core as usize / cores_per_tile % tpg,
+                    });
+                    srcs.push(tile);
+                }
+            }
+            if offers.is_empty() {
+                continue;
+            }
+            let master = &self.master_resp;
+            let granted = self.local_resp[g].resolve(&offers, &mut |t| {
+                master[(g * tpg + t) * 4].can_push()
+            });
+            for (i, &gr) in granted.iter().enumerate() {
+                if gr {
+                    let resp = tiles[srcs[i]].resp_out[0].take().expect("latch");
+                    let dst = resp.core as usize / cores_per_tile;
+                    self.master_resp[dst * 4].push(resp);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, deliveries: &mut Vec<Response>) {
+        for reg in &mut self.master_resp {
+            if let Some(resp) = reg.pop() {
+                deliveries.push(resp);
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        for reg in &mut self.master_req {
+            reg.commit();
+        }
+        for reg in &mut self.master_resp {
+            reg.commit();
+        }
+        for reg in &mut self.boundary_req {
+            reg.commit();
+        }
+        for reg in &mut self.boundary_resp {
+            reg.commit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, Topology};
+
+    fn hier() -> HierNet {
+        let Net::Hier(h) = Net::new(&ClusterConfig::paper(Topology::TopH)) else {
+            panic!("expected the hierarchical network");
+        };
+        h
+    }
+
+    #[test]
+    fn port_for_is_symmetric_and_total() {
+        let h = hier();
+        for src in 0..64 {
+            for dst in 0..64 {
+                if src == dst {
+                    continue;
+                }
+                let port = h.port_for(src, dst);
+                assert!(port < 4, "{src}->{dst} port {port}");
+                // The response travels back on the same channel.
+                assert_eq!(port, h.port_for(dst, src), "{src}<->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn port_for_matches_group_geometry() {
+        let h = hier();
+        // Same group -> L; partner groups by XOR pairing.
+        assert_eq!(h.port_for(0, 15), 0); // L (both in group 0)
+        assert_eq!(h.port_for(0, 32), 1); // N (group 0 <-> 2)
+        assert_eq!(h.port_for(0, 63), 2); // NE (group 0 <-> 3)
+        assert_eq!(h.port_for(0, 16), 3); // E (group 0 <-> 1)
+        assert_eq!(h.port_for(17, 1), 3); // E seen from group 1
+    }
+
+    #[test]
+    fn occupancy_is_zero_when_idle_and_bounded() {
+        for topo in Topology::all() {
+            let net = Net::new(&ClusterConfig::paper(topo));
+            let (occupied, total) = net.occupancy();
+            assert_eq!(occupied, 0, "{topo}: fresh network not empty");
+            if topo == Topology::Ideal {
+                assert_eq!(total, 0);
+            } else {
+                assert!(total > 0, "{topo}: no registers counted");
+            }
+        }
+    }
+
+    #[test]
+    fn global_net_register_inventory() {
+        // Top1: 64 master req + 64 master resp + 2 x 64 mid registers, all
+        // depth 2.
+        let net = Net::new(&ClusterConfig::paper(Topology::Top1));
+        let (_, total) = net.occupancy();
+        assert_eq!(total, 2 * (64 + 64 + 64 + 64));
+        // Top4 has four of each port-plane.
+        let net4 = Net::new(&ClusterConfig::paper(Topology::Top4));
+        let (_, total4) = net4.occupancy();
+        assert_eq!(total4, 4 * total);
+    }
+
+    #[test]
+    fn hier_net_register_inventory() {
+        // TopH: 64 tiles x 4 master req + 4 master resp, plus 4 groups x 3
+        // directions x 16 boundary regs each way, depth 2 each.
+        let net = Net::new(&ClusterConfig::paper(Topology::TopH));
+        let (_, total) = net.occupancy();
+        assert_eq!(total, 2 * (64 * 4 + 64 * 4 + 4 * 3 * 16 + 4 * 3 * 16));
+    }
+}

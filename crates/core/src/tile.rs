@@ -1,0 +1,358 @@
+//! The MemPool tile: cores' local memory island — 16 SPM banks, the tile
+//! request/response crossbars, K remote port latches, and the shared L1
+//! instruction cache with its refill port (Figure 2 of the paper).
+
+use crate::{ClusterConfig, Request, Response};
+use mempool_mem::{AddressMap, BankOp, ICache, SpmBank};
+use mempool_noc::{ElasticBuffer, Fabric, Offer};
+use mempool_riscv::{Instr, StoreOp};
+use mempool_snitch::{DataRequestKind, Fetch};
+use std::collections::VecDeque;
+
+/// The pre-decoded instruction image shared by all tiles (instructions live
+/// in a separate address space backed by L2; the tile I-caches model fetch
+/// *timing*).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramImage {
+    base: u32,
+    instrs: Vec<Instr>,
+}
+
+impl ProgramImage {
+    /// Pre-decodes an assembled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error of the first malformed word. Data words
+    /// embedded in the text section decode as garbage or fail — keep data in
+    /// the L1 address space instead.
+    pub fn from_program(program: &mempool_riscv::Program) -> Result<Self, mempool_riscv::DecodeError> {
+        let instrs = program
+            .words()
+            .iter()
+            .map(|&w| mempool_riscv::decode(w))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProgramImage {
+            base: program.base(),
+            instrs,
+        })
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`, if in range and aligned.
+    pub fn at(&self, pc: u32) -> Option<Instr> {
+        if pc < self.base || !pc.is_multiple_of(4) {
+            return None;
+        }
+        self.instrs.get(((pc - self.base) / 4) as usize).copied()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RefillUnit {
+    /// Missing lines registered but not yet installed (the MSHRs).
+    pending: Vec<u32>,
+    /// Misses waiting to enter the refill transport.
+    outbox: VecDeque<u32>,
+    /// Line in flight on the fixed-latency port and its completion cycle
+    /// (unused when the cluster routes refills over the ring).
+    in_flight: Option<(u32, u64)>,
+    latency: u32,
+    refills: u64,
+}
+
+/// One tile: banks, crossbars, remote-port latches, I-cache.
+#[derive(Debug, Clone)]
+pub(crate) struct Tile {
+    pub banks: Vec<SpmBank>,
+    /// Per-bank response register (the SPM output register).
+    pub bank_resp: Vec<ElasticBuffer<Response>>,
+    /// Tile request crossbar: (cores + K remote slaves) × banks.
+    req_fabric: Fabric,
+    /// Tile response crossbar: banks × (cores + K remote ports).
+    resp_fabric: Fabric,
+    /// Inbound remote requests (wire latches at the K slave ports).
+    pub slave_req: Vec<Option<Request>>,
+    /// Outbound remote responses (wire latches at the K response ports).
+    pub resp_out: Vec<Option<Response>>,
+    icache: ICache,
+    refill: RefillUnit,
+    cores_per_tile: usize,
+}
+
+impl Tile {
+    pub fn new(config: &ClusterConfig) -> Self {
+        let ports = config.topology.remote_ports(config.cores_per_tile);
+        let masters = config.cores_per_tile + ports;
+        let banks = config.banks_per_tile;
+        Tile {
+            banks: (0..banks).map(|_| SpmBank::new(config.rows_per_bank)).collect(),
+            bank_resp: (0..banks).map(|_| ElasticBuffer::new(2)).collect(),
+            req_fabric: Fabric::crossbar(masters.max(1), banks).expect("validated geometry"),
+            resp_fabric: Fabric::crossbar(banks, masters.max(1)).expect("validated geometry"),
+            slave_req: vec![None; ports],
+            resp_out: vec![None; ports],
+            icache: ICache::new(
+                config.icache.size_bytes,
+                config.icache.ways,
+                config.icache.line_bytes,
+            )
+            .expect("validated geometry"),
+            refill: RefillUnit {
+                pending: Vec::new(),
+                outbox: VecDeque::new(),
+                in_flight: None,
+                latency: config.icache.refill_latency,
+                refills: 0,
+            },
+            cores_per_tile: config.cores_per_tile,
+        }
+    }
+
+    /// I-cache hit/miss statistics.
+    pub fn icache_stats(&self) -> mempool_mem::CacheStats {
+        self.icache.stats()
+    }
+
+    /// Number of completed I-cache refills.
+    pub fn refills(&self) -> u64 {
+        self.refill.refills
+    }
+
+    /// Fixed-latency refill port: completes an in-flight refill and starts
+    /// the next queued one. (Ring mode drives refills from the cluster via
+    /// [`Tile::take_refill_request`] / [`Tile::complete_refill`] instead.)
+    pub fn refill_tick(&mut self, now: u64) {
+        if let Some((line, done_at)) = self.refill.in_flight {
+            if done_at <= now {
+                self.complete_refill(line);
+                self.refill.in_flight = None;
+            }
+        }
+        if self.refill.in_flight.is_none() {
+            if let Some(line) = self.refill.outbox.pop_front() {
+                self.refill.in_flight = Some((line, now + u64::from(self.refill.latency)));
+            }
+        }
+    }
+
+    /// The oldest miss waiting to enter the refill network (peek).
+    pub fn peek_refill_request(&self) -> Option<u32> {
+        self.refill.outbox.front().copied()
+    }
+
+    /// Removes the oldest waiting miss (call after the transport accepted
+    /// it).
+    pub fn take_refill_request(&mut self) -> Option<u32> {
+        self.refill.outbox.pop_front()
+    }
+
+    /// Installs a refilled line (transport completion).
+    pub fn complete_refill(&mut self, line: u32) {
+        self.icache.fill(line);
+        self.refill.refills += 1;
+        self.refill.pending.retain(|&l| l != line);
+    }
+
+    /// One core's instruction fetch this cycle.
+    pub fn fetch(&mut self, pc: u32, image: &ProgramImage, _now: u64) -> Fetch {
+        let Some(instr) = image.at(pc) else {
+            return Fetch::Fault;
+        };
+        if self.icache.probe(pc) {
+            return Fetch::Ready(instr);
+        }
+        let line = self.icache.line_base(pc);
+        if !self.refill.pending.contains(&line) {
+            self.refill.pending.push(line);
+            self.refill.outbox.push_back(line);
+        }
+        Fetch::Stall
+    }
+
+    /// Resolves the tile request crossbar and performs the granted bank
+    /// accesses. Masters are the tile's cores (their output latches, when
+    /// the request targets this tile) and the K slave-port latches.
+    ///
+    /// Returns the number of bank accesses performed.
+    pub fn accept_requests(
+        &mut self,
+        tile_index: usize,
+        core_latches: &mut [Option<Request>],
+        map: &AddressMap,
+        now: u64,
+    ) -> u64 {
+        debug_assert_eq!(core_latches.len(), self.cores_per_tile);
+        let mut offers: Vec<Offer> = Vec::with_capacity(core_latches.len() + self.slave_req.len());
+        let mut sources: Vec<usize> = Vec::with_capacity(offers.capacity());
+        for (lane, latch) in core_latches.iter().enumerate() {
+            if let Some(req) = latch {
+                let at = map.decode(req.addr).expect("request addresses are validated at issue");
+                if at.tile as usize == tile_index {
+                    offers.push(Offer {
+                        input: lane,
+                        dest: at.bank as usize,
+                    });
+                    sources.push(lane);
+                }
+            }
+        }
+        let cores = self.cores_per_tile;
+        for (port, latch) in self.slave_req.iter().enumerate() {
+            if let Some(req) = latch {
+                let at = map.decode(req.addr).expect("routed request stays in range");
+                debug_assert_eq!(at.tile as usize, tile_index, "misrouted request");
+                offers.push(Offer {
+                    input: cores + port,
+                    dest: at.bank as usize,
+                });
+                sources.push(cores + port);
+            }
+        }
+        if offers.is_empty() {
+            return 0;
+        }
+        let bank_resp = &self.bank_resp;
+        let granted = self
+            .req_fabric
+            .resolve(&offers, &mut |bank| bank_resp[bank].can_push());
+        let mut accesses = 0;
+        for (i, &g) in granted.iter().enumerate() {
+            if !g {
+                continue;
+            }
+            let src = sources[i];
+            let req = if src < cores {
+                core_latches[src].take().expect("granted offer had a request")
+            } else {
+                self.slave_req[src - cores].take().expect("granted offer had a request")
+            };
+            let at = map.decode(req.addr).expect("validated above");
+            let response = bank_access(&mut self.banks[at.bank as usize], &req, at.row, at.byte);
+            let _ = now;
+            self.bank_resp[at.bank as usize].push(response);
+            accesses += 1;
+        }
+        accesses
+    }
+
+    /// Resolves the tile response crossbar: bank response registers route to
+    /// local cores (delivered into `deliveries`) or to the K outbound
+    /// response-port latches. `port_for` maps a remote response to its port.
+    pub fn route_responses(
+        &mut self,
+        tile_index: usize,
+        cores_per_tile: usize,
+        deliveries: &mut Vec<Response>,
+        port_for: &dyn Fn(&Response) -> usize,
+    ) {
+        let mut offers: Vec<Offer> = Vec::new();
+        let mut which: Vec<usize> = Vec::new();
+        for (bank, reg) in self.bank_resp.iter().enumerate() {
+            if let Some(resp) = reg.head() {
+                let core_tile = resp.core as usize / cores_per_tile;
+                let dest = if core_tile == tile_index {
+                    resp.core as usize % cores_per_tile
+                } else {
+                    cores_per_tile + port_for(resp)
+                };
+                offers.push(Offer { input: bank, dest });
+                which.push(bank);
+            }
+        }
+        if offers.is_empty() {
+            return;
+        }
+        let resp_out = &self.resp_out;
+        let granted = self.resp_fabric.resolve(&offers, &mut |port| {
+            if port < cores_per_tile {
+                true // local cores always sink responses (LSU slot reserved)
+            } else {
+                resp_out[port - cores_per_tile].is_none()
+            }
+        });
+        for (i, &g) in granted.iter().enumerate() {
+            if !g {
+                continue;
+            }
+            let resp = self.bank_resp[which[i]].pop().expect("head existed");
+            let core_tile = resp.core as usize / cores_per_tile;
+            if core_tile == tile_index {
+                deliveries.push(resp);
+            } else {
+                let port = port_for(&resp);
+                debug_assert!(self.resp_out[port].is_none());
+                self.resp_out[port] = Some(resp);
+            }
+        }
+    }
+
+    /// End-of-cycle commit of the tile's elastic registers.
+    pub fn commit(&mut self) {
+        for reg in &mut self.bank_resp {
+            reg.commit();
+        }
+    }
+
+    /// Clears all transient state (latches, response registers, refill
+    /// machinery) while keeping SPM contents and the warm I-cache — used by
+    /// [`Cluster::reset`](crate::Cluster::reset) between program phases.
+    pub fn clear_transient(&mut self) {
+        for reg in &mut self.bank_resp {
+            reg.clear();
+        }
+        self.slave_req.iter_mut().for_each(|l| *l = None);
+        self.resp_out.iter_mut().for_each(|l| *l = None);
+        self.refill.pending.clear();
+        self.refill.outbox.clear();
+        self.refill.in_flight = None;
+    }
+}
+
+/// Bank access entry point for the ideal-crossbar baseline (which bypasses
+/// the tile request fabric).
+pub(crate) fn ideal_bank_access(
+    tile: &mut Tile,
+    req: &Request,
+    at: mempool_mem::BankAddress,
+) -> Response {
+    bank_access(&mut tile.banks[at.bank as usize], req, at.row, at.byte)
+}
+
+/// Executes one request at a bank and builds its response.
+fn bank_access(bank: &mut SpmBank, req: &Request, row: u32, byte: u32) -> Response {
+    let op = match req.kind {
+        DataRequestKind::Load(_) => BankOp::Load,
+        DataRequestKind::Store { op, data } => {
+            let (data, strobe) = match op {
+                StoreOp::Sw => (data, 0xf),
+                StoreOp::Sh => (data << (8 * byte), 0b11 << byte),
+                StoreOp::Sb => (data << (8 * byte), 1 << byte),
+            };
+            BankOp::Store { data, strobe }
+        }
+        DataRequestKind::Amo { op, operand } => BankOp::Amo { op, operand },
+        DataRequestKind::LoadReserved => BankOp::LoadReserved { hart: req.core },
+        DataRequestKind::StoreConditional { data } => BankOp::StoreConditional {
+            hart: req.core,
+            data,
+        },
+    };
+    let data = bank.access(row, op).expect("row decoded within bank");
+    Response {
+        core: req.core,
+        tag: req.tag,
+        data,
+        issued_at: req.issued_at,
+        is_write: req.kind.is_write(),
+    }
+}

@@ -1,0 +1,177 @@
+//! The zero-load latency contract of the paper (§III):
+//!
+//! | access                              | cycles |
+//! |-------------------------------------|--------|
+//! | same-tile bank                      | 1      |
+//! | ideal crossbar baseline, any bank   | 1      |
+//! | TopH, same local group              | 3      |
+//! | TopH, remote group                  | 5      |
+//! | Top1 / Top4, any remote tile        | 5      |
+//!
+//! These numbers must drop out of the modeled register placement.
+
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_riscv::assemble;
+
+/// Runs a single load from hart 0 to `addr` on an otherwise idle paper-size
+/// cluster and returns the measured round-trip latency.
+fn single_load_latency(topology: Topology, addr: u32) -> u64 {
+    let mut config = ClusterConfig::paper(topology);
+    // Keep the interleaved map pure so target tiles are easy to address.
+    config.seq_region_bytes = None;
+    let source = format!(
+        "csrr t0, mhartid\n\
+         bnez t0, out\n\
+         li   t1, {addr:#x}\n\
+         lw   a0, (t1)\n\
+         fence\n\
+         out: ecall\n"
+    );
+    let program = assemble(&source).expect("test program assembles");
+    let mut cluster = Cluster::snitch(config).expect("valid config");
+    cluster.load_program(&program).expect("decodes");
+    cluster.write_word(addr, 0xc0de).expect("in range");
+    cluster.run(100_000).expect("finishes");
+    assert_eq!(cluster.cores()[0].reg(mempool_riscv::Reg::A0), 0xc0de);
+    let stats = cluster.stats();
+    assert_eq!(stats.latency.count(), 1, "exactly one memory request");
+    stats.latency.max().expect("one sample")
+}
+
+/// Byte address of row 16 in bank 0 of `tile` (paper geometry: 16 banks,
+/// 64 tiles).
+fn addr_in_tile(tile: u32) -> u32 {
+    (16 << 12) | (tile << 6)
+}
+
+#[test]
+fn local_bank_is_one_cycle() {
+    for topo in [Topology::Ideal, Topology::Top1, Topology::Top4, Topology::TopH] {
+        assert_eq!(
+            single_load_latency(topo, addr_in_tile(0)),
+            1,
+            "{topo}: hart 0 accessing its own tile"
+        );
+    }
+}
+
+#[test]
+fn ideal_baseline_reaches_any_bank_in_one_cycle() {
+    assert_eq!(single_load_latency(Topology::Ideal, addr_in_tile(63)), 1);
+    assert_eq!(single_load_latency(Topology::Ideal, addr_in_tile(17)), 1);
+}
+
+#[test]
+fn toph_same_group_is_three_cycles() {
+    // Tiles 0..16 form local group 0.
+    assert_eq!(single_load_latency(Topology::TopH, addr_in_tile(1)), 3);
+    assert_eq!(single_load_latency(Topology::TopH, addr_in_tile(15)), 3);
+}
+
+#[test]
+fn toph_remote_group_is_five_cycles() {
+    // Tile 16 is in group 1 (east), 32 in group 2 (north), 48 in group 3.
+    assert_eq!(single_load_latency(Topology::TopH, addr_in_tile(16)), 5);
+    assert_eq!(single_load_latency(Topology::TopH, addr_in_tile(32)), 5);
+    assert_eq!(single_load_latency(Topology::TopH, addr_in_tile(48)), 5);
+    assert_eq!(single_load_latency(Topology::TopH, addr_in_tile(63)), 5);
+}
+
+#[test]
+fn top1_remote_is_five_cycles() {
+    assert_eq!(single_load_latency(Topology::Top1, addr_in_tile(1)), 5);
+    assert_eq!(single_load_latency(Topology::Top1, addr_in_tile(63)), 5);
+}
+
+#[test]
+fn top4_remote_is_five_cycles() {
+    assert_eq!(single_load_latency(Topology::Top4, addr_in_tile(1)), 5);
+    assert_eq!(single_load_latency(Topology::Top4, addr_in_tile(63)), 5);
+}
+
+#[test]
+fn scrambled_stack_access_is_local_and_one_cycle() {
+    // With the hybrid addressing scheme on, an access into the core's own
+    // sequential region must resolve to the local tile: 1 cycle, even on
+    // TopH where a remote access would cost 3 or 5.
+    let config = ClusterConfig::paper(Topology::TopH);
+    let seq_bytes = config.seq_region_bytes.unwrap();
+    let source = format!(
+        "csrr t0, mhartid\n\
+         bnez t0, out\n\
+         li   t1, {}\n\
+         lw   a0, (t1)\n\
+         fence\n\
+         out: ecall\n",
+        // Hart 0 is in tile 0: its sequential region starts at 0.
+        seq_bytes / 2
+    );
+    let program = assemble(&source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(100_000).unwrap();
+    let stats = cluster.stats();
+    assert_eq!(stats.latency.max(), Some(1));
+    assert_eq!(stats.local_requests, 1);
+    assert_eq!(stats.remote_requests, 0);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    // Same program, same configuration: bit-identical L1 and cycle count on
+    // every run (guards against map-iteration or uninitialized-state
+    // nondeterminism anywhere in the stack).
+    let run = || {
+        let program = assemble(
+            "csrr t0, mhartid\nslli t1, t0, 2\nli t2, 0x10000\nadd t1, t1, t2\n\
+             mul t3, t0, t0\nsw t3, (t1)\nli t4, 0x20000\namoadd.w zero, t0, (t4)\n\
+             fence\necall\n",
+        )
+        .unwrap();
+        let mut cluster = Cluster::snitch(ClusterConfig::paper(Topology::TopH)).unwrap();
+        cluster.load_program(&program).unwrap();
+        cluster.run(1_000_000).unwrap();
+        (cluster.l1_digest(), cluster.now())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn toph_direction_counters_match_uniform_geometry() {
+    // All cores sweep the whole address space once: of the remote
+    // requests, 15/63 stay in the local group and 16/63 go to each of
+    // N/NE/E.
+    let mut config = ClusterConfig::paper(Topology::TopH);
+    config.seq_region_bytes = None; // pure interleaved map: tile = addr[6..12]
+    // Each core loads one word from every tile: addresses (hartid*64 + i*64)
+    // mod 4096 walk the 64 tiles exactly once.
+    let source = "csrr t0, mhartid\nslli t1, t0, 6\nslli t1, t1, 20\nsrli t1, t1, 20\n\
+                  li t2, 64\nli t3, 4096\n\
+                  loop: lw a0, (t1)\naddi t1, t1, 64\nblt t1, t3, cont\nsub t1, t1, t3\n\
+                  cont: addi t2, t2, -1\nbnez t2, loop\nfence\necall\n";
+    let program = assemble(source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(10_000_000).unwrap();
+    let stats = cluster.stats();
+    let remote = stats.remote_requests as f64;
+    assert!(remote > 0.0);
+    let group_share = stats.group_local_requests as f64 / remote;
+    assert!((group_share - 15.0 / 63.0).abs() < 0.05, "L share {group_share}");
+    for (i, name) in ["N", "NE", "E"].iter().enumerate() {
+        let share = stats.direction_requests[i] as f64 / remote;
+        assert!((share - 16.0 / 63.0).abs() < 0.05, "{name} share {share}");
+    }
+}
+
+#[test]
+fn describe_summarizes_the_configuration() {
+    let cluster = Cluster::snitch(ClusterConfig::paper(Topology::TopH)).unwrap();
+    let text = cluster.describe();
+    assert!(text.contains("256 cores in 64 tiles"));
+    assert!(text.contains("1024 KiB"));
+    assert!(text.contains("N/NE/E"));
+    assert!(text.contains("3 cycles in-group, 5 cycles cross-group"));
+    let ideal = Cluster::snitch(ClusterConfig::paper(Topology::Ideal)).unwrap();
+    assert!(ideal.describe().contains("idealized"));
+}

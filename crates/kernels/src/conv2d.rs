@@ -1,0 +1,235 @@
+//! `2dconv`: 3×3 discrete convolution with the image distributed row-wise
+//! across the tiles' sequential regions — "all accesses are local, except
+//! for cores working on windows that require data from two tiles" (§V-C).
+
+use crate::golden::conv2d_3x3_i32;
+use crate::matmul::BuildKernelError;
+use crate::runtime::{emit_epilogue, emit_prologue};
+use crate::{CheckKernelError, Geometry, Kernel};
+use mempool::L1Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The `2dconv` benchmark: each tile holds `rows_per_tile` image rows (and
+/// the corresponding output rows) in its sequential region; each core
+/// convolves its share of the tile's rows, reaching into the neighbouring
+/// tile's region only for halo rows.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    geom: Geometry,
+    width: usize,
+    rows_per_tile: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution over a `width`-column image with
+    /// `rows_per_tile` rows stored per tile (image height =
+    /// `rows_per_tile × num_tiles`).
+    ///
+    /// # Errors
+    ///
+    /// `width` and `rows_per_tile` must be powers of two, the rows must
+    /// split evenly among the tile's cores, and input+output slices must
+    /// fit the sequential region.
+    pub fn new(
+        geom: Geometry,
+        width: usize,
+        rows_per_tile: usize,
+    ) -> Result<Conv2d, BuildKernelError> {
+        if !width.is_power_of_two() || width < 4 {
+            return Err(BuildKernelError::new("width must be a power of two ≥ 4"));
+        }
+        if !rows_per_tile.is_power_of_two() {
+            return Err(BuildKernelError::new("rows_per_tile must be a power of two"));
+        }
+        if !rows_per_tile.is_multiple_of(geom.cores_per_tile) {
+            return Err(BuildKernelError::new(
+                "rows_per_tile must split evenly among the tile's cores",
+            ));
+        }
+        let slice_bytes = (2 * rows_per_tile * width * 4) as u32;
+        if slice_bytes > geom.seq_bytes {
+            return Err(BuildKernelError::new(format!(
+                "image slices need {slice_bytes} B, sequential region is {} B",
+                geom.seq_bytes
+            )));
+        }
+        Ok(Conv2d {
+            geom,
+            width,
+            rows_per_tile,
+        })
+    }
+
+    /// A geometry-derived default: 16-column image filling half the
+    /// sequential region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Conv2d::new`] errors.
+    pub fn auto(geom: Geometry) -> Result<Conv2d, BuildKernelError> {
+        let width = 16usize;
+        let max_rows = geom.seq_bytes as usize / (2 * width * 4);
+        let rows = if max_rows.is_power_of_two() {
+            max_rows
+        } else {
+            max_rows.next_power_of_two() / 2
+        };
+        Conv2d::new(geom, width, rows.max(geom.cores_per_tile))
+    }
+
+    /// Image height in rows.
+    pub fn height(&self) -> usize {
+        self.rows_per_tile * self.geom.num_tiles
+    }
+
+    /// Image width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Programmer-view address of input row `r`, column 0.
+    fn in_row_addr(&self, r: usize) -> u32 {
+        let tile = r / self.rows_per_tile;
+        self.geom.seq_base(tile) + ((r % self.rows_per_tile) * self.width * 4) as u32
+    }
+
+    /// Programmer-view address of output row `r`, column 0.
+    fn out_row_addr(&self, r: usize) -> u32 {
+        self.in_row_addr(r) + (self.rows_per_tile * self.width * 4) as u32
+    }
+
+    fn image(&self, seed: u64) -> Vec<i32> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x636f_6e76);
+        (0..self.height() * self.width)
+            .map(|_| rng.gen_range(-128..128))
+            .collect()
+    }
+}
+
+impl Kernel for Conv2d {
+    fn name(&self) -> &'static str {
+        "2dconv"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let w = self.width;
+        let rpt = self.rows_per_tile;
+        let rpc = rpt / self.geom.cores_per_tile;
+        let h = self.height();
+        let log2_rpt = rpt.trailing_zeros();
+        let log2_seq = self.geom.seq_bytes.trailing_zeros();
+        let log2_row = (w * 4).trailing_zeros();
+        let out_off = (rpt * w * 4) as u32;
+        // Row-base computation: base(r) = (r >> log2_rpt) << log2_seq
+        //                              | (r & (rpt-1)) << log2_row.
+        let row_base = |target: &str, row_reg: &str| {
+            format!(
+                "\tsrli t0, {row_reg}, {log2_rpt}\n\
+                 \tslli t0, t0, {log2_seq}\n\
+                 \tandi t1, {row_reg}, {rpt_mask}\n\
+                 \tslli t1, t1, {log2_row}\n\
+                 \tadd  {target}, t0, t1\n",
+                rpt_mask = rpt - 1,
+            )
+        };
+        format!(
+            "{prologue}\
+             \tli   t0, {rpc}\n\
+             \tmul  s3, s0, t0            # first row\n\
+             \tadd  s4, s3, t0            # one past last\n\
+             row_loop:\n\
+             \tbeqz s3, next_row          # skip image top\n\
+             \tli   t2, {last_row}\n\
+             \tbge  s3, t2, next_row      # skip image bottom\n\
+             \t# pointers to rows r-1, r, r+1 (column 1) and output row\n\
+             \taddi a3, s3, -1\n\
+             {base_m}\
+             \taddi s5, a4, 4\n\
+             \taddi a3, s3, 0\n\
+             {base_0}\
+             \taddi s6, a4, 4\n\
+             \taddi a3, s3, 1\n\
+             {base_p}\
+             \taddi s7, a4, 4\n\
+             \taddi a3, s3, 0\n\
+             {base_o}\
+             \tli   t2, {out_off}\n\
+             \tadd  s8, a4, t2\n\
+             \taddi s8, s8, 4\n\
+             \tli   s9, {interior}        # interior columns\n\
+             col_loop:\n\
+             \tlw   a0, -4(s5)\n\
+             \tlw   a1, 0(s5)\n\
+             \tlw   a2, 4(s5)\n\
+             \tlw   a3, -4(s6)\n\
+             \tlw   a4, 0(s6)\n\
+             \tlw   a5, 4(s6)\n\
+             \tlw   a6, -4(s7)\n\
+             \tlw   a7, 0(s7)\n\
+             \tlw   t0, 4(s7)\n\
+             \tadd  t1, a0, a2            # corners\n\
+             \tadd  t1, t1, a6\n\
+             \tadd  t1, t1, t0\n\
+             \tadd  t2, a1, a3            # edges\n\
+             \tadd  t2, t2, a5\n\
+             \tadd  t2, t2, a7\n\
+             \tslli t2, t2, 1\n\
+             \tadd  t1, t1, t2\n\
+             \tslli t3, a4, 2             # centre\n\
+             \tadd  t1, t1, t3\n\
+             \tsrai t1, t1, 4\n\
+             \tsw   t1, (s8)\n\
+             \taddi s5, s5, 4\n\
+             \taddi s6, s6, 4\n\
+             \taddi s7, s7, 4\n\
+             \taddi s8, s8, 4\n\
+             \taddi s9, s9, -1\n\
+             \tbnez s9, col_loop\n\
+             next_row:\n\
+             \taddi s3, s3, 1\n\
+             \tblt  s3, s4, row_loop\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            last_row = h - 1,
+            interior = w - 2,
+            base_m = row_base("a4", "a3"),
+            base_0 = row_base("a4", "a3"),
+            base_p = row_base("a4", "a3"),
+            base_o = row_base("a4", "a3"),
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        let image = self.image(seed);
+        let w = self.width;
+        for r in 0..self.height() {
+            let row: Vec<u32> = image[r * w..(r + 1) * w].iter().map(|&x| x as u32).collect();
+            cluster.write_words(self.in_row_addr(r), &row);
+            cluster.write_words(self.out_row_addr(r), &vec![0; w]);
+        }
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let image = self.image(seed);
+        let expect = conv2d_3x3_i32(&image, self.height(), self.width);
+        for r in 0..self.height() {
+            let got = cluster.read_words(self.out_row_addr(r), self.width);
+            for c in 0..self.width {
+                let e = expect[r * self.width + c];
+                if e as u32 != got[c] {
+                    return Err(CheckKernelError::new(format!(
+                        "out[{r}][{c}]: expected {e}, got {}",
+                        got[c] as i32
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,198 @@
+//! `dct`: 8×8 two-dimensional DCT-II on blocks residing in local memory,
+//! with intermediate results on the stack — "all accesses are local, given
+//! the stack is mapped to local banks" (§V-C). Without the scrambling
+//! logic, "the stacks become spread over all tiles, leading to a
+//! significant performance penalty".
+
+use crate::golden::{dct8x8_q7, dct_coefficients};
+use crate::matmul::BuildKernelError;
+use crate::runtime::{emit_epilogue, emit_prologue};
+use crate::{CheckKernelError, Geometry, Kernel};
+use mempool::L1Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-tile sequential-region layout of the DCT kernel:
+/// `[0, 256)` — the shared Q7 coefficient table (64 words);
+/// then one `SLICE`-byte slice per lane: input block (256 B), output block
+/// (256 B), stack (remainder; the 8×8 intermediate lives there).
+const COEFF_BYTES: u32 = 256;
+const BLOCK_BYTES: u32 = 256;
+/// Minimum per-lane slice: in + out + intermediate on the stack.
+const MIN_SLICE: u32 = 3 * BLOCK_BYTES;
+
+/// The `dct` benchmark: every core transforms one 8×8 block held in its own
+/// tile's sequential region.
+#[derive(Debug, Clone)]
+pub struct Dct {
+    geom: Geometry,
+    slice: u32,
+}
+
+impl Dct {
+    /// Creates the DCT kernel for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// The sequential region must hold the coefficient table plus a
+    /// ≥ 768-byte slice per core.
+    pub fn new(geom: Geometry) -> Result<Dct, BuildKernelError> {
+        let avail = geom
+            .seq_bytes.saturating_sub(COEFF_BYTES);
+        let slice = avail / geom.cores_per_tile as u32;
+        if slice < MIN_SLICE {
+            return Err(BuildKernelError::new(format!(
+                "sequential region too small: per-core slice {slice} B < {MIN_SLICE} B"
+            )));
+        }
+        Ok(Dct { geom, slice })
+    }
+
+    fn coeff_addr(&self, tile: usize) -> u32 {
+        self.geom.seq_base(tile)
+    }
+
+    fn in_addr(&self, core: usize) -> u32 {
+        let tile = core / self.geom.cores_per_tile;
+        let lane = (core % self.geom.cores_per_tile) as u32;
+        self.geom.seq_base(tile) + COEFF_BYTES + lane * self.slice
+    }
+
+    fn out_addr(&self, core: usize) -> u32 {
+        self.in_addr(core) + BLOCK_BYTES
+    }
+
+    fn block(&self, core: usize, seed: u64) -> Vec<i32> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6463_7400 ^ core as u64);
+        (0..64).map(|_| rng.gen_range(-128..128)).collect()
+    }
+}
+
+impl Kernel for Dct {
+    fn name(&self) -> &'static str {
+        "dct"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let log2_seq = self.geom.seq_bytes.trailing_zeros();
+        format!(
+            "{prologue}\
+             \t# s3 = coefficient table (tile base), s4 = in, s5 = out\n\
+             \tslli s3, s1, {log2_seq}\n\
+             \tli   t0, {slice}\n\
+             \tmul  t1, s2, t0\n\
+             \taddi t1, t1, {coeff_bytes}\n\
+             \tadd  s4, s3, t1\n\
+             \taddi s5, s4, {block_bytes}\n\
+             \t# stack at the top of the slice; 256 B intermediate on it\n\
+             \tadd  sp, s4, t0\n\
+             \taddi sp, sp, -256\n\
+             \tmv   s6, sp                # tmp matrix base\n\
+             \tli   a5, 8\n\
+             \t# pass 1: tmp[i][j] = (Σk C[i][k]·in[k][j]) >> 7\n\
+             \tli   s7, 0\n\
+             p1_i:\n\
+             \tli   s8, 0\n\
+             p1_j:\n\
+             \tli   t6, 0\n\
+             \tli   s9, 0\n\
+             \tslli t0, s7, 5\n\
+             \tadd  t0, t0, s3            # &C[i][0]\n\
+             \tslli t1, s8, 2\n\
+             \tadd  t1, t1, s4            # &in[0][j]\n\
+             p1_k:\n\
+             \tlw   a0, (t0)\n\
+             \tlw   a1, (t1)\n\
+             \taddi t0, t0, 4\n\
+             \taddi t1, t1, 32\n\
+             \tmul  a2, a0, a1\n\
+             \tadd  t6, t6, a2\n\
+             \taddi s9, s9, 1\n\
+             \tblt  s9, a5, p1_k\n\
+             \tsrai t6, t6, 7\n\
+             \tslli t2, s7, 5\n\
+             \tslli t3, s8, 2\n\
+             \tadd  t2, t2, t3\n\
+             \tadd  t2, t2, s6\n\
+             \tsw   t6, (t2)\n\
+             \taddi s8, s8, 1\n\
+             \tblt  s8, a5, p1_j\n\
+             \taddi s7, s7, 1\n\
+             \tblt  s7, a5, p1_i\n\
+             \t# pass 2: out[i][j] = (Σk tmp[i][k]·C[j][k]) >> 7\n\
+             \tli   s7, 0\n\
+             p2_i:\n\
+             \tli   s8, 0\n\
+             p2_j:\n\
+             \tli   t6, 0\n\
+             \tli   s9, 0\n\
+             \tslli t0, s7, 5\n\
+             \tadd  t0, t0, s6            # &tmp[i][0]\n\
+             \tslli t1, s8, 5\n\
+             \tadd  t1, t1, s3            # &C[j][0]\n\
+             p2_k:\n\
+             \tlw   a0, (t0)\n\
+             \tlw   a1, (t1)\n\
+             \taddi t0, t0, 4\n\
+             \taddi t1, t1, 4\n\
+             \tmul  a2, a0, a1\n\
+             \tadd  t6, t6, a2\n\
+             \taddi s9, s9, 1\n\
+             \tblt  s9, a5, p2_k\n\
+             \tsrai t6, t6, 7\n\
+             \tslli t2, s7, 5\n\
+             \tslli t3, s8, 2\n\
+             \tadd  t2, t2, t3\n\
+             \tadd  t2, t2, s5\n\
+             \tsw   t6, (t2)\n\
+             \taddi s8, s8, 1\n\
+             \tblt  s8, a5, p2_j\n\
+             \taddi s7, s7, 1\n\
+             \tblt  s7, a5, p2_i\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            slice = self.slice,
+            coeff_bytes = COEFF_BYTES,
+            block_bytes = BLOCK_BYTES,
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        let coeffs: Vec<u32> = dct_coefficients()
+            .iter()
+            .flatten()
+            .map(|&c| c as u32)
+            .collect();
+        for tile in 0..self.geom.num_tiles {
+            cluster.write_words(self.coeff_addr(tile), &coeffs);
+        }
+        for core in 0..self.geom.num_cores() {
+            let block: Vec<u32> = self.block(core, seed).iter().map(|&x| x as u32).collect();
+            cluster.write_words(self.in_addr(core), &block);
+            cluster.write_words(self.out_addr(core), &vec![0; 64]);
+        }
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        for core in 0..self.geom.num_cores() {
+            let expect = dct8x8_q7(&self.block(core, seed));
+            let got = cluster.read_words(self.out_addr(core), 64);
+            for (i, (&e, &g)) in expect.iter().zip(&got).enumerate() {
+                if e as u32 != g {
+                    return Err(CheckKernelError::new(format!(
+                        "core {core} out[{}][{}]: expected {e}, got {}",
+                        i / 8,
+                        i % 8,
+                        g as i32
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,255 @@
+//! Extension workloads beyond the paper's benchmark suite, with network
+//! profiles the original three don't cover:
+//!
+//! * [`Histogram`] — data-dependent `amoadd.w` bursts onto a handful of hot
+//!   banks (the worst case for bank-level round-robin fairness);
+//! * [`Transpose`] — all-to-all strided communication (row-major reads,
+//!   column-major writes) that loads the network bisection like matmul but
+//!   with zero arithmetic to hide behind.
+
+use crate::matmul::BuildKernelError;
+use crate::runtime::{emit_epilogue, emit_prologue};
+use crate::{CheckKernelError, Geometry, Kernel};
+use mempool::L1Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 256-bin histogram over `len` byte-valued samples, accumulated with
+/// one `amoadd.w` per sample.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    geom: Geometry,
+    len: usize,
+    /// Concentration of the sample distribution: `None` = uniform bins,
+    /// `Some(bin)` = every sample hits one bin (maximum contention).
+    hot_bin: Option<u8>,
+}
+
+const BINS: usize = 256;
+
+impl Histogram {
+    /// Creates a histogram kernel over `len` samples with uniformly
+    /// distributed bin values.
+    ///
+    /// # Errors
+    ///
+    /// `len` must be a nonzero multiple of the core count, and samples +
+    /// bins must fit the shared region.
+    pub fn new(geom: Geometry, len: usize) -> Result<Histogram, BuildKernelError> {
+        Histogram::with_distribution(geom, len, None)
+    }
+
+    /// Like [`Histogram::new`] but with every sample hitting `hot_bin` —
+    /// the maximum-contention variant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Histogram::new`].
+    pub fn hot(geom: Geometry, len: usize, hot_bin: u8) -> Result<Histogram, BuildKernelError> {
+        Histogram::with_distribution(geom, len, Some(hot_bin))
+    }
+
+    fn with_distribution(
+        geom: Geometry,
+        len: usize,
+        hot_bin: Option<u8>,
+    ) -> Result<Histogram, BuildKernelError> {
+        if len == 0 || !len.is_multiple_of(geom.num_cores()) {
+            return Err(BuildKernelError::new(
+                "len must be a nonzero multiple of the core count",
+            ));
+        }
+        if ((len + BINS) * 4) as u32 > geom.data_bytes() {
+            return Err(BuildKernelError::new("samples exceed the shared region"));
+        }
+        Ok(Histogram { geom, len, hot_bin })
+    }
+
+    fn samples_base(&self) -> u32 {
+        self.geom.data_base()
+    }
+
+    /// Address of bin 0.
+    pub fn bins_base(&self) -> u32 {
+        self.samples_base() + (self.len * 4) as u32
+    }
+
+    fn samples(&self, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6869_7374);
+        (0..self.len)
+            .map(|_| match self.hot_bin {
+                Some(bin) => u32::from(bin),
+                None => rng.gen_range(0..BINS as u32),
+            })
+            .collect()
+    }
+}
+
+impl Kernel for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let per_core = self.len / self.geom.num_cores();
+        format!(
+            "{prologue}\
+             \tli   t0, {per_core}\n\
+             \tmul  t1, s0, t0\n\
+             \tslli t1, t1, 2\n\
+             \tli   t2, {samples}\n\
+             \tadd  t2, t2, t1            # sample pointer\n\
+             \tli   t3, {per_core}\n\
+             \tli   t4, {bins}\n\
+             \tli   t5, 1\n\
+             loop:\n\
+             \tlw   a0, (t2)\n\
+             \tslli a0, a0, 2\n\
+             \tadd  a0, a0, t4            # &bins[sample]\n\
+             \tamoadd.w zero, t5, (a0)\n\
+             \taddi t2, t2, 4\n\
+             \taddi t3, t3, -1\n\
+             \tbnez t3, loop\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            samples = self.samples_base(),
+            bins = self.bins_base(),
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        cluster.write_words(self.samples_base(), &self.samples(seed));
+        cluster.write_words(self.bins_base(), &vec![0; BINS]);
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let mut expect = vec![0u32; BINS];
+        for s in self.samples(seed) {
+            expect[s as usize] += 1;
+        }
+        let got = cluster.read_words(self.bins_base(), BINS);
+        for (bin, (&e, &g)) in expect.iter().zip(&got).enumerate() {
+            if e != g {
+                return Err(CheckKernelError::new(format!(
+                    "bin {bin}: expected {e}, got {g}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An out-of-place n×n matrix transpose: contiguous reads, strided writes.
+#[derive(Debug, Clone)]
+pub struct Transpose {
+    geom: Geometry,
+    n: usize,
+}
+
+impl Transpose {
+    /// Creates an n×n transpose.
+    ///
+    /// # Errors
+    ///
+    /// `n` must be a power of two with `n²` divisible by the core count,
+    /// and both matrices must fit the shared region.
+    pub fn new(geom: Geometry, n: usize) -> Result<Transpose, BuildKernelError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(BuildKernelError::new("n must be a power of two >= 2"));
+        }
+        if !(n * n).is_multiple_of(geom.num_cores()) {
+            return Err(BuildKernelError::new("n*n must divide by the core count"));
+        }
+        if n * 4 > 2048 {
+            return Err(BuildKernelError::new("row stride exceeds immediate range"));
+        }
+        if (2 * n * n * 4) as u32 > geom.data_bytes() {
+            return Err(BuildKernelError::new("matrices exceed the shared region"));
+        }
+        Ok(Transpose { geom, n })
+    }
+
+    fn in_base(&self) -> u32 {
+        self.geom.data_base()
+    }
+
+    fn out_base(&self) -> u32 {
+        self.in_base() + (self.n * self.n * 4) as u32
+    }
+
+    fn input(&self, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7472_616e);
+        (0..self.n * self.n).map(|_| rng.gen()).collect()
+    }
+}
+
+impl Kernel for Transpose {
+    fn name(&self) -> &'static str {
+        "transpose"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let n = self.n;
+        let log2n = n.trailing_zeros();
+        let epc = n * n / self.geom.num_cores();
+        format!(
+            "{prologue}\
+             \tli   a6, {epc}\n\
+             \tmul  s3, s0, a6            # first element (row-major index)\n\
+             \tadd  s4, s3, a6\n\
+             loop:\n\
+             \tsrli t0, s3, {log2n}       # row\n\
+             \tandi t1, s3, {n_mask}      # col\n\
+             \tslli t2, s3, 2\n\
+             \tli   t3, {in_base}\n\
+             \tadd  t2, t2, t3            # &in[row][col]\n\
+             \tlw   a0, (t2)\n\
+             \t# out index = col*n + row\n\
+             \tslli t4, t1, {log2n}\n\
+             \tadd  t4, t4, t0\n\
+             \tslli t4, t4, 2\n\
+             \tli   t5, {out_base}\n\
+             \tadd  t4, t4, t5\n\
+             \tsw   a0, (t4)\n\
+             \taddi s3, s3, 1\n\
+             \tblt  s3, s4, loop\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            n_mask = n - 1,
+            in_base = self.in_base(),
+            out_base = self.out_base(),
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        cluster.write_words(self.in_base(), &self.input(seed));
+        cluster.write_words(self.out_base(), &vec![0; self.n * self.n]);
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let input = self.input(seed);
+        let got = cluster.read_words(self.out_base(), self.n * self.n);
+        for r in 0..self.n {
+            for c in 0..self.n {
+                let e = input[r * self.n + c];
+                let g = got[c * self.n + r];
+                if e != g {
+                    return Err(CheckKernelError::new(format!(
+                        "out[{c}][{r}]: expected {e}, got {g}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}

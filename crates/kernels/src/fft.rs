@@ -1,0 +1,337 @@
+//! `fft`: an n-point iterative radix-2 complex FFT distributed over all
+//! cores, with a cluster barrier between stages.
+//!
+//! This is the workload class the paper's conclusion singles out: unlike
+//! systolic arrays with rigid neighbor links, MemPool's "much lower latency
+//! and higher bandwidth for all the global accesses … enables us to run
+//! 'non-systolic' algorithms effectively". Every FFT stage reads and writes
+//! element pairs `2^s` apart — strides that sweep from neighboring words to
+//! half the array — so the traffic pattern exercises the full interconnect,
+//! and the `log2(n)` barriers exercise cluster-wide synchronization.
+//!
+//! Arithmetic is Q15 fixed point; the Rust golden model performs bit-equal
+//! operations.
+
+use crate::matmul::BuildKernelError;
+use crate::runtime::{emit_barrier_with_backoff, emit_epilogue, emit_prologue};
+use crate::{CheckKernelError, Geometry, Kernel};
+use mempool::L1Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Q15 twiddle factors `W_n^k = exp(-2πik/n)` for `k < n/2`, as
+/// `(re, im)` pairs (cos clamped to 32767).
+pub fn twiddle_table(n: usize) -> Vec<(i32, i32)> {
+    (0..n / 2)
+        .map(|k| {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            let re = (angle.cos() * 32768.0).round().min(32767.0) as i32;
+            let im = (angle.sin() * 32768.0).round().min(32767.0) as i32;
+            (re, im)
+        })
+        .collect()
+}
+
+/// Bit-reverses `i` within `bits` bits.
+fn bit_reverse(i: usize, bits: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// The fixed-point FFT the assembly kernel implements, on natural-order
+/// input (the kernel receives its input pre-permuted into bit-reversed
+/// order and produces natural-order output).
+///
+/// # Panics
+///
+/// Panics unless `input.len()` is a power of two.
+pub fn fft_q15(input: &[(i32, i32)]) -> Vec<(i32, i32)> {
+    let n = input.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    let bits = n.trailing_zeros();
+    let tw = twiddle_table(n);
+    let mut a = vec![(0i32, 0i32); n];
+    for (i, &v) in input.iter().enumerate() {
+        a[bit_reverse(i, bits)] = v;
+    }
+    for s in 0..bits {
+        let half = 1usize << s;
+        let shift = bits - 1 - s;
+        for b in 0..n / 2 {
+            let j = b & (half - 1);
+            let k = (b - j) << 1;
+            let (ar, ai) = a[k + j];
+            let (br, bi) = a[k + j + half];
+            let (wr, wi) = tw[j << shift];
+            let tr = (br.wrapping_mul(wr).wrapping_sub(bi.wrapping_mul(wi))) >> 15;
+            let ti = (br.wrapping_mul(wi).wrapping_add(bi.wrapping_mul(wr))) >> 15;
+            a[k + j] = (ar.wrapping_add(tr), ai.wrapping_add(ti));
+            a[k + j + half] = (ar.wrapping_sub(tr), ai.wrapping_sub(ti));
+        }
+    }
+    a
+}
+
+/// The distributed FFT benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    geom: Geometry,
+    n: usize,
+}
+
+impl Fft {
+    /// Creates an `n`-point FFT for the geometry.
+    ///
+    /// # Errors
+    ///
+    /// `n` must be a power of two with at least two butterflies per core
+    /// (`n/2` divisible by the core count), and data + twiddles must fit
+    /// the shared region.
+    pub fn new(geom: Geometry, n: usize) -> Result<Fft, BuildKernelError> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(BuildKernelError::new("n must be a power of two >= 4"));
+        }
+        if !(n / 2).is_multiple_of(geom.num_cores()) {
+            return Err(BuildKernelError::new(
+                "n/2 butterflies must split evenly across the cores",
+            ));
+        }
+        let bytes = (n * 8 + n / 2 * 8) as u32;
+        if bytes > geom.data_bytes() {
+            return Err(BuildKernelError::new(format!(
+                "fft needs {bytes} B, shared region has {} B",
+                geom.data_bytes()
+            )));
+        }
+        Ok(Fft { geom, n })
+    }
+
+    /// FFT length in complex points.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Base of the complex data array (interleaved `re, im` words).
+    fn data_base(&self) -> u32 {
+        self.geom.data_base()
+    }
+
+    fn twiddle_base(&self) -> u32 {
+        self.data_base() + (self.n * 8) as u32
+    }
+
+    fn input(&self, seed: u64) -> Vec<(i32, i32)> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6666_7400);
+        (0..self.n)
+            .map(|_| (rng.gen_range(-128..128), rng.gen_range(-128..128)))
+            .collect()
+    }
+}
+
+impl Kernel for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let n = self.n;
+        let log2n = n.trailing_zeros();
+        let bpc = n / 2 / self.geom.num_cores();
+        format!(
+            "{prologue}\
+             \tli   s3, 0                 # stage\n\
+             \tli   a6, {bpc}\n\
+             \tmul  s4, s0, a6            # first butterfly of this core\n\
+             stage_loop:\n\
+             \tli   t0, 1\n\
+             \tsll  s6, t0, s3            # half = 1 << stage\n\
+             \tli   t0, {log2n_m1}\n\
+             \tsub  s7, t0, s3            # twiddle shift\n\
+             \tmv   s8, s4                # b\n\
+             \tadd  s9, s4, a6            # end\n\
+             bfly_loop:\n\
+             \taddi t6, s6, -1\n\
+             \tand  t0, s8, t6            # j = b & (half-1)\n\
+             \tsub  t4, s8, t0\n\
+             \tslli t4, t4, 1             # k = (b - j) * 2\n\
+             \tadd  t4, t4, t0            # k + j\n\
+             \tslli t1, t4, 3\n\
+             \tli   t5, {data}\n\
+             \tadd  t1, t1, t5            # &a[k+j]\n\
+             \tslli t2, s6, 3\n\
+             \tadd  t2, t1, t2            # &a[k+j+half]\n\
+             \tsll  t3, t0, s7            # twiddle index = j << shift\n\
+             \tslli t3, t3, 3\n\
+             \tli   t5, {tw}\n\
+             \tadd  t3, t3, t5            # &W[j << shift]\n\
+             \tlw   a0, 0(t1)             # ar\n\
+             \tlw   a1, 4(t1)             # ai\n\
+             \tlw   a2, 0(t2)             # br\n\
+             \tlw   a3, 4(t2)             # bi\n\
+             \tlw   a4, 0(t3)             # wr\n\
+             \tlw   a5, 4(t3)             # wi\n\
+             \tmul  t4, a2, a4\n\
+             \tmul  t5, a3, a5\n\
+             \tsub  t4, t4, t5\n\
+             \tsrai a7, t4, 15            # tr\n\
+             \tmul  t4, a2, a5\n\
+             \tmul  t5, a3, a4\n\
+             \tadd  t4, t4, t5\n\
+             \tsrai t6, t4, 15            # ti\n\
+             \tadd  t4, a0, a7\n\
+             \tsw   t4, 0(t1)\n\
+             \tadd  t4, a1, t6\n\
+             \tsw   t4, 4(t1)\n\
+             \tsub  t4, a0, a7\n\
+             \tsw   t4, 0(t2)\n\
+             \tsub  t4, a1, t6\n\
+             \tsw   t4, 4(t2)\n\
+             \taddi s8, s8, 1\n\
+             \tblt  s8, s9, bfly_loop\n\
+             \tjal  ra, __barrier         # stage boundary\n\
+             \taddi s3, s3, 1\n\
+             \tli   t0, {log2n}\n\
+             \tblt  s3, t0, stage_loop\n\
+             {epilogue}\
+             {barrier}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            barrier = emit_barrier_with_backoff(&self.geom, 8),
+            log2n_m1 = log2n - 1,
+            data = self.data_base(),
+            tw = self.twiddle_base(),
+        )
+    }
+
+    fn init(&self, mem: &mut dyn L1Memory, seed: u64) {
+        let input = self.input(seed);
+        let bits = self.n.trailing_zeros();
+        // Write the input in bit-reversed order so the in-place kernel
+        // produces natural-order output.
+        let mut words = vec![0u32; self.n * 2];
+        for (i, &(re, im)) in input.iter().enumerate() {
+            let r = bit_reverse(i, bits);
+            words[2 * r] = re as u32;
+            words[2 * r + 1] = im as u32;
+        }
+        mem.write_words(self.data_base(), &words);
+        let tw: Vec<u32> = twiddle_table(self.n)
+            .iter()
+            .flat_map(|&(re, im)| [re as u32, im as u32])
+            .collect();
+        mem.write_words(self.twiddle_base(), &tw);
+    }
+
+    fn check(&self, mem: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let expect = fft_q15(&self.input(seed));
+        let got = mem.read_words(self.data_base(), self.n * 2);
+        for (i, &(re, im)) in expect.iter().enumerate() {
+            let (gr, gi) = (got[2 * i] as i32, got[2 * i + 1] as i32);
+            if (re, im) != (gr, gi) {
+                return Err(CheckKernelError::new(format!(
+                    "X[{i}]: expected ({re}, {im}), got ({gr}, {gi})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT in f64 for validating the fixed-point math.
+    fn dft_f64(input: &[(i32, i32)]) -> Vec<(f64, f64)> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (j, &(xr, xi)) in input.iter().enumerate() {
+                    let angle = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    let (c, s) = (angle.cos(), angle.sin());
+                    re += xr as f64 * c - xi as f64 * s;
+                    im += xr as f64 * s + xi as f64 * c;
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut input = vec![(0, 0); 16];
+        input[0] = (1000, 0);
+        let out = fft_q15(&input);
+        for (i, &(re, im)) in out.iter().enumerate() {
+            assert!((re - 1000).abs() <= 16, "X[{i}].re = {re}");
+            assert!(im.abs() <= 16, "X[{i}].im = {im}");
+        }
+    }
+
+    #[test]
+    fn matches_f64_dft_within_fixed_point_error() {
+        let mut rng = rand::rngs::mock::StepRng::new(12345, 0x9e37_79b9);
+        use rand::RngCore;
+        let input: Vec<(i32, i32)> = (0..64)
+            .map(|_| {
+                (
+                    (rng.next_u32() % 256) as i32 - 128,
+                    (rng.next_u32() % 256) as i32 - 128,
+                )
+            })
+            .collect();
+        let exact = dft_f64(&input);
+        let fixed = fft_q15(&input);
+        for (i, (&(fr, fi), &(er, ei))) in fixed.iter().zip(&exact).enumerate() {
+            // Q15 truncation error accumulates over log2(64)=6 stages.
+            assert!(
+                (fr as f64 - er).abs() < 40.0 && (fi as f64 - ei).abs() < 40.0,
+                "X[{i}]: fixed ({fr}, {fi}) vs exact ({er:.1}, {ei:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_input_concentrates_in_dc() {
+        let n = 32;
+        let input = vec![(100, 0); n];
+        let out = fft_q15(&input);
+        // Bin 0 carries ~n·x (up to Q15 truncation); every other bin is
+        // near zero.
+        let dc = out[0].0;
+        assert!((dc - 3200).abs() < 64, "dc {dc}");
+        for (i, &(re, im)) in out.iter().enumerate().skip(1) {
+            assert!(re.abs() < 32 && im.abs() < 32, "bin {i}: ({re}, {im})");
+        }
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let geom = Geometry {
+            num_tiles: 16,
+            cores_per_tile: 4,
+            banks_per_tile: 16,
+            rows_per_bank: 256,
+            seq_bytes: 4096,
+        };
+        assert!(Fft::new(geom, 512).is_ok());
+        assert!(Fft::new(geom, 500).is_err()); // not a power of two
+        assert!(Fft::new(geom, 64).is_err()); // 32 butterflies < 64 cores
+        assert!(Fft::new(geom, 1 << 16).is_err()); // does not fit
+    }
+
+    #[test]
+    fn twiddle_table_properties() {
+        let tw = twiddle_table(64);
+        assert_eq!(tw.len(), 32);
+        assert_eq!(tw[0], (32767, 0));
+        // W^(n/4) = -i.
+        assert_eq!(tw[16].0, 0);
+        assert_eq!(tw[16].1, -32768);
+    }
+}

@@ -1,0 +1,199 @@
+//! Memory-layout geometry shared by all kernels.
+//!
+//! Kernels compute addresses against the *programmer-view* layout: per-tile
+//! sequential regions first (stacks and local working sets), then the
+//! interleaved remainder (shared matrices), then a small control block
+//! (barrier counters) at the very top of L1. Whether the sequential regions
+//! actually land in local banks is decided by the cluster's scrambling
+//! switch — running the *same binary* with and without scrambling is
+//! exactly the Top◆S vs Top◆ experiment of Fig. 7.
+
+use mempool::ClusterConfig;
+use std::fmt;
+
+/// Control-block layout (at the top of L1): word 0 — the central barrier
+/// counter; word 1 — the tree-barrier release flag; word 2 — the
+/// tree-barrier global counter; words 4.. — one arrival counter per tile.
+pub(crate) const CTRL_GLOBAL_OFF: u32 = 0;
+pub(crate) const CTRL_RELEASE_OFF: u32 = 4;
+pub(crate) const CTRL_TREE_GLOBAL_OFF: u32 = 8;
+pub(crate) const CTRL_TILE_CTRS_OFF: u32 = 16;
+
+/// The layout geometry a kernel is generated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of tiles.
+    pub num_tiles: usize,
+    /// Cores per tile.
+    pub cores_per_tile: usize,
+    /// Banks per tile.
+    pub banks_per_tile: usize,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Sequential-region bytes per tile assumed by the layout.
+    pub seq_bytes: u32,
+}
+
+/// Error returned when a kernel's geometry disagrees with a cluster
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryMismatchError {
+    msg: String,
+}
+
+impl fmt::Display for GeometryMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for GeometryMismatchError {}
+
+impl Geometry {
+    /// Derives the layout geometry from a cluster configuration. When the
+    /// configuration disables scrambling, the layout still assumes the
+    /// given `fallback_seq_bytes` so the same addresses are generated (the
+    /// unscrambled run is the experiment's control).
+    pub fn from_config(config: &ClusterConfig, fallback_seq_bytes: u32) -> Geometry {
+        Geometry {
+            num_tiles: config.num_tiles,
+            cores_per_tile: config.cores_per_tile,
+            banks_per_tile: config.banks_per_tile,
+            rows_per_bank: config.rows_per_bank,
+            seq_bytes: config.seq_region_bytes.unwrap_or(fallback_seq_bytes),
+        }
+    }
+
+    /// Total cores.
+    pub fn num_cores(&self) -> usize {
+        self.num_tiles * self.cores_per_tile
+    }
+
+    /// Total L1 bytes.
+    pub fn l1_bytes(&self) -> u32 {
+        (self.num_tiles * self.banks_per_tile) as u32 * self.rows_per_bank * 4
+    }
+
+    /// Total bytes covered by the sequential regions.
+    pub fn seq_total(&self) -> u32 {
+        self.seq_bytes * self.num_tiles as u32
+    }
+
+    /// First byte of the shared interleaved data region.
+    pub fn data_base(&self) -> u32 {
+        self.seq_total()
+    }
+
+    /// Bytes reserved at the top of L1 for synchronization state (grows
+    /// with the tile count for the per-tile tree-barrier counters).
+    pub fn ctrl_bytes(&self) -> u32 {
+        (CTRL_TILE_CTRS_OFF + 4 * self.num_tiles as u32).next_multiple_of(64)
+    }
+
+    /// Bytes available in the shared data region.
+    pub fn data_bytes(&self) -> u32 {
+        self.l1_bytes() - self.seq_total() - self.ctrl_bytes()
+    }
+
+    /// Address of the control block (== the central barrier counter).
+    pub fn ctrl_base(&self) -> u32 {
+        self.l1_bytes() - self.ctrl_bytes()
+    }
+
+    /// Address of the global barrier counter.
+    pub fn barrier_addr(&self) -> u32 {
+        self.ctrl_base() + CTRL_GLOBAL_OFF
+    }
+
+    /// Address of tile `tile`'s tree-barrier arrival counter.
+    pub fn tile_barrier_addr(&self, tile: usize) -> u32 {
+        self.ctrl_base() + CTRL_TILE_CTRS_OFF + 4 * tile as u32
+    }
+
+    /// Start of tile `tile`'s sequential region (programmer view).
+    pub fn seq_base(&self, tile: usize) -> u32 {
+        tile as u32 * self.seq_bytes
+    }
+
+    /// Bytes of sequential region available per core (the per-lane slice).
+    pub fn seq_per_core(&self) -> u32 {
+        self.seq_bytes / self.cores_per_tile as u32
+    }
+
+    /// Checks that `config` has the same geometry (scrambling may differ).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatching dimension.
+    pub fn check_config(&self, config: &ClusterConfig) -> Result<(), GeometryMismatchError> {
+        let err = |msg: String| Err(GeometryMismatchError { msg });
+        if config.num_tiles != self.num_tiles {
+            return err(format!(
+                "kernel generated for {} tiles, cluster has {}",
+                self.num_tiles, config.num_tiles
+            ));
+        }
+        if config.cores_per_tile != self.cores_per_tile {
+            return err(format!(
+                "kernel generated for {} cores/tile, cluster has {}",
+                self.cores_per_tile, config.cores_per_tile
+            ));
+        }
+        if config.banks_per_tile != self.banks_per_tile
+            || config.rows_per_bank != self.rows_per_bank
+        {
+            return err("bank geometry differs from the kernel layout".into());
+        }
+        if let Some(seq) = config.seq_region_bytes {
+            if seq != self.seq_bytes {
+                return err(format!(
+                    "kernel laid out for {} B sequential regions, cluster scrambles {} B",
+                    self.seq_bytes, seq
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool::Topology;
+
+    #[test]
+    fn paper_geometry_numbers() {
+        let cfg = ClusterConfig::paper(Topology::TopH);
+        let g = Geometry::from_config(&cfg, 4096);
+        assert_eq!(g.num_cores(), 256);
+        assert_eq!(g.l1_bytes(), 1 << 20);
+        assert_eq!(g.seq_total(), 256 << 10);
+        assert_eq!(g.data_base(), 256 << 10);
+        assert_eq!(g.ctrl_bytes(), 320); // 16 + 4*64 rounded to 64
+        assert_eq!(g.barrier_addr(), (1 << 20) - 320);
+        assert_eq!(g.tile_barrier_addr(0), g.ctrl_base() + 16);
+        assert_eq!(g.seq_per_core(), 1024);
+        g.check_config(&cfg).unwrap();
+    }
+
+    #[test]
+    fn unscrambled_config_uses_fallback_layout() {
+        let mut cfg = ClusterConfig::paper(Topology::Top1);
+        cfg.seq_region_bytes = None;
+        let g = Geometry::from_config(&cfg, 4096);
+        assert_eq!(g.seq_bytes, 4096);
+        g.check_config(&cfg).unwrap();
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        let cfg = ClusterConfig::paper(Topology::TopH);
+        let g = Geometry::from_config(&cfg, 4096);
+        let mut other = cfg;
+        other.num_tiles = 16;
+        assert!(g.check_config(&other).is_err());
+        let mut other = cfg;
+        other.seq_region_bytes = Some(1024);
+        assert!(g.check_config(&other).is_err());
+    }
+}

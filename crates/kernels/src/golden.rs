@@ -1,0 +1,183 @@
+//! Bit-exact reference implementations the assembly kernels are verified
+//! against.
+
+/// `C = A × B` over `i32` with wrapping arithmetic, row-major `n×n`.
+///
+/// # Panics
+///
+/// Panics if the slices are not `n*n` long.
+pub fn matmul_i32(a: &[i32], b: &[i32], n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = vec![0i32; n * n];
+    for r in 0..n {
+        for col in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[r * n + k].wrapping_mul(b[k * n + col]));
+            }
+            c[r * n + col] = acc;
+        }
+    }
+    c
+}
+
+
+/// `Σ x[i]·y[i]` with wrapping `i32` arithmetic.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dotprod_i32(x: &[i32], y: &[i32]) -> i32 {
+    assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .fold(0i32, |acc, (&a, &b)| acc.wrapping_add(a.wrapping_mul(b)))
+}
+
+/// The 3×3 kernel used by the `2dconv` benchmark: a Gaussian blur with a
+/// 4-bit right shift (sum of weights = 16).
+pub const CONV_KERNEL: [[i32; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+
+/// 2-D discrete convolution of a `h×w` image with [`CONV_KERNEL`],
+/// computing interior pixels only (borders stay 0), `>> 4` normalization.
+///
+/// # Panics
+///
+/// Panics if `image.len() != h * w`.
+pub fn conv2d_3x3_i32(image: &[i32], h: usize, w: usize) -> Vec<i32> {
+    assert_eq!(image.len(), h * w);
+    let mut out = vec![0i32; h * w];
+    for r in 1..h.saturating_sub(1) {
+        for c in 1..w.saturating_sub(1) {
+            let mut acc = 0i32;
+            for (dr, krow) in CONV_KERNEL.iter().enumerate() {
+                for (dc, &k) in krow.iter().enumerate() {
+                    let pix = image[(r + dr - 1) * w + (c + dc - 1)];
+                    acc = acc.wrapping_add(k.wrapping_mul(pix));
+                }
+            }
+            out[r * w + c] = acc >> 4;
+        }
+    }
+    out
+}
+
+/// Q7 fixed-point DCT-II coefficient matrix: `round(s(i) · cos((2k+1)iπ/16)
+/// · 128)` with the orthonormal scaling `s(0)=√(1/8)`, `s(i)=√(2/8)`.
+pub fn dct_coefficients() -> [[i32; 8]; 8] {
+    let mut c = [[0i32; 8]; 8];
+    for (i, row) in c.iter_mut().enumerate() {
+        let s = if i == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            (2.0f64 / 8.0).sqrt()
+        };
+        for (k, cell) in row.iter_mut().enumerate() {
+            let angle = (2.0 * k as f64 + 1.0) * i as f64 * std::f64::consts::PI / 16.0;
+            *cell = (s * angle.cos() * 128.0).round() as i32;
+        }
+    }
+    c
+}
+
+/// 2-D 8×8 DCT-II in Q7 fixed point, matching the assembly kernel exactly:
+/// row pass `tmp = (C·X) >> 7`, column pass `out = (tmp·Cᵀ) >> 7` (shifts
+/// are arithmetic, applied per output element).
+///
+/// # Panics
+///
+/// Panics if `block.len() != 64`.
+pub fn dct8x8_q7(block: &[i32]) -> Vec<i32> {
+    assert_eq!(block.len(), 64);
+    let c = dct_coefficients();
+    let mut tmp = [0i32; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = 0i32;
+            for k in 0..8 {
+                acc = acc.wrapping_add(c[i][k].wrapping_mul(block[k * 8 + j]));
+            }
+            tmp[i * 8 + j] = acc >> 7;
+        }
+    }
+    let mut out = vec![0i32; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = 0i32;
+            for k in 0..8 {
+                acc = acc.wrapping_add(tmp[i * 8 + k].wrapping_mul(c[j][k]));
+            }
+            out[i * 8 + j] = acc >> 7;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let n = 4;
+        let mut eye = vec![0i32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1;
+        }
+        let a: Vec<i32> = (0..(n * n) as i32).collect();
+        assert_eq!(matmul_i32(&a, &eye, n), a);
+        assert_eq!(matmul_i32(&eye, &a, n), a);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        // [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+        let c = matmul_i32(&[1, 2, 3, 4], &[5, 6, 7, 8], 2);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn dotprod_known() {
+        assert_eq!(dotprod_i32(&[1, 2, 3], &[4, 5, 6]), 32);
+        assert_eq!(dotprod_i32(&[], &[]), 0);
+        assert_eq!(dotprod_i32(&[i32::MAX, 1], &[2, 0]), i32::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn conv_flat_image_is_flat_interior() {
+        let h = 5;
+        let w = 6;
+        let image = vec![16i32; h * w];
+        let out = conv2d_3x3_i32(&image, h, w);
+        for r in 1..h - 1 {
+            for c in 1..w - 1 {
+                assert_eq!(out[r * w + c], 16); // blur of constant = constant
+            }
+        }
+        assert_eq!(out[0], 0); // border untouched
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = vec![64i32; 64];
+        let out = dct8x8_q7(&block);
+        // DC term ≈ 8 · 64 · s(0)² scaling; all AC terms ~0 (fixed-point
+        // rounding can leave ±1).
+        assert!(out[0] > 400, "dc {}", out[0]);
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 2, "ac[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn dct_coefficient_symmetry() {
+        let c = dct_coefficients();
+        // Row 0 is constant; even rows are symmetric, odd rows antisymmetric.
+        for k in 0..8 {
+            assert_eq!(c[0][k], c[0][0]);
+            assert_eq!(c[2][k], c[2][7 - k]);
+            assert_eq!(c[1][k], -c[1][7 - k]);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # mempool-kernels
+//!
+//! The real-world signal-processing benchmarks of the MemPool paper
+//! (§V-C), written in RV32IMA assembly against the cluster's
+//! programmer-view memory layout, with bit-exact golden models:
+//!
+//! * [`Matmul`] — n×n integer matrix multiplication over the shared
+//!   interleaved region (predominantly **remote** accesses);
+//! * [`Conv2d`] — 3×3 discrete convolution with image rows distributed
+//!   across the tiles' sequential regions (**local** except tile-boundary
+//!   halos);
+//! * [`Dct`] — 8×8 two-dimensional DCT on per-core local blocks, spilling
+//!   its intermediate matrix to the **stack** (the access pattern the
+//!   hybrid addressing scheme is built for).
+//!
+//! Because the kernels compute addresses against the layout — not against
+//! the physical map — running the *same binary* with the cluster's
+//! scrambler on and off is exactly the paper's Top◆S vs Top◆ comparison of
+//! Fig. 7.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mempool::{ClusterConfig, Topology};
+//! use mempool_kernels::{run_kernel, Geometry, Kernel, Matmul};
+//!
+//! let config = ClusterConfig::small(Topology::TopH);
+//! let geom = Geometry::from_config(&config, 4096);
+//! let kernel = Matmul::new(geom, 32)?;
+//! let run = run_kernel(&kernel, config, 42, 10_000_000)?;
+//! println!("matmul finished in {} cycles", run.cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv2d;
+mod dct;
+mod extra;
+mod fft;
+mod geometry;
+mod golden;
+mod matmul;
+mod runner;
+mod runtime;
+mod streams;
+
+pub use conv2d::Conv2d;
+pub use dct::Dct;
+pub use extra::{Histogram, Transpose};
+pub use fft::{fft_q15, twiddle_table, Fft};
+pub use geometry::{Geometry, GeometryMismatchError};
+pub use golden::{conv2d_3x3_i32, dct8x8_q7, dct_coefficients, dotprod_i32, matmul_i32, CONV_KERNEL};
+pub use matmul::{BuildKernelError, Matmul};
+pub use runner::{
+    run_kernel, run_kernel_functional, CheckKernelError, Kernel, KernelRun, RunKernelError,
+};
+pub use runtime::{
+    emit_barrier, emit_barrier_with_backoff, emit_epilogue, emit_prologue, emit_tree_barrier,
+    emit_tree_barrier_with_backoff,
+};
+pub use streams::{Axpy, DotProduct};

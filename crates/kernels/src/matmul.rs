@@ -1,0 +1,198 @@
+//! `matmul`: n×n integer matrix multiplication with the operands in the
+//! shared interleaved region — "accesses are predominantly remote" (§V-C).
+
+use crate::golden::matmul_i32;
+use crate::runtime::{emit_epilogue, emit_prologue};
+use crate::{CheckKernelError, Geometry, Kernel};
+use mempool::L1Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Error building a [`Matmul`] kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildKernelError {
+    msg: String,
+}
+
+impl BuildKernelError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        BuildKernelError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for BuildKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for BuildKernelError {}
+
+/// The `matmul` benchmark: `C = A × B`, work split element-wise across all
+/// cores (each core computes `n²/num_cores` contiguous output elements).
+#[derive(Debug, Clone)]
+pub struct Matmul {
+    geom: Geometry,
+    n: usize,
+}
+
+impl Matmul {
+    /// Creates an n×n matmul for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// `n` must be a power of two, `n²` divisible by the core count, and
+    /// the three matrices must fit in the shared data region.
+    pub fn new(geom: Geometry, n: usize) -> Result<Matmul, BuildKernelError> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(BuildKernelError::new("n must be a power of two ≥ 4"));
+        }
+        if n > 128 {
+            return Err(BuildKernelError::new(
+                "n > 128 exceeds the unrolled loop's immediate ranges",
+            ));
+        }
+        if !(n * n).is_multiple_of(geom.num_cores()) {
+            return Err(BuildKernelError::new(format!(
+                "n²={} not divisible by {} cores",
+                n * n,
+                geom.num_cores()
+            )));
+        }
+        let bytes = 3 * (n * n * 4) as u32;
+        if bytes > geom.data_bytes() {
+            return Err(BuildKernelError::new(format!(
+                "matrices need {bytes} B, shared region has {} B",
+                geom.data_bytes()
+            )));
+        }
+        Ok(Matmul { geom, n })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn a_base(&self) -> u32 {
+        self.geom.data_base()
+    }
+
+    fn b_base(&self) -> u32 {
+        self.a_base() + (self.n * self.n * 4) as u32
+    }
+
+    fn c_base(&self) -> u32 {
+        self.b_base() + (self.n * self.n * 4) as u32
+    }
+
+    fn inputs(&self, seed: u64) -> (Vec<i32>, Vec<i32>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d61_746d);
+        let n = self.n;
+        let a: Vec<i32> = (0..n * n).map(|_| rng.gen_range(-128..128)).collect();
+        let b: Vec<i32> = (0..n * n).map(|_| rng.gen_range(-128..128)).collect();
+        (a, b)
+    }
+}
+
+impl Kernel for Matmul {
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let n = self.n;
+        let log2n = n.trailing_zeros();
+        let epc = n * n / self.geom.num_cores();
+        format!(
+            "{prologue}\
+             \tli   a6, {epc}\n\
+             \tmul  s3, s0, a6            # first output element\n\
+             \tadd  s4, s3, a6            # one past last\n\
+             elem_loop:\n\
+             \tsrli t0, s3, {log2n}       # row\n\
+             \tandi t1, s3, {n_mask}      # column\n\
+             \tslli t2, t0, {log2n_plus2}\n\
+             \tli   t3, {a_base}\n\
+             \tadd  t2, t2, t3            # &A[row][0]\n\
+             \tslli t4, t1, 2\n\
+             \tli   t5, {b_base}\n\
+             \tadd  t4, t4, t5            # &B[0][col]\n\
+             \tli   t6, 0                 # accumulator\n\
+             \tli   a5, {n}\n\
+             kloop:\n\
+             \t# unrolled ×4: eight loads in flight per iteration, letting\n\
+             \t# the Snitch LSU hide the interconnect latency\n\
+             \tlw   a0, 0(t2)\n\
+             \tlw   a1, 4(t2)\n\
+             \tlw   a2, 8(t2)\n\
+             \tlw   a3, 12(t2)\n\
+             \tlw   a4, 0(t4)\n\
+             \tlw   a6, {row1}(t4)\n\
+             \tlw   a7, {row2}(t4)\n\
+             \tlw   t5, {row3}(t4)\n\
+             \taddi t2, t2, 16\n\
+             \tmul  a0, a0, a4\n\
+             \tadd  t6, t6, a0\n\
+             \tmul  a1, a1, a6\n\
+             \tadd  t6, t6, a1\n\
+             \tmul  a2, a2, a7\n\
+             \tadd  t6, t6, a2\n\
+             \tmul  a3, a3, t5\n\
+             \tadd  t6, t6, a3\n\
+             \tli   t5, {row4}\n\
+             \tadd  t4, t4, t5\n\
+             \taddi a5, a5, -4\n\
+             \tbnez a5, kloop\n\
+             \tslli a3, s3, 2\n\
+             \tli   a4, {c_base}\n\
+             \tadd  a3, a3, a4\n\
+             \tsw   t6, (a3)\n\
+             \taddi s3, s3, 1\n\
+             \tblt  s3, s4, elem_loop\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            n_mask = n - 1,
+            log2n_plus2 = log2n + 2,
+            a_base = self.a_base(),
+            b_base = self.b_base(),
+            c_base = self.c_base(),
+            row1 = n * 4,
+            row2 = n * 8,
+            row3 = n * 12,
+            row4 = n * 16,
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        let (a, b) = self.inputs(seed);
+        let to_u32 = |v: &[i32]| v.iter().map(|&x| x as u32).collect::<Vec<_>>();
+        cluster.write_words(self.a_base(), &to_u32(&a));
+        cluster.write_words(self.b_base(), &to_u32(&b));
+        cluster.write_words(self.c_base(), &vec![0; self.n * self.n]);
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let (a, b) = self.inputs(seed);
+        let expect = matmul_i32(&a, &b, self.n);
+        let got = cluster.read_words(self.c_base(), self.n * self.n);
+        for (i, (&e, &g)) in expect.iter().zip(&got).enumerate() {
+            if e as u32 != g {
+                return Err(CheckKernelError::new(format!(
+                    "C[{}][{}]: expected {}, got {}",
+                    i / self.n,
+                    i % self.n,
+                    e,
+                    g as i32
+                )));
+            }
+        }
+        Ok(())
+    }
+}

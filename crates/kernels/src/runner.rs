@@ -1,0 +1,163 @@
+//! The kernel abstraction and the harness that runs a kernel on a cluster
+//! configuration and verifies its results.
+
+use crate::Geometry;
+use mempool::{Cluster, ClusterConfig, ClusterStats, FunctionalSim, L1Memory};
+use mempool_snitch::CoreStats;
+use std::fmt;
+
+/// A benchmark kernel: generates its assembly for a fixed [`Geometry`],
+/// initializes input data, and verifies results against a golden model.
+pub trait Kernel {
+    /// Short name (e.g. `"matmul"`).
+    fn name(&self) -> &'static str;
+
+    /// The geometry this kernel instance was laid out for.
+    fn geometry(&self) -> &Geometry;
+
+    /// Emits the complete assembly program.
+    fn source(&self) -> String;
+
+    /// Writes the input data set derived from `seed` into L1 (cycle-accurate
+    /// cluster or functional simulator alike).
+    fn init(&self, mem: &mut dyn L1Memory, seed: u64);
+
+    /// Checks the outputs against the golden model for the same `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatching element.
+    fn check(&self, mem: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError>;
+}
+
+/// A kernel result mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckKernelError {
+    msg: String,
+}
+
+impl CheckKernelError {
+    /// Creates a mismatch report.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CheckKernelError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CheckKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for CheckKernelError {}
+
+/// Everything that can go wrong running a kernel.
+#[derive(Debug)]
+pub enum RunKernelError {
+    /// The kernel's layout does not fit the cluster configuration.
+    Geometry(crate::GeometryMismatchError),
+    /// The generated assembly failed to assemble (kernel bug).
+    Assemble(mempool_riscv::AsmError),
+    /// The cluster configuration is invalid.
+    Config(mempool::ValidateConfigError),
+    /// The program image contains an undecodable word.
+    Decode(mempool_riscv::DecodeError),
+    /// The program did not finish within the cycle budget.
+    Timeout(mempool::RunTimeoutError),
+    /// The functional run did not finish within the step budget.
+    FunctionalTimeout(mempool::FunctionalTimeoutError),
+    /// Results did not match the golden model.
+    Check(CheckKernelError),
+}
+
+impl fmt::Display for RunKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunKernelError::Geometry(e) => write!(f, "geometry mismatch: {e}"),
+            RunKernelError::Assemble(e) => write!(f, "kernel failed to assemble: {e}"),
+            RunKernelError::Config(e) => write!(f, "invalid configuration: {e}"),
+            RunKernelError::Decode(e) => write!(f, "program image corrupt: {e}"),
+            RunKernelError::Timeout(e) => write!(f, "{e}"),
+            RunKernelError::FunctionalTimeout(e) => write!(f, "{e}"),
+            RunKernelError::Check(e) => write!(f, "result mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunKernelError {}
+
+/// Measured outcome of one kernel run.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Wall-clock cycles from reset to the last core halting (plus drain).
+    pub cycles: u64,
+    /// Cluster-level counters (request locality, latency distribution, …).
+    pub stats: ClusterStats,
+    /// Per-core counters summed over all cores (instruction mix, stalls).
+    pub core_totals: CoreStats,
+    /// Combined I-cache statistics.
+    pub icache: mempool_mem::CacheStats,
+}
+
+/// Assembles, runs and verifies `kernel` on `config`.
+///
+/// # Errors
+///
+/// See [`RunKernelError`].
+pub fn run_kernel(
+    kernel: &dyn Kernel,
+    config: ClusterConfig,
+    seed: u64,
+    max_cycles: u64,
+) -> Result<KernelRun, RunKernelError> {
+    kernel
+        .geometry()
+        .check_config(&config)
+        .map_err(RunKernelError::Geometry)?;
+    let program =
+        mempool_riscv::assemble(&kernel.source()).map_err(RunKernelError::Assemble)?;
+    let mut cluster = Cluster::snitch(config).map_err(RunKernelError::Config)?;
+    cluster
+        .load_program(&program)
+        .map_err(RunKernelError::Decode)?;
+    kernel.init(&mut cluster, seed);
+    let cycles = cluster.run(max_cycles).map_err(RunKernelError::Timeout)?;
+    kernel
+        .check(&cluster, seed)
+        .map_err(RunKernelError::Check)?;
+    Ok(KernelRun {
+        cycles,
+        stats: cluster.stats().clone(),
+        core_totals: cluster.core_stats_total(),
+        icache: cluster.icache_stats(),
+    })
+}
+
+/// Runs and verifies `kernel` on the *functional* (untimed) simulator —
+/// instant golden runs for kernel bring-up. Returns the number of
+/// round-robin steps executed.
+///
+/// # Errors
+///
+/// See [`RunKernelError`].
+pub fn run_kernel_functional(
+    kernel: &dyn Kernel,
+    config: ClusterConfig,
+    seed: u64,
+    max_steps: u64,
+) -> Result<u64, RunKernelError> {
+    kernel
+        .geometry()
+        .check_config(&config)
+        .map_err(RunKernelError::Geometry)?;
+    let program =
+        mempool_riscv::assemble(&kernel.source()).map_err(RunKernelError::Assemble)?;
+    let mut sim = FunctionalSim::new(config).map_err(RunKernelError::Config)?;
+    sim.load_program(&program).map_err(RunKernelError::Decode)?;
+    kernel.init(&mut sim, seed);
+    let steps = sim
+        .run(max_steps)
+        .map_err(RunKernelError::FunctionalTimeout)?;
+    kernel.check(&sim, seed).map_err(RunKernelError::Check)?;
+    Ok(steps)
+}

@@ -1,0 +1,274 @@
+//! Common assembly runtime: per-core identification, stack setup in the
+//! tile's sequential region, and a counting barrier over an AMO.
+
+use crate::Geometry;
+
+/// Registers reserved by the runtime across kernel code:
+///
+/// * `s0` — hart ID, `s1` — tile index, `s2` — lane within the tile;
+/// * `s10` — barrier counter address, `s11` — next barrier target.
+///
+/// Emits the program entry: reads `mhartid`, derives tile/lane, and points
+/// `sp` at the top of the core's slice of its tile's sequential region
+/// (stacks are the canonical "private data" the hybrid addressing scheme
+/// keeps local, §IV).
+pub fn emit_prologue(geom: &Geometry) -> String {
+    let cpt = geom.cores_per_tile;
+    assert!(cpt.is_power_of_two(), "cores_per_tile must be a power of two");
+    let log_cpt = cpt.trailing_zeros();
+    let seq_bytes = geom.seq_bytes;
+    let slice = geom.seq_per_core();
+    format!(
+        "_start:\n\
+         \tcsrr s0, mhartid\n\
+         \tsrli s1, s0, {log_cpt}          # tile index\n\
+         \tandi s2, s0, {lane_mask}        # lane within tile\n\
+         \t# sp = tile*seq_bytes + (lane+1)*slice\n\
+         \tli   t0, {seq_bytes}\n\
+         \tmul  sp, s1, t0\n\
+         \taddi t0, s2, 1\n\
+         \tli   t1, {slice}\n\
+         \tmul  t0, t0, t1\n\
+         \tadd  sp, sp, t0\n\
+         \tli   s10, {barrier}\n\
+         \tli   s11, {ncores}\n",
+        lane_mask = cpt - 1,
+        barrier = geom.barrier_addr(),
+        ncores = geom.num_cores(),
+    )
+}
+
+/// Emits the `__barrier` subroutine (call with `jal ra, __barrier`).
+///
+/// Arrival is an `amoadd.w` on a shared counter after a `fence` (MemPool's
+/// interconnect does not order transactions, so the fence publishes the
+/// core's prior stores before the arrival becomes visible). Departure spins
+/// on the counter until all cores of the current epoch arrived; `s11`
+/// tracks the per-core epoch target.
+pub fn emit_barrier(geom: &Geometry) -> String {
+    emit_barrier_with_backoff(geom, 0)
+}
+
+/// [`emit_barrier`] with a constant polling backoff: between release-flag
+/// polls each core burns `backoff` loop iterations (~2 cycles each),
+/// thinning the spin traffic that otherwise saturates the counter's bank.
+pub fn emit_barrier_with_backoff(geom: &Geometry, backoff: u32) -> String {
+    format!(
+        "__barrier:\n\
+         \tfence                      # publish prior stores\n\
+         \tli   t0, 1\n\
+         \tamoadd.w t1, t0, (s10)\n\
+         __barrier_spin:\n\
+         \tlw   t1, (s10)\n\
+         \tbge  t1, s11, __barrier_done\n\
+         {backoff_code}\
+         \tj    __barrier_spin\n\
+         __barrier_done:\n\
+         \tli   t0, {ncores}\n\
+         \tadd  s11, s11, t0          # next epoch target\n\
+         \tret\n",
+        ncores = geom.num_cores(),
+        backoff_code = backoff_snippet("__barrier", backoff),
+    )
+}
+
+fn backoff_snippet(prefix: &str, iters: u32) -> String {
+    if iters == 0 {
+        return String::new();
+    }
+    format!(
+        "\tli   t4, {iters}\n\
+         {prefix}_delay:\n\
+         \taddi t4, t4, -1\n\
+         \tbnez t4, {prefix}_delay\n"
+    )
+}
+
+/// Emits the halt sequence: drain outstanding memory operations, then stop.
+pub fn emit_epilogue() -> String {
+    "\tfence\n\tecall\n".to_owned()
+}
+
+/// Emits the `__tree_barrier` subroutine plus its register initialization
+/// (`__tree_barrier_init`, call once after the prologue).
+///
+/// A two-level barrier: cores first arrive at a *per-tile* counter, the
+/// last arrival of each tile escalates to the global counter, and the last
+/// tile publishes a release flag everyone spins on. Compared with
+/// [`emit_barrier`]'s single counter, arrivals are spread over one word
+/// per tile, cutting the hot-bank serialization from `num_cores` to
+/// `cores_per_tile + num_tiles` AMO round trips.
+///
+/// Reserves `s8` (tile counter address) and `s9` (tile epoch target) in
+/// addition to the prologue's `s10`/`s11`; here `s10` points at the
+/// control block and `s11` tracks the *global* epoch target.
+pub fn emit_tree_barrier(geom: &Geometry) -> String {
+    emit_tree_barrier_with_backoff(geom, 0)
+}
+
+/// [`emit_tree_barrier`] with a release-poll backoff (see
+/// [`emit_barrier_with_backoff`]).
+pub fn emit_tree_barrier_with_backoff(geom: &Geometry, backoff: u32) -> String {
+    let cpt = geom.cores_per_tile;
+    format!(
+        "__tree_barrier_init:\n\
+         \tli   s10, {ctrl}\n\
+         \tslli s8, s1, 2\n\
+         \tadd  s8, s8, s10\n\
+         \taddi s8, s8, {tile_ctrs_off}   # &tile_counter[tile]\n\
+         \tli   s9, {cpt}\n\
+         \tli   s11, {ntiles}\n\
+         \tret\n\
+         __tree_barrier:\n\
+         \tfence                      # publish prior stores\n\
+         \tli   t0, 1\n\
+         \tamoadd.w t1, t0, (s8)      # arrive at the tile counter\n\
+         \taddi t1, t1, 1\n\
+         \tbne  t1, s9, __tree_spin   # not the tile's last arrival\n\
+         \taddi t4, s10, {tree_global_off}\n\
+         \tamoadd.w t2, t0, (t4)      # tile representative escalates\n\
+         \taddi t2, t2, 1\n\
+         \tbne  t2, s11, __tree_spin  # not the last tile\n\
+         \tsw   t2, {release_off}(s10) # release the epoch\n\
+         __tree_spin:\n\
+         \tlw   t3, {release_off}(s10)\n\
+         \tbge  t3, s11, __tree_done\n\
+         {backoff_code}\
+         \tj    __tree_spin\n\
+         __tree_done:\n\
+         \taddi s9, s9, {cpt}\n\
+         \tli   t0, {ntiles}\n\
+         \tadd  s11, s11, t0\n\
+         \tret\n",
+        backoff_code = backoff_snippet("__tree", backoff),
+        ctrl = geom.ctrl_base(),
+        tile_ctrs_off = crate::geometry::CTRL_TILE_CTRS_OFF,
+        tree_global_off = crate::geometry::CTRL_TREE_GLOBAL_OFF,
+        release_off = crate::geometry::CTRL_RELEASE_OFF,
+        ntiles = geom.num_tiles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool::{Cluster, ClusterConfig, Topology};
+    use mempool_riscv::assemble;
+    #[allow(unused_imports)]
+    use crate::runtime::emit_tree_barrier;
+
+    fn geom(cfg: &ClusterConfig) -> Geometry {
+        Geometry::from_config(cfg, 4096)
+    }
+
+    #[test]
+    fn prologue_assembles_and_sets_sp() {
+        let cfg = ClusterConfig::small(Topology::TopH);
+        let g = geom(&cfg);
+        let src = format!("{}{}", emit_prologue(&g), emit_epilogue());
+        let program = assemble(&src).expect("prologue assembles");
+        let mut cluster = Cluster::snitch(cfg).unwrap();
+        cluster.load_program(&program).unwrap();
+        cluster.run(100_000).unwrap();
+        // Core 5 = tile 1, lane 1: sp = 4096 + 2*1024.
+        assert_eq!(cluster.cores()[5].reg(mempool_riscv::Reg::SP), 4096 + 2 * 1024);
+        // Core 0 = tile 0, lane 0: sp = 1024.
+        assert_eq!(cluster.cores()[0].reg(mempool_riscv::Reg::SP), 1024);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_cores() {
+        // Each core stores its hart ID, barriers, then reads a *different*
+        // core's slot; every read must observe the post-barrier value.
+        let cfg = ClusterConfig::small(Topology::TopH);
+        let g = geom(&cfg);
+        let data = g.data_base();
+        let n = g.num_cores();
+        let src = format!(
+            "{prologue}\
+             \tli   t0, {data}\n\
+             \tslli t1, s0, 2\n\
+             \tadd  t0, t0, t1\n\
+             \taddi t2, s0, 1000\n\
+             \tsw   t2, (t0)\n\
+             \tjal  ra, __barrier\n\
+             \t# read neighbour (hart+1 mod n)'s slot\n\
+             \taddi t3, s0, 1\n\
+             \tli   t4, {n}\n\
+             \tblt  t3, t4, nowrap\n\
+             \tli   t3, 0\n\
+             nowrap:\n\
+             \tslli t3, t3, 2\n\
+             \tli   t0, {data}\n\
+             \tadd  t0, t0, t3\n\
+             \tlw   a0, (t0)\n\
+             {epilogue}\
+             {barrier}",
+            prologue = emit_prologue(&g),
+            epilogue = emit_epilogue(),
+            barrier = emit_barrier(&g),
+        );
+        let program = assemble(&src).expect("assembles");
+        let mut cluster = Cluster::snitch(cfg).unwrap();
+        cluster.load_program(&program).unwrap();
+        cluster.run(2_000_000).expect("finishes");
+        for (i, core) in cluster.cores().iter().enumerate() {
+            let neighbour = (i + 1) % n;
+            assert_eq!(
+                core.reg(mempool_riscv::Reg::A0),
+                neighbour as u32 + 1000,
+                "core {i} observed a stale neighbour value"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes_and_is_reusable() {
+        // Same two-phase write/sum pattern as the central-barrier test, but
+        // through the two-level tree barrier, twice in a row.
+        let cfg = ClusterConfig::small(Topology::TopH);
+        let g = geom(&cfg);
+        let data = g.data_base();
+        let n = g.num_cores();
+        let src = format!(
+            "{prologue}             \tjal  ra, __tree_barrier_init\n             \tli   t0, {data}\n             \tslli t1, s0, 2\n             \tadd  t0, t0, t1\n             \taddi t2, s0, 77\n             \tsw   t2, (t0)\n             \tjal  ra, __tree_barrier\n             \tjal  ra, __tree_barrier\n             \tli   t0, {data}\n             \tli   t3, {n}\n             \tli   a0, 0\n             sum:\n             \tlw   t4, (t0)\n             \tadd  a0, a0, t4\n             \taddi t0, t0, 4\n             \taddi t3, t3, -1\n             \tbnez t3, sum\n             {epilogue}             {barrier}",
+            prologue = emit_prologue(&g),
+            epilogue = emit_epilogue(),
+            barrier = emit_tree_barrier(&g),
+        );
+        let program = assemble(&src).unwrap_or_else(|e| panic!("{e}"));
+        let mut cluster = Cluster::snitch(cfg).unwrap();
+        cluster.load_program(&program).unwrap();
+        cluster.run(5_000_000).expect("finishes");
+        let expect: u32 = (0..n as u32).map(|i| i + 77).sum();
+        for (i, core) in cluster.cores().iter().enumerate() {
+            assert_eq!(core.reg(mempool_riscv::Reg::A0), expect, "core {i}");
+        }
+    }
+
+    #[test]
+    fn barrier_reusable_across_epochs() {
+        // Two barriers in a row must not deadlock or let anyone skip ahead.
+        let cfg = ClusterConfig::small(Topology::Top1);
+        let g = geom(&cfg);
+        let src = format!(
+            "{prologue}\
+             \tjal ra, __barrier\n\
+             \tjal ra, __barrier\n\
+             {epilogue}\
+             {barrier}",
+            prologue = emit_prologue(&g),
+            epilogue = emit_epilogue(),
+            barrier = emit_barrier(&g),
+        );
+        let program = assemble(&src).unwrap();
+        let mut cluster = Cluster::snitch(cfg).unwrap();
+        cluster.load_program(&program).unwrap();
+        cluster.run(2_000_000).expect("finishes");
+        // Counter reached 2 epochs × num_cores.
+        assert_eq!(
+            cluster.read_word(g.barrier_addr()),
+            Some(2 * g.num_cores() as u32)
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Streaming kernels beyond the paper's three benchmarks: `axpy` (pure
+//! element-wise streaming over the interleaved region) and `dotprod` (a
+//! parallel reduction finishing with one AMO per core). Useful as extra
+//! workloads for the ablation studies and as API examples.
+
+use crate::golden;
+use crate::matmul::BuildKernelError;
+use crate::runtime::{emit_epilogue, emit_prologue};
+use crate::{CheckKernelError, Geometry, Kernel};
+use mempool::L1Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `y[i] = a·x[i] + y[i]` over `len` elements split contiguously across all
+/// cores. Both vectors live in the shared interleaved region, so accesses
+/// are predominantly remote on every topology — a bandwidth benchmark.
+#[derive(Debug, Clone)]
+pub struct Axpy {
+    geom: Geometry,
+    len: usize,
+    a: i32,
+}
+
+impl Axpy {
+    /// Creates an AXPY of `len` elements with scalar `a`.
+    ///
+    /// # Errors
+    ///
+    /// `len` must be divisible by the core count and both vectors must fit
+    /// in the shared region.
+    pub fn new(geom: Geometry, len: usize, a: i32) -> Result<Axpy, BuildKernelError> {
+        if len == 0 || !len.is_multiple_of(geom.num_cores()) {
+            return Err(BuildKernelError::new(
+                "len must be a nonzero multiple of the core count",
+            ));
+        }
+        if (2 * len * 4) as u32 > geom.data_bytes() {
+            return Err(BuildKernelError::new("vectors exceed the shared region"));
+        }
+        Ok(Axpy { geom, len, a })
+    }
+
+    fn x_base(&self) -> u32 {
+        self.geom.data_base()
+    }
+
+    fn y_base(&self) -> u32 {
+        self.x_base() + (self.len * 4) as u32
+    }
+
+    fn inputs(&self, seed: u64) -> (Vec<i32>, Vec<i32>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6178_7079);
+        let x = (0..self.len).map(|_| rng.gen_range(-1000..1000)).collect();
+        let y = (0..self.len).map(|_| rng.gen_range(-1000..1000)).collect();
+        (x, y)
+    }
+}
+
+impl Kernel for Axpy {
+    fn name(&self) -> &'static str {
+        "axpy"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let per_core = self.len / self.geom.num_cores();
+        format!(
+            "{prologue}\
+             \tli   t0, {per_core}\n\
+             \tmul  t1, s0, t0            # first element\n\
+             \tslli t1, t1, 2\n\
+             \tli   t2, {x_base}\n\
+             \tadd  t2, t2, t1            # x pointer\n\
+             \tli   t3, {y_base}\n\
+             \tadd  t3, t3, t1            # y pointer\n\
+             \tli   t4, {per_core}\n\
+             \tli   t5, {a}\n\
+             loop:\n\
+             \tlw   a0, (t2)\n\
+             \tlw   a1, (t3)\n\
+             \tmul  a0, a0, t5\n\
+             \tadd  a0, a0, a1\n\
+             \tsw   a0, (t3)\n\
+             \taddi t2, t2, 4\n\
+             \taddi t3, t3, 4\n\
+             \taddi t4, t4, -1\n\
+             \tbnez t4, loop\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            x_base = self.x_base(),
+            y_base = self.y_base(),
+            a = self.a,
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        let (x, y) = self.inputs(seed);
+        cluster.write_words(self.x_base(), &x.iter().map(|&v| v as u32).collect::<Vec<_>>());
+        cluster.write_words(self.y_base(), &y.iter().map(|&v| v as u32).collect::<Vec<_>>());
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let (x, y) = self.inputs(seed);
+        let got = cluster.read_words(self.y_base(), self.len);
+        for i in 0..self.len {
+            let expect = x[i].wrapping_mul(self.a).wrapping_add(y[i]);
+            if expect as u32 != got[i] {
+                return Err(CheckKernelError::new(format!(
+                    "y[{i}]: expected {expect}, got {}",
+                    got[i] as i32
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `result = Σ x[i]·y[i]`: each core accumulates its contiguous chunk in a
+/// register and publishes one `amoadd.w` — a reduction benchmark with a
+/// single hot bank at the very end.
+#[derive(Debug, Clone)]
+pub struct DotProduct {
+    geom: Geometry,
+    len: usize,
+}
+
+impl DotProduct {
+    /// Creates a dot product of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Same constraints as [`Axpy::new`] (plus one accumulator word).
+    pub fn new(geom: Geometry, len: usize) -> Result<DotProduct, BuildKernelError> {
+        if len == 0 || !len.is_multiple_of(geom.num_cores()) {
+            return Err(BuildKernelError::new(
+                "len must be a nonzero multiple of the core count",
+            ));
+        }
+        if (2 * len * 4 + 4) as u32 > geom.data_bytes() {
+            return Err(BuildKernelError::new("vectors exceed the shared region"));
+        }
+        Ok(DotProduct { geom, len })
+    }
+
+    fn x_base(&self) -> u32 {
+        self.geom.data_base()
+    }
+
+    fn y_base(&self) -> u32 {
+        self.x_base() + (self.len * 4) as u32
+    }
+
+    /// Address of the scalar result.
+    pub fn result_addr(&self) -> u32 {
+        self.y_base() + (self.len * 4) as u32
+    }
+
+    fn inputs(&self, seed: u64) -> (Vec<i32>, Vec<i32>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x646f_7470);
+        let x = (0..self.len).map(|_| rng.gen_range(-100..100)).collect();
+        let y = (0..self.len).map(|_| rng.gen_range(-100..100)).collect();
+        (x, y)
+    }
+}
+
+impl Kernel for DotProduct {
+    fn name(&self) -> &'static str {
+        "dotprod"
+    }
+
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn source(&self) -> String {
+        let per_core = self.len / self.geom.num_cores();
+        format!(
+            "{prologue}\
+             \tli   t0, {per_core}\n\
+             \tmul  t1, s0, t0\n\
+             \tslli t1, t1, 2\n\
+             \tli   t2, {x_base}\n\
+             \tadd  t2, t2, t1\n\
+             \tli   t3, {y_base}\n\
+             \tadd  t3, t3, t1\n\
+             \tli   t4, {per_core}\n\
+             \tli   t5, 0                 # partial sum\n\
+             loop:\n\
+             \tlw   a0, (t2)\n\
+             \tlw   a1, (t3)\n\
+             \tmul  a0, a0, a1\n\
+             \tadd  t5, t5, a0\n\
+             \taddi t2, t2, 4\n\
+             \taddi t3, t3, 4\n\
+             \taddi t4, t4, -1\n\
+             \tbnez t4, loop\n\
+             \tli   t6, {result}\n\
+             \tamoadd.w zero, t5, (t6)\n\
+             {epilogue}",
+            prologue = emit_prologue(&self.geom),
+            epilogue = emit_epilogue(),
+            x_base = self.x_base(),
+            y_base = self.y_base(),
+            result = self.result_addr(),
+        )
+    }
+
+    fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
+        let (x, y) = self.inputs(seed);
+        cluster.write_words(self.x_base(), &x.iter().map(|&v| v as u32).collect::<Vec<_>>());
+        cluster.write_words(self.y_base(), &y.iter().map(|&v| v as u32).collect::<Vec<_>>());
+        cluster.write_word(self.result_addr(), 0).expect("in range");
+    }
+
+    fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
+        let (x, y) = self.inputs(seed);
+        let expect = golden::dotprod_i32(&x, &y);
+        let got = cluster
+            .read_word(self.result_addr())
+            .expect("result in range");
+        if expect as u32 != got {
+            return Err(CheckKernelError::new(format!(
+                "dot product: expected {expect}, got {}",
+                got as i32
+            )));
+        }
+        Ok(())
+    }
+}

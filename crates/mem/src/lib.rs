@@ -1,0 +1,41 @@
+//! # mempool-mem
+//!
+//! The memory substrate of the MemPool reproduction (DATE 2021):
+//!
+//! * [`AddressMap`] — the sequentially interleaved L1 map across
+//!   tiles × banks (§IV);
+//! * [`Scrambler`] — the *hybrid addressing scheme*: a bijective wire
+//!   crossing that carves per-tile sequential regions out of the interleaved
+//!   map, so private data (e.g. stacks) stays in local banks (§IV);
+//! * [`SpmBank`] — single-ported scratchpad banks with RV32A atomics and
+//!   LR/SC reservations executed at the bank;
+//! * [`ICache`] — the per-tile 4-way set-associative instruction cache
+//!   (timing model; 2 KiB in the paper's configuration).
+//!
+//! # Examples
+//!
+//! The hybrid map in action — a stack slot in the core's local sequential
+//! region resolves to the core's own tile, while shared data stays
+//! interleaved:
+//!
+//! ```
+//! use mempool_mem::{AddressMap, Scrambler};
+//!
+//! let map = AddressMap::new(64, 16, 256)?; // the 256-core cluster, 1 MiB L1
+//! let scrambler = Scrambler::new(map, 1024).unwrap();
+//!
+//! let my_tile = 9;
+//! let stack_slot = scrambler.seq_base(my_tile) + 64;
+//! assert_eq!(map.decode(scrambler.scramble(stack_slot)).unwrap().tile, my_tile);
+//! # Ok::<(), mempool_mem::BuildAddressMapError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod addr;
+mod icache;
+mod spm;
+
+pub use addr::{AddressMap, BankAddress, BuildAddressMapError, Scrambler};
+pub use icache::{BuildCacheError, CacheStats, ICache};
+pub use spm::{BankOp, BankRowError, SpmBank};

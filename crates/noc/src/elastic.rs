@@ -1,0 +1,199 @@
+//! Elastic (skid) buffers: the register boundaries of the MemPool
+//! interconnect.
+
+use std::collections::VecDeque;
+
+/// A register stage with elastic-buffer flow control.
+///
+/// This models the register + elastic buffer pairs of
+/// Michelogiannakis et al. ("Elastic-buffer flow control for on-chip
+/// networks", HPCA 2009), which the MemPool paper inserts "at each output of
+/// the switch … to break any combinational paths crossing the switch".
+///
+/// The buffer separates *arrivals* (pushed during the current cycle) from
+/// *stored* items: a value pushed at cycle *t* only becomes visible at the
+/// head from cycle *t + 1*, after [`ElasticBuffer::commit`] is called at the
+/// end of the cycle. Pops during cycle *t* free space that same cycle, so a
+/// full-throughput pipeline needs capacity 2 (the classic two-slot skid
+/// buffer): one slot holds the in-flight item, the second absorbs the push
+/// that was already decided when backpressure arrived.
+///
+/// # Examples
+///
+/// ```
+/// use mempool_noc::ElasticBuffer;
+///
+/// let mut reg = ElasticBuffer::new(2);
+/// reg.push(7u32);
+/// assert_eq!(reg.head(), None); // not visible until commit
+/// reg.commit();
+/// assert_eq!(reg.head(), Some(&7));
+/// assert_eq!(reg.pop(), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticBuffer<T> {
+    stored: VecDeque<T>,
+    arrivals: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> ElasticBuffer<T> {
+    /// Creates a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "elastic buffer capacity must be nonzero");
+        ElasticBuffer {
+            stored: VecDeque::with_capacity(capacity),
+            arrivals: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently stored or staged.
+    pub fn len(&self) -> usize {
+        self.stored.len() + self.arrivals.len()
+    }
+
+    /// Whether the buffer holds no items at all (stored or staged).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a push would be accepted this cycle.
+    pub fn can_push(&self) -> bool {
+        self.len() < self.capacity
+    }
+
+    /// Stages an item for arrival; it becomes visible after [`commit`].
+    ///
+    /// [`commit`]: ElasticBuffer::commit
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full ([`can_push`] is `false`) — callers must
+    /// check readiness first, as a hardware producer would sample `ready`.
+    ///
+    /// [`can_push`]: ElasticBuffer::can_push
+    pub fn push(&mut self, item: T) {
+        assert!(self.can_push(), "push into full elastic buffer");
+        self.arrivals.push_back(item);
+    }
+
+    /// The oldest *visible* item, if any.
+    pub fn head(&self) -> Option<&T> {
+        self.stored.front()
+    }
+
+    /// Removes and returns the oldest visible item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.stored.pop_front()
+    }
+
+    /// End-of-cycle commit: staged arrivals become visible.
+    pub fn commit(&mut self) {
+        self.stored.append(&mut self.arrivals);
+        debug_assert!(self.stored.len() <= self.capacity);
+    }
+
+    /// Drops all contents (stored and staged).
+    pub fn clear(&mut self) {
+        self.stored.clear();
+        self.arrivals.clear();
+    }
+
+    /// Iterates over the visible items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.stored.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_invisible_until_commit() {
+        let mut b = ElasticBuffer::new(2);
+        b.push(1);
+        assert!(b.head().is_none());
+        assert_eq!(b.len(), 1);
+        b.commit();
+        assert_eq!(b.head(), Some(&1));
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = ElasticBuffer::new(4);
+        b.push(1);
+        b.push(2);
+        b.commit();
+        b.push(3);
+        b.commit();
+        assert_eq!(b.pop(), Some(1));
+        assert_eq!(b.pop(), Some(2));
+        assert_eq!(b.pop(), Some(3));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn capacity_counts_staged_items() {
+        let mut b = ElasticBuffer::new(2);
+        b.push(1);
+        b.push(2);
+        assert!(!b.can_push());
+        b.commit();
+        assert!(!b.can_push());
+        b.pop();
+        assert!(b.can_push());
+    }
+
+    #[test]
+    fn full_throughput_with_same_cycle_drain() {
+        // Depth-2 buffer sustains one item per cycle when drained every
+        // cycle: pop happens before push within a cycle.
+        let mut b = ElasticBuffer::new(2);
+        b.push(0u32);
+        b.commit();
+        for i in 1..100u32 {
+            let got = b.pop().expect("one item per cycle");
+            assert_eq!(got, i - 1);
+            assert!(b.can_push());
+            b.push(i);
+            b.commit();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full elastic buffer")]
+    fn push_when_full_panics() {
+        let mut b = ElasticBuffer::new(1);
+        b.push(1);
+        b.push(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = ElasticBuffer::<u32>::new(0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut b = ElasticBuffer::new(2);
+        b.push(1);
+        b.commit();
+        b.push(2);
+        b.clear();
+        assert!(b.is_empty());
+        b.commit();
+        assert!(b.pop().is_none());
+    }
+}

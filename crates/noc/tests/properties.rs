@@ -1,0 +1,149 @@
+//! Property tests for the interconnect substrate.
+
+use mempool_noc::{ElasticBuffer, Fabric, Offer};
+use proptest::prelude::*;
+
+proptest! {
+    /// An elastic buffer is a FIFO: any interleaving of pushes/pops/commits
+    /// preserves order and never loses or duplicates items.
+    #[test]
+    fn elastic_buffer_is_fifo(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut buf = ElasticBuffer::new(2);
+        let mut reference: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        let mut popped = Vec::new();
+        let mut ref_popped = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if buf.can_push() {
+                        buf.push(next);
+                        reference.push(next);
+                        next += 1;
+                    }
+                }
+                1 => {
+                    if let Some(v) = buf.pop() {
+                        popped.push(v);
+                        ref_popped.push(reference.remove(0));
+                    }
+                }
+                _ => buf.commit(),
+            }
+        }
+        prop_assert_eq!(popped, ref_popped);
+    }
+
+    /// Fabric conservation: over any random offered pattern, each committed
+    /// packet lands on its own output port and no two committed packets
+    /// share an output.
+    #[test]
+    fn fabric_grants_are_conflict_free(
+        dests in proptest::collection::vec(0usize..64, 64),
+        mask in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut net = Fabric::butterfly(64, 4).unwrap();
+        let offers: Vec<Offer> = dests
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask[i])
+            .map(|(input, &dest)| Offer { input, dest })
+            .collect();
+        let granted = net.resolve(&offers, &mut |_| true);
+        let mut used = [false; 64];
+        for (offer, &g) in offers.iter().zip(&granted) {
+            if g {
+                let port = net.output_port(offer.input, offer.dest);
+                prop_assert_eq!(port, offer.dest);
+                prop_assert!(!used[port], "two grants on output {}", port);
+                used[port] = true;
+            }
+        }
+    }
+
+    /// Work conservation on a crossbar: if all offered destinations are
+    /// distinct and ready, every offer commits (full crossbars are
+    /// non-blocking).
+    #[test]
+    fn crossbar_is_non_blocking(perm in proptest::sample::subsequence((0..16usize).collect::<Vec<_>>(), 1..16)) {
+        let mut xbar = Fabric::crossbar(16, 16).unwrap();
+        let offers: Vec<Offer> = perm
+            .iter()
+            .enumerate()
+            .map(|(input, &dest)| Offer { input, dest })
+            .collect();
+        let granted = xbar.resolve(&offers, &mut |_| true);
+        prop_assert!(granted.iter().all(|&g| g));
+    }
+
+    /// At most one packet per contended destination commits per cycle, and
+    /// at least one does when terminals are ready (the fabric never
+    /// deadlocks an uncontended resource).
+    #[test]
+    fn contended_output_progress(n in 2usize..16) {
+        let mut net = Fabric::butterfly(16, 4).unwrap();
+        let offers: Vec<Offer> = (0..n).map(|input| Offer { input, dest: 7 }).collect();
+        let granted = net.resolve(&offers, &mut |_| true);
+        prop_assert_eq!(granted.iter().filter(|&&g| g).count(), 1);
+    }
+
+    /// Butterfly segments compose to the full network for random splits.
+    #[test]
+    fn butterfly_split_composes(split in 1usize..3, src in 0usize..64, dest in 0usize..64) {
+        let seg_a = Fabric::butterfly_segment(64, 4, 0, split).unwrap();
+        let seg_b = Fabric::butterfly_segment(64, 4, split, 3).unwrap();
+        let full = Fabric::butterfly(64, 4).unwrap();
+        let mid = seg_a.output_port(src, dest);
+        prop_assert_eq!(seg_b.output_port(mid, dest), dest);
+        prop_assert_eq!(full.output_port(src, dest), dest);
+    }
+}
+
+/// Long-run fairness: every input contending for one hot output gets served
+/// within a bounded number of cycles (round-robin, non-starving).
+#[test]
+fn hot_spot_fairness() {
+    let mut net = Fabric::butterfly(16, 4).unwrap();
+    let mut wins = [0u32; 16];
+    // All inputs contend for output 3 every cycle.
+    let offers: Vec<Offer> = (0..16).map(|input| Offer { input, dest: 3 }).collect();
+    for _ in 0..160 {
+        let granted = net.resolve(&offers, &mut |_| true);
+        for (o, g) in offers.iter().zip(&granted) {
+            if *g {
+                wins[o.input] += 1;
+            }
+        }
+    }
+    // 160 grants over 16 inputs: round-robin at each layer gives each input
+    // a bounded share; nobody is starved and nobody hogs.
+    assert_eq!(wins.iter().sum::<u32>(), 160);
+    for (input, &w) in wins.iter().enumerate() {
+        assert!(w >= 5, "input {input} starved: {wins:?}");
+        assert!(w <= 20, "input {input} hogged: {wins:?}");
+    }
+}
+
+proptest! {
+    /// Bounded wait: an input that keeps requesting the same destination is
+    /// served within (number of contenders) grants of that output, no
+    /// matter what the other inputs do — round-robin starvation freedom.
+    #[test]
+    fn fabric_bounded_wait(dests in proptest::collection::vec(0usize..16, 16)) {
+        let mut net = Fabric::butterfly(16, 4).unwrap();
+        // Input 0 persistently wants destination 5; others follow `dests`.
+        let mut offers: Vec<Offer> = vec![Offer { input: 0, dest: 5 }];
+        for (input, &dest) in dests.iter().enumerate().skip(1) {
+            offers.push(Offer { input, dest });
+        }
+        let mut waited = 0;
+        loop {
+            let granted = net.resolve(&offers, &mut |_| true);
+            if granted[0] {
+                break;
+            }
+            waited += 1;
+            prop_assert!(waited <= 32, "input 0 starved for {} cycles", waited);
+        }
+    }
+}

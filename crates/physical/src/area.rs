@@ -1,0 +1,255 @@
+//! Analytical area model of the MemPool cluster in GF 22FDX, calibrated
+//! against §VI-B/§VI-C of the paper.
+//!
+//! The paper reports one physical implementation; this module encodes its
+//! constants (kGE counts, utilization, macro sizes) as a roll-up so the
+//! same breakdowns can be regenerated and swept over configurations. These
+//! are *model* numbers, not synthesis results — see EXPERIMENTS.md.
+
+use mempool::{ClusterConfig, Topology};
+
+/// Gate-equivalent counts of the leaf blocks (kGE), calibrated to §III-B
+/// and §VI-B.
+pub mod kge {
+    /// One Snitch core ("a 21 kGE … RV32IMA core").
+    pub const SNITCH_CORE: f64 = 21.0;
+    /// The paper's full tile (4 cores, 16 banks, I$, crossbars, ROBs).
+    pub const TILE_TOTAL: f64 = 908.0;
+    /// I-cache share of the tile ("23.6 %").
+    pub const TILE_ICACHE_FRACTION: f64 = 0.236;
+    /// SPM share of the tile ("40.2 %").
+    pub const TILE_SPM_FRACTION: f64 = 0.402;
+    /// One radix-4 switch of the global interconnect (estimate: 32-bit
+    /// datapath, 4×4 crossbar + round-robin arbiters + elastic buffers).
+    pub const RADIX4_SWITCH: f64 = 3.2;
+    /// One 16×16 fully-connected crossbar port-pair slice (per master).
+    pub const XBAR16_PER_PORT: f64 = 10.5;
+}
+
+/// Physical constants of the GF 22FDX implementation.
+pub mod fdx22 {
+    /// Tile macro edge (µm): "425 µm × 425 µm".
+    pub const TILE_EDGE_UM: f64 = 425.0;
+    /// Tile placement utilization: "72.8 %".
+    pub const TILE_UTILIZATION: f64 = 0.728;
+    /// Cluster macro edge (mm): "4.6 mm × 4.6 mm".
+    pub const CLUSTER_EDGE_MM: f64 = 4.6;
+    /// Fraction of cluster area covered by tiles: "55 %".
+    pub const TILE_COVERAGE: f64 = 0.55;
+    /// Derived silicon area per gate equivalent at tile utilization
+    /// (µm²/GE).
+    pub fn um2_per_ge() -> f64 {
+        TILE_EDGE_UM * TILE_EDGE_UM * TILE_UTILIZATION / (kge_to_ge(super::kge::TILE_TOTAL))
+    }
+
+    fn kge_to_ge(kge: f64) -> f64 {
+        kge * 1000.0
+    }
+}
+
+/// Area roll-up of one tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileArea {
+    /// Total tile complexity (kGE).
+    pub total_kge: f64,
+    /// I-cache share (kGE).
+    pub icache_kge: f64,
+    /// SPM share (kGE).
+    pub spm_kge: f64,
+    /// Cores share (kGE).
+    pub cores_kge: f64,
+    /// Tile-local interconnect, ROBs and glue (kGE).
+    pub interconnect_kge: f64,
+    /// Macro edge (µm), assuming a square macro at the paper's utilization.
+    pub edge_um: f64,
+}
+
+impl TileArea {
+    /// I-cache fraction of the tile.
+    pub fn icache_fraction(&self) -> f64 {
+        self.icache_kge / self.total_kge
+    }
+
+    /// SPM fraction of the tile.
+    pub fn spm_fraction(&self) -> f64 {
+        self.spm_kge / self.total_kge
+    }
+}
+
+/// Per-topology global-interconnect inventory and congestion estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectArea {
+    /// Radix-4 switches in the global (inter-tile) networks, request +
+    /// response.
+    pub switches: usize,
+    /// Fully-connected crossbar master ports in the global networks.
+    pub xbar_ports: usize,
+    /// Global interconnect complexity (kGE).
+    pub kge: f64,
+    /// Relative center congestion (Top1 ≡ 1.0): the fraction of global
+    /// wires whose minimal-length route crosses the cluster center,
+    /// weighted by wire count.
+    pub center_congestion: f64,
+    /// Whether the back-end flow closes at reasonable clock rates
+    /// (§VI-C: Top4 is "physically infeasible").
+    pub feasible: bool,
+}
+
+/// Full cluster area report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterArea {
+    /// The tile roll-up.
+    pub tile: TileArea,
+    /// The global interconnect inventory.
+    pub interconnect: InterconnectArea,
+    /// Total cluster silicon (mm²) including the interconnect overhead.
+    pub cluster_mm2: f64,
+    /// Cluster macro edge (mm).
+    pub edge_mm: f64,
+    /// Fraction of the macro covered by tile macros.
+    pub tile_coverage: f64,
+}
+
+/// Computes the tile area roll-up for a configuration (scales the paper's
+/// tile with core count; bank/I-cache sizes scale their shares linearly).
+pub fn tile_area(config: &ClusterConfig) -> TileArea {
+    let icache_kge = kge::TILE_TOTAL * kge::TILE_ICACHE_FRACTION
+        * (config.icache.size_bytes as f64 / 2048.0);
+    let spm_kge = kge::TILE_TOTAL
+        * kge::TILE_SPM_FRACTION
+        * (config.banks_per_tile as f64 * config.rows_per_bank as f64 * 4.0 / 16384.0);
+    let cores_kge = kge::SNITCH_CORE * config.cores_per_tile as f64;
+    let paper_rest =
+        kge::TILE_TOTAL * (1.0 - kge::TILE_ICACHE_FRACTION - kge::TILE_SPM_FRACTION)
+            - 4.0 * kge::SNITCH_CORE;
+    // Tile-local interconnect scales with (cores + ports) × banks.
+    let ports = config.topology.remote_ports(config.cores_per_tile) as f64;
+    let paper_ports = 4.0;
+    let scale = ((config.cores_per_tile as f64 + ports) * config.banks_per_tile as f64)
+        / ((4.0 + paper_ports) * 16.0);
+    let interconnect_kge = paper_rest * scale;
+    let total_kge = icache_kge + spm_kge + cores_kge + interconnect_kge;
+    let area_um2 = total_kge * 1000.0 * fdx22::um2_per_ge() / fdx22::TILE_UTILIZATION;
+    TileArea {
+        total_kge,
+        icache_kge,
+        spm_kge,
+        cores_kge,
+        interconnect_kge,
+        edge_um: area_um2.sqrt(),
+    }
+}
+
+/// Computes the global interconnect inventory for a configuration.
+pub fn interconnect_area(config: &ClusterConfig) -> InterconnectArea {
+    let n = config.num_tiles as f64;
+    let radix = config.radix as f64;
+    let layers = (n.ln() / radix.ln()).round();
+    let switches_per_net = (n / radix) * layers;
+    let (switches, xbar_ports, center_congestion) = match config.topology {
+        Topology::Ideal => (0.0, 2.0 * n * n / 16.0, f64::INFINITY),
+        // Request + response networks.
+        Topology::Top1 => (2.0 * switches_per_net, 0.0, 1.0),
+        Topology::Top4 => (
+            2.0 * switches_per_net * config.cores_per_tile as f64,
+            0.0,
+            config.cores_per_tile as f64,
+        ),
+        Topology::TopH => {
+            let tpg = config.tiles_per_group() as f64;
+            let group_layers = (tpg.ln() / radix.ln()).round().max(1.0);
+            let bfly_switches = (tpg / radix) * group_layers;
+            // 4 groups × 3 directions × (request + response) butterflies;
+            // 4 groups × 2 local crossbars of tpg ports.
+            let switches = 4.0 * 3.0 * 2.0 * bfly_switches;
+            let ports = 4.0 * 2.0 * tpg;
+            // Only the NE (diagonal) channels cross the cluster center:
+            // 2 diagonal pairings of the 6 directed inter-group channels,
+            // each carrying 1/4 of Top4's wire count.
+            (switches, ports, 0.75)
+        }
+    };
+    let kge = switches * kge::RADIX4_SWITCH + xbar_ports * kge::XBAR16_PER_PORT;
+    InterconnectArea {
+        switches: switches as usize,
+        xbar_ports: xbar_ports as usize,
+        kge,
+        center_congestion,
+        // §VI-C: Top4 is ~4× as congested as Top1, which is already at the
+        // limit; the threshold sits between Top1 and Top4.
+        feasible: center_congestion <= 2.0,
+    }
+}
+
+/// Computes the full cluster report.
+pub fn cluster_area(config: &ClusterConfig) -> ClusterArea {
+    let tile = tile_area(config);
+    let interconnect = interconnect_area(config);
+    let tiles_mm2 = config.num_tiles as f64 * (tile.edge_um * tile.edge_um) / 1e6;
+    // The paper's floorplan leaves 45 % of the macro to the global
+    // interconnect, congestion relief and power grid.
+    let cluster_mm2 = tiles_mm2 / fdx22::TILE_COVERAGE;
+    ClusterArea {
+        tile,
+        interconnect,
+        cluster_mm2,
+        edge_mm: cluster_mm2.sqrt(),
+        tile_coverage: fdx22::TILE_COVERAGE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper(topology: Topology) -> ClusterConfig {
+        ClusterConfig::paper(topology)
+    }
+
+    #[test]
+    fn paper_tile_matches_reported_numbers() {
+        let t = tile_area(&paper(Topology::TopH));
+        assert!((t.total_kge - 908.0).abs() < 1.0, "tile {} kGE", t.total_kge);
+        assert!((t.icache_fraction() - 0.236).abs() < 0.005);
+        assert!((t.spm_fraction() - 0.402).abs() < 0.005);
+        assert!((t.edge_um - 425.0).abs() < 3.0, "edge {} um", t.edge_um);
+    }
+
+    #[test]
+    fn paper_cluster_matches_reported_numbers() {
+        let c = cluster_area(&paper(Topology::TopH));
+        assert!((c.edge_mm - 4.6).abs() < 0.1, "edge {} mm", c.edge_mm);
+        assert!((c.tile_coverage - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn feasibility_verdicts() {
+        assert!(interconnect_area(&paper(Topology::Top1)).feasible);
+        assert!(!interconnect_area(&paper(Topology::Top4)).feasible);
+        assert!(interconnect_area(&paper(Topology::TopH)).feasible);
+        assert!(!interconnect_area(&paper(Topology::Ideal)).feasible);
+    }
+
+    #[test]
+    fn top4_congestion_is_four_times_top1() {
+        let top1 = interconnect_area(&paper(Topology::Top1));
+        let top4 = interconnect_area(&paper(Topology::Top4));
+        assert!((top4.center_congestion / top1.center_congestion - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toph_distributes_wiring() {
+        let top4 = interconnect_area(&paper(Topology::TopH));
+        assert!(top4.center_congestion < 1.0);
+    }
+
+    #[test]
+    fn smaller_icache_shrinks_tile() {
+        let mut cfg = paper(Topology::TopH);
+        cfg.icache.size_bytes = 1024;
+        let small = tile_area(&cfg);
+        let full = tile_area(&paper(Topology::TopH));
+        assert!(small.total_kge < full.total_kge);
+        assert!(small.icache_fraction() < full.icache_fraction());
+    }
+}

@@ -1,0 +1,247 @@
+//! Qualitative floorplan rendering — the reproduction's stand-in for the
+//! place-and-route screenshots of Fig. 8 and Fig. 9.
+//!
+//! The model places the tiles on a square grid (the paper's 8×8 tile
+//! arrangement for 64 tiles) and accumulates global-interconnect wiring
+//! density along straight tile-to-hub routes:
+//!
+//! * `Top1`/`Top4` butterflies are physically centralized — every tile's
+//!   remote wiring runs to the cluster center (×1 or ×4 ports), which is
+//!   exactly why "all wiring and cells are drawn towards the center of the
+//!   design" (Fig. 9a) and why Top4, four times as dense, fails to route;
+//! * `TopH` routes local-group traffic to each *group* hub and only the
+//!   inter-group channels across the die, with the NE channels crossing
+//!   the center diagonally — "TopH distributes the cells and the wiring
+//!   throughout the cluster" (Fig. 9b).
+
+use crate::area::interconnect_area;
+use mempool::{ClusterConfig, Topology};
+
+/// A wiring-density heatmap over the cluster floorplan.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// Canvas resolution (cells per edge; 2 cells per tile edge + 1).
+    pub size: usize,
+    /// Accumulated wire density per cell, row-major.
+    pub density: Vec<f64>,
+    /// The rendered topology.
+    pub topology: Topology,
+}
+
+impl Floorplan {
+    /// Density at canvas cell `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        self.density[y * self.size + x]
+    }
+
+    /// Density at the cluster center.
+    pub fn center_density(&self) -> f64 {
+        let c = self.size / 2;
+        self.at(c, c)
+    }
+
+    /// Peak density anywhere on the canvas.
+    pub fn peak_density(&self) -> f64 {
+        self.density.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Coefficient of variation of the density (lower = more evenly
+    /// distributed wiring).
+    pub fn spread(&self) -> f64 {
+        let n = self.density.len() as f64;
+        let mean = self.density.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .density
+            .iter()
+            .map(|d| (d - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Renders the heatmap as ASCII art (darker = denser wiring), one row
+    /// per line.
+    pub fn render(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let peak = self.peak_density().max(1e-12);
+        let mut out = String::with_capacity(self.size * (self.size + 1));
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let level = (self.at(x, y) / peak * (SHADES.len() - 1) as f64).round() as usize;
+                out.push(SHADES[level.min(SHADES.len() - 1)] as char);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Walks a straight line between two canvas points, adding `weight` to
+/// every cell it passes (supersampled).
+fn stroke(density: &mut [f64], size: usize, from: (f64, f64), to: (f64, f64), weight: f64) {
+    let steps = (size * 4).max(8);
+    for i in 0..=steps {
+        let t = i as f64 / steps as f64;
+        let x = from.0 + (to.0 - from.0) * t;
+        let y = from.1 + (to.1 - from.1) * t;
+        let xi = (x.round() as usize).min(size - 1);
+        let yi = (y.round() as usize).min(size - 1);
+        density[yi * size + xi] += weight / steps as f64;
+    }
+}
+
+/// Builds the wiring-density floorplan for a configuration.
+///
+/// # Panics
+///
+/// Panics if `num_tiles` is not a perfect square (the paper's physical
+/// arrangement).
+pub fn floorplan(config: &ClusterConfig) -> Floorplan {
+    let n = config.num_tiles;
+    let edge = (n as f64).sqrt() as usize;
+    assert_eq!(edge * edge, n, "tiles must form a square grid");
+    let size = 2 * edge + 1;
+    let mut density = vec![0.0; size * size];
+    let tile_pos = |t: usize| -> (f64, f64) {
+        let x = (t % edge) as f64 * 2.0 + 1.0;
+        let y = (t / edge) as f64 * 2.0 + 1.0;
+        (x, y)
+    };
+    let center = ((size / 2) as f64, (size / 2) as f64);
+    match config.topology {
+        Topology::Ideal => {
+            // Not physically meaningful: full point-to-point wiring.
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    stroke(&mut density, size, tile_pos(a), tile_pos(b), 0.05);
+                }
+            }
+        }
+        Topology::Top1 | Topology::Top4 => {
+            let ports = config.topology.remote_ports(config.cores_per_tile) as f64;
+            for t in 0..n {
+                // Request + response wiring to the central switch stack.
+                stroke(&mut density, size, tile_pos(t), center, 2.0 * ports);
+            }
+        }
+        Topology::TopH => {
+            // Four group hubs at the quadrant centers (2×2 groups of
+            // edge/?: the paper arranges 4 groups of 16 tiles as quadrants).
+            let q = (size as f64) / 4.0;
+            let hubs = [
+                (q, q),
+                (3.0 * q, q),
+                (q, 3.0 * q),
+                (3.0 * q, 3.0 * q),
+            ];
+            let group_of = |t: usize| -> usize {
+                let gx = (t % edge) / (edge / 2);
+                let gy = (t / edge) / (edge / 2);
+                gy * 2 + gx
+            };
+            for t in 0..n {
+                // L port to the local group hub (request + response).
+                stroke(&mut density, size, tile_pos(t), hubs[group_of(t)], 2.0);
+            }
+            // Inter-group channels: E (horizontal), N (vertical), NE
+            // (diagonal through the center), request + response each, with
+            // one 16-wide channel per direction pair.
+            let w = 2.0 * (config.tiles_per_group() as f64);
+            stroke(&mut density, size, hubs[0], hubs[1], w); // E row 0
+            stroke(&mut density, size, hubs[2], hubs[3], w); // E row 1
+            stroke(&mut density, size, hubs[0], hubs[2], w); // N col 0
+            stroke(&mut density, size, hubs[1], hubs[3], w); // N col 1
+            stroke(&mut density, size, hubs[0], hubs[3], w); // NE diagonal
+            stroke(&mut density, size, hubs[1], hubs[2], w); // NE diagonal
+        }
+    }
+    Floorplan {
+        size,
+        density,
+        topology: config.topology,
+    }
+}
+
+/// Side-by-side textual comparison of the Fig. 9 message: how much of the
+/// wiring funnels through the die center per topology.
+pub fn congestion_summary(config_of: impl Fn(Topology) -> ClusterConfig) -> String {
+    let mut out = String::new();
+    for topo in [Topology::Top1, Topology::Top4, Topology::TopH] {
+        let cfg = config_of(topo);
+        let plan = floorplan(&cfg);
+        let verdict = if interconnect_area(&cfg).feasible {
+            "routable"
+        } else {
+            "INFEASIBLE"
+        };
+        out.push_str(&format!(
+            "{topo:>5}: center density {:>7.2}, spread {:.2}, back-end {verdict}\n",
+            plan.center_density(),
+            plan.spread()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper(topo: Topology) -> ClusterConfig {
+        ClusterConfig::paper(topo)
+    }
+
+    #[test]
+    fn top4_center_is_four_times_top1() {
+        let top1 = floorplan(&paper(Topology::Top1));
+        let top4 = floorplan(&paper(Topology::Top4));
+        let ratio = top4.center_density() / top1.center_density();
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn toph_center_is_below_top1() {
+        let top1 = floorplan(&paper(Topology::Top1));
+        let toph = floorplan(&paper(Topology::TopH));
+        assert!(
+            toph.center_density() < top1.center_density(),
+            "TopH {} vs Top1 {}",
+            toph.center_density(),
+            top1.center_density()
+        );
+    }
+
+    #[test]
+    fn toph_spreads_wiring_more_evenly() {
+        let top1 = floorplan(&paper(Topology::Top1));
+        let toph = floorplan(&paper(Topology::TopH));
+        assert!(
+            toph.spread() < top1.spread(),
+            "TopH spread {} vs Top1 {}",
+            toph.spread(),
+            top1.spread()
+        );
+    }
+
+    #[test]
+    fn render_has_expected_shape() {
+        let plan = floorplan(&paper(Topology::TopH));
+        let text = plan.render();
+        assert_eq!(text.lines().count(), plan.size);
+        // The canvas is 17 cells wide, two characters each.
+        assert!(text.lines().all(|l| l.len() == plan.size * 2));
+        // Densest cells render as '@'.
+        assert!(text.contains('@'));
+    }
+
+    #[test]
+    fn summary_mentions_top4_infeasibility() {
+        let s = congestion_summary(paper);
+        assert!(s.contains("INFEASIBLE"));
+        assert!(s.contains("top4"));
+    }
+}

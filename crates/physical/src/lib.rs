@@ -1,0 +1,50 @@
+//! # mempool-physical
+//!
+//! Analytical physical-implementation models of the MemPool cluster in
+//! GF 22FDX, calibrated against §VI of the paper:
+//!
+//! * [`area`] — kGE roll-up of tiles and interconnect, macro sizes,
+//!   utilization, and the center-congestion heuristic that declares Top4
+//!   physically infeasible (§VI-B, §VI-C, Fig. 8/9);
+//! * [`timing`] — critical-path / wire-delay model reproducing TopH's
+//!   700 MHz (TT) / 480 MHz (SS) and the 37 % wire-delay share (§VI-C);
+//! * [`mod@energy`] — per-event energy table reproducing Fig. 10 (8.4 pJ local
+//!   vs 16.9 pJ remote loads) and the 20.9 mW tile / 1.55 W cluster power
+//!   of §VI-D, driven by activity counters from the cycle-accurate
+//!   simulator.
+//!
+//! These are *models*, not EDA results: the paper's reported silicon
+//! numbers are encoded as calibrated constants so the same breakdowns can
+//! be regenerated, swept, and composed with simulated activity. Each
+//! substitution is documented in `DESIGN.md` / `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mempool::{ClusterConfig, Topology};
+//! use mempool_physical::{area, timing};
+//!
+//! let config = ClusterConfig::paper(Topology::TopH);
+//! let cluster = area::cluster_area(&config);
+//! assert!((cluster.edge_mm - 4.6).abs() < 0.1);
+//! let t = timing::cluster_timing(&config);
+//! assert!(t.feasible && t.f_typ_mhz > 650.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod floorplan;
+pub mod timing;
+
+pub use area::{cluster_area, interconnect_area, tile_area, ClusterArea, InterconnectArea, TileArea};
+pub use energy::{
+    cluster_power_w, energy, instruction_energy_table, tile_power_mw, Activity, EnergyBreakdown,
+    InstructionEnergy,
+};
+pub use floorplan::{congestion_summary, floorplan, Floorplan};
+pub use timing::{
+    cluster_timing, dvfs_curve, operating_point, tile_timing, Corner, OperatingPoint,
+    TimingReport,
+};

@@ -1,0 +1,200 @@
+//! Analytical timing model, calibrated against §VI-C: TopH closes at
+//! 700 MHz in typical conditions (TT/0.80 V/25 °C) and 480 MHz at worst
+//! case (SS/0.72 V/125 °C), with a 36-gate cluster critical path of which
+//! 37 % is wire propagation delay (27 of the 36 gates being buffers or
+//! inverter pairs).
+
+use mempool::{ClusterConfig, Topology};
+
+/// Average gate delay (ps) of the 22FDX standard cells on the critical
+/// path at typical conditions, calibrated so the TopH numbers reproduce.
+pub const GATE_DELAY_TT_PS: f64 = 25.0;
+/// Worst-case / typical delay derating (SS/0.72 V/125 °C vs TT/0.80 V/25 °C).
+pub const SS_DERATE: f64 = 700.0 / 480.0;
+
+/// Process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Typical: TT / 0.80 V / 25 °C.
+    Typical,
+    /// Worst case: SS / 0.72 V / 125 °C.
+    WorstCase,
+}
+
+/// A critical-path description and the frequencies it supports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Logic gates on the critical path.
+    pub path_gates: u32,
+    /// Of which buffers / inverter pairs (repeaters fighting wire delay).
+    pub repeater_gates: u32,
+    /// Wire propagation share of the cycle time.
+    pub wire_fraction: f64,
+    /// Achievable frequency at typical conditions (MHz).
+    pub f_typ_mhz: f64,
+    /// Achievable frequency at worst-case conditions (MHz).
+    pub f_wc_mhz: f64,
+    /// Whether the back end converges at a reasonable clock at all.
+    pub feasible: bool,
+}
+
+impl TimingReport {
+    /// Frequency at the given corner (MHz).
+    pub fn frequency(&self, corner: Corner) -> f64 {
+        match corner {
+            Corner::Typical => self.f_typ_mhz,
+            Corner::WorstCase => self.f_wc_mhz,
+        }
+    }
+}
+
+fn report(path_gates: u32, repeater_gates: u32, wire_fraction: f64, feasible: bool) -> TimingReport {
+    // Cycle time = logic delay / (1 - wire fraction).
+    let logic_ps = f64::from(path_gates) * GATE_DELAY_TT_PS;
+    let cycle_ps = logic_ps / (1.0 - wire_fraction);
+    let f_typ = 1e6 / cycle_ps;
+    TimingReport {
+        path_gates,
+        repeater_gates,
+        wire_fraction,
+        f_typ_mhz: f_typ,
+        f_wc_mhz: f_typ / SS_DERATE,
+        feasible,
+    }
+}
+
+/// The standalone tile's timing (§VI-B): a 53-gate path from the I-cache
+/// output register, through the second Snitch core and the request
+/// interconnect, into an SPM bank. Short intra-macro wires.
+pub fn tile_timing(_config: &ClusterConfig) -> TimingReport {
+    report(53, 12, 0.12, true)
+}
+
+/// The cluster-level timing per topology (§VI-C).
+///
+/// TopH's path starts at a local-group boundary, crosses the cluster
+/// center and another group, and ends in a Snitch ROB: few logic levels,
+/// dominated by repeaters and wire flight time. Top1 closes lower because
+/// all global wiring funnels through the congested center; Top4 does not
+/// converge at all.
+pub fn cluster_timing(config: &ClusterConfig) -> TimingReport {
+    match config.topology {
+        Topology::TopH => report(36, 27, 0.37, true),
+        Topology::Top1 => report(36, 27, 0.48, true),
+        Topology::Top4 => report(36, 27, 0.75, false),
+        // The ideal crossbar is a modeling construct, not implementable.
+        Topology::Ideal => report(36, 27, 0.95, false),
+    }
+}
+
+/// One point of a voltage–frequency–energy scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage (V).
+    pub voltage: f64,
+    /// Achievable frequency at typical conditions (MHz).
+    pub f_mhz: f64,
+    /// Energy-per-operation multiplier relative to the 0.80 V calibration
+    /// point (CV² dynamic energy).
+    pub energy_scale: f64,
+}
+
+/// Alpha-power-law DVFS model around the paper's TT calibration point
+/// (0.80 V → TopH at 700 MHz): `f ∝ (V − V_t)^1.3 / V` with a 0.35 V
+/// threshold typical of 22FDX regular-Vt libraries, and dynamic energy
+/// scaling as `V²`. A *model extension* — the paper reports only the two
+/// sign-off corners.
+///
+/// # Panics
+///
+/// Panics if `voltage` does not exceed the threshold voltage.
+pub fn operating_point(config: &ClusterConfig, voltage: f64) -> OperatingPoint {
+    const V_NOM: f64 = 0.80;
+    const V_T: f64 = 0.35;
+    const ALPHA: f64 = 1.3;
+    assert!(voltage > V_T, "voltage must exceed the 0.35 V threshold");
+    let f_nom = cluster_timing(config).f_typ_mhz;
+    let shape = |v: f64| (v - V_T).powf(ALPHA) / v;
+    OperatingPoint {
+        voltage,
+        f_mhz: f_nom * shape(voltage) / shape(V_NOM),
+        energy_scale: (voltage / V_NOM).powi(2),
+    }
+}
+
+/// A voltage sweep of [`operating_point`].
+pub fn dvfs_curve(config: &ClusterConfig, voltages: &[f64]) -> Vec<OperatingPoint> {
+    voltages
+        .iter()
+        .map(|&v| operating_point(config, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toph_frequencies_match_paper() {
+        let cfg = ClusterConfig::paper(Topology::TopH);
+        let t = cluster_timing(&cfg);
+        assert!((t.f_typ_mhz - 700.0).abs() < 35.0, "TT {}", t.f_typ_mhz);
+        assert!((t.f_wc_mhz - 480.0).abs() < 25.0, "SS {}", t.f_wc_mhz);
+        assert!((t.wire_fraction - 0.37).abs() < 1e-9);
+        assert_eq!(t.path_gates, 36);
+        assert_eq!(t.repeater_gates, 27);
+        assert!(t.feasible);
+    }
+
+    #[test]
+    fn tile_is_faster_than_cluster() {
+        let cfg = ClusterConfig::paper(Topology::TopH);
+        // The tile path has more gates but almost no wire delay; it still
+        // must not limit the cluster clock.
+        let tile = tile_timing(&cfg);
+        let cluster = cluster_timing(&cfg);
+        assert!(tile.feasible);
+        assert!(tile.f_typ_mhz > 0.8 * cluster.f_typ_mhz);
+    }
+
+    #[test]
+    fn topology_feasibility() {
+        let t = |topo| cluster_timing(&ClusterConfig::paper(topo));
+        assert!(t(Topology::Top1).feasible);
+        assert!(!t(Topology::Top4).feasible);
+        assert!(t(Topology::TopH).feasible);
+        assert!(!t(Topology::Ideal).feasible);
+        assert!(t(Topology::Top1).f_typ_mhz < t(Topology::TopH).f_typ_mhz);
+    }
+
+    #[test]
+    fn dvfs_calibration_and_monotonicity() {
+        let cfg = ClusterConfig::paper(Topology::TopH);
+        let nominal = operating_point(&cfg, 0.80);
+        assert!((nominal.f_mhz - 700.0).abs() < 35.0, "{}", nominal.f_mhz);
+        assert!((nominal.energy_scale - 1.0).abs() < 1e-12);
+        let curve = dvfs_curve(&cfg, &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0]);
+        for pair in curve.windows(2) {
+            assert!(pair[1].f_mhz > pair[0].f_mhz, "frequency not monotone");
+            assert!(pair[1].energy_scale > pair[0].energy_scale);
+        }
+        // Low voltage trades frequency for energy: at 0.6 V the cluster is
+        // slower but each op is cheaper.
+        let low = operating_point(&cfg, 0.6);
+        assert!(low.f_mhz < 0.7 * nominal.f_mhz);
+        assert!(low.energy_scale < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn sub_threshold_voltage_rejected() {
+        let _ = operating_point(&ClusterConfig::paper(Topology::TopH), 0.3);
+    }
+
+    #[test]
+    fn corner_accessor() {
+        let t = cluster_timing(&ClusterConfig::paper(Topology::TopH));
+        assert_eq!(t.frequency(Corner::Typical), t.f_typ_mhz);
+        assert_eq!(t.frequency(Corner::WorstCase), t.f_wc_mhz);
+    }
+}

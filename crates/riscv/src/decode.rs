@@ -1,0 +1,406 @@
+//! Machine-code decoder for RV32IMA.
+
+use crate::{AluOp, AmoOp, BranchOp, CsrOp, Instr, LoadOp, MulOp, Reg, StoreOp};
+use std::fmt;
+
+/// Error returned when a 32-bit word is not a valid RV32IMA instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The raw instruction word that failed to decode.
+    pub fn word(self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rv32ima instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(word: u32) -> Reg {
+    Reg::from_field(word >> 7)
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::from_field(word >> 15)
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::from_field(word >> 20)
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn imm_s(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | (((word >> 7) & 0x1f) as i32)
+}
+
+fn imm_b(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 12
+    let b11 = ((word >> 7) & 1) as i32;
+    let b10_5 = ((word >> 25) & 0x3f) as i32;
+    let b4_1 = ((word >> 8) & 0xf) as i32;
+    (sign << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+
+fn imm_j(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 20
+    let b19_12 = ((word >> 12) & 0xff) as i32;
+    let b11 = ((word >> 20) & 1) as i32;
+    let b10_1 = ((word >> 21) & 0x3ff) as i32;
+    (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word does not encode an RV32IMA
+/// instruction (unknown opcode, funct field, or malformed compressed
+/// encoding — the C extension is not supported).
+///
+/// # Examples
+///
+/// ```
+/// use mempool_riscv::{decode, Instr, Reg, AluOp};
+///
+/// // addi a0, a1, 3
+/// let instr = decode(0x0035_8513)?;
+/// assert_eq!(instr, Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 3 });
+/// # Ok::<(), mempool_riscv::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word });
+    let opcode = word & 0x7f;
+    match opcode {
+        0x37 => Ok(Instr::Lui {
+            rd: rd(word),
+            imm: word & 0xffff_f000,
+        }),
+        0x17 => Ok(Instr::Auipc {
+            rd: rd(word),
+            imm: word & 0xffff_f000,
+        }),
+        0x6f => Ok(Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        }),
+        0x67 => {
+            if funct3(word) != 0 {
+                return err;
+            }
+            Ok(Instr::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        0x63 => {
+            let op = match funct3(word) {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return err,
+            };
+            Ok(Instr::Branch {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            })
+        }
+        0x03 => {
+            let op = match funct3(word) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return err,
+            };
+            Ok(Instr::Load {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        0x23 => {
+            let op = match funct3(word) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return err,
+            };
+            Ok(Instr::Store {
+                op,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            })
+        }
+        0x13 => {
+            let f3 = funct3(word);
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 => AluOp::Sll,
+                0b101 => {
+                    if funct7(word) == 0b0100000 {
+                        AluOp::Sra
+                    } else if funct7(word) == 0 {
+                        AluOp::Srl
+                    } else {
+                        return err;
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let imm = if op.is_shift() {
+                if f3 == 0b001 && funct7(word) != 0 {
+                    return err;
+                }
+                ((word >> 20) & 0x1f) as i32
+            } else {
+                imm_i(word)
+            };
+            Ok(Instr::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            })
+        }
+        0x33 => {
+            let f3 = funct3(word);
+            let f7 = funct7(word);
+            if f7 == 0b0000001 {
+                let op = match f3 {
+                    0b000 => MulOp::Mul,
+                    0b001 => MulOp::Mulh,
+                    0b010 => MulOp::Mulhsu,
+                    0b011 => MulOp::Mulhu,
+                    0b100 => MulOp::Div,
+                    0b101 => MulOp::Divu,
+                    0b110 => MulOp::Rem,
+                    0b111 => MulOp::Remu,
+                    _ => unreachable!(),
+                };
+                return Ok(Instr::MulDiv {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                });
+            }
+            let op = match (f3, f7) {
+                (0b000, 0b0000000) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0b0000000) => AluOp::Sll,
+                (0b010, 0b0000000) => AluOp::Slt,
+                (0b011, 0b0000000) => AluOp::Sltu,
+                (0b100, 0b0000000) => AluOp::Xor,
+                (0b101, 0b0000000) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                (0b110, 0b0000000) => AluOp::Or,
+                (0b111, 0b0000000) => AluOp::And,
+                _ => return err,
+            };
+            Ok(Instr::Op {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
+        }
+        0x2f => {
+            if funct3(word) != 0b010 {
+                return err;
+            }
+            let funct5 = word >> 27;
+            match funct5 {
+                0b00010 => {
+                    if !rs2(word).is_zero() {
+                        return err;
+                    }
+                    Ok(Instr::LrW {
+                        rd: rd(word),
+                        rs1: rs1(word),
+                    })
+                }
+                0b00011 => Ok(Instr::ScW {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }),
+                _ => {
+                    let op = match funct5 {
+                        0b00001 => AmoOp::Swap,
+                        0b00000 => AmoOp::Add,
+                        0b00100 => AmoOp::Xor,
+                        0b01100 => AmoOp::And,
+                        0b01000 => AmoOp::Or,
+                        0b10000 => AmoOp::Min,
+                        0b10100 => AmoOp::Max,
+                        0b11000 => AmoOp::Minu,
+                        0b11100 => AmoOp::Maxu,
+                        _ => return err,
+                    };
+                    Ok(Instr::Amo {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        rs2: rs2(word),
+                    })
+                }
+            }
+        }
+        0x0f => match funct3(word) {
+            0b000 => Ok(Instr::Fence),
+            0b001 => Ok(Instr::FenceI),
+            _ => err,
+        },
+        0x73 => {
+            let f3 = funct3(word);
+            let csr = (word >> 20) as u16;
+            match f3 {
+                0b000 => match word {
+                    0x0000_0073 => Ok(Instr::Ecall),
+                    0x0010_0073 => Ok(Instr::Ebreak),
+                    0x1050_0073 => Ok(Instr::Wfi),
+                    _ => err,
+                },
+                0b001..=0b011 => {
+                    let op = match f3 {
+                        0b001 => CsrOp::Rw,
+                        0b010 => CsrOp::Rs,
+                        _ => CsrOp::Rc,
+                    };
+                    Ok(Instr::Csr {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        csr,
+                    })
+                }
+                0b101..=0b111 => {
+                    let op = match f3 {
+                        0b101 => CsrOp::Rw,
+                        0b110 => CsrOp::Rs,
+                        _ => CsrOp::Rc,
+                    };
+                    Ok(Instr::CsrImm {
+                        op,
+                        rd: rd(word),
+                        imm: ((word >> 15) & 0x1f) as u8,
+                        csr,
+                    })
+                }
+                _ => err,
+            }
+        }
+        _ => err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    // Golden encodings cross-checked against the RISC-V spec / GNU as output.
+    #[test]
+    fn golden_rv32i() {
+        let cases: &[(u32, &str)] = &[
+            (0x0035_8513, "addi a0, a1, 3"),
+            (0x0000_0013, "addi zero, zero, 0"),
+            (0x40b5_0533, "sub a0, a0, a1"),
+            (0x0000_00b7, "lui ra, 0x0"),
+            (0xdead_b0b7, "lui ra, 0xdeadb"),
+            (0x0000_0517, "auipc a0, 0x0"),
+            (0x0080_006f, "jal zero, 8"),
+            (0xff9f_f0ef, "jal ra, -8"),
+            (0x0005_8067, "jalr zero, 0(a1)"),
+            (0xfe05_0ee3, "beq a0, zero, -4"),
+            (0x00b5_4463, "blt a0, a1, 8"),
+            (0xfec4_2a83, "lw s5, -20(s0)"),
+            (0x0155_2a23, "sw s5, 20(a0)"),
+            (0x0015_1513, "slli a0, a0, 1"),
+            (0x4015_5513, "srai a0, a0, 1"),
+            (0x0015_5513, "srli a0, a0, 1"),
+            (0x02b5_0533, "mul a0, a0, a1"),
+            (0x02b5_4533, "div a0, a0, a1"),
+            (0x1005_252f, "lr.w a0, (a0)"),
+            (0x18b5_252f, "sc.w a0, a1, (a0)"),
+            (0x00b5_2a2f, "amoadd.w s4, a1, (a0)"),
+            (0x08b5_2a2f, "amoswap.w s4, a1, (a0)"),
+            (0xf140_2573, "csrrs a0, 0xf14, zero"),
+            (0x0000_0073, "ecall"),
+            (0x0010_0073, "ebreak"),
+            (0x1050_0073, "wfi"),
+        ];
+        for &(word, text) in cases {
+            let instr = decode(word).unwrap_or_else(|e| panic!("{e} (expected `{text}`)"));
+            assert_eq!(instr.to_string(), text, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn fence_forms() {
+        assert_eq!(decode(0x0ff0_000f).unwrap(), Instr::Fence);
+        assert_eq!(decode(0x0000_100f).unwrap(), Instr::FenceI);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+        // Compressed instructions are not supported.
+        assert!(decode(0x0000_4501).is_err());
+    }
+
+    #[test]
+    fn branch_offset_sign() {
+        // beq a0, zero, -4 -> negative B immediate
+        match decode(0xfe05_0ee3).unwrap() {
+            Instr::Branch { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jal_offset_range() {
+        // jal ra, -8
+        match decode(0xff9f_f0ef).unwrap() {
+            Instr::Jal { rd, offset } => {
+                assert_eq!(rd, Reg::RA);
+                assert_eq!(offset, -8);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

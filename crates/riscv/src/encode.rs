@@ -1,0 +1,400 @@
+//! Machine-code encoder for RV32IMA.
+
+use crate::{AluOp, AmoOp, BranchOp, CsrOp, Instr, LoadOp, MulOp, StoreOp};
+use std::fmt;
+
+/// Error returned when an [`Instr`] cannot be encoded (immediate or offset
+/// out of range, or an unencodable combination such as `subi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    instr: Instr,
+    reason: &'static str,
+}
+
+impl EncodeError {
+    /// The instruction that failed to encode.
+    pub fn instr(self) -> Instr {
+        self.instr
+    }
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot encode `{}`: {}", self.instr, self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn fits_i12(v: i32) -> bool {
+    (-2048..=2047).contains(&v)
+}
+
+fn r_type(f7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, opcode: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, f3: u32, rd: u32, opcode: u32) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, f3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((imm & 0x1f) << 7) | opcode
+}
+
+fn b_type(offset: i32, rs2: u32, rs1: u32, f3: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    let b12 = (imm >> 12) & 1;
+    let b11 = (imm >> 11) & 1;
+    let b10_5 = (imm >> 5) & 0x3f;
+    let b4_1 = (imm >> 1) & 0xf;
+    (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (b4_1 << 8) | (b11 << 7) | opcode
+}
+
+fn j_type(offset: i32, rd: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    let b20 = (imm >> 20) & 1;
+    let b19_12 = (imm >> 12) & 0xff;
+    let b11 = (imm >> 11) & 1;
+    let b10_1 = (imm >> 1) & 0x3ff;
+    (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd << 7) | opcode
+}
+
+fn alu_funct3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Sub => 0b000,
+        AluOp::Sll => 0b001,
+        AluOp::Slt => 0b010,
+        AluOp::Sltu => 0b011,
+        AluOp::Xor => 0b100,
+        AluOp::Srl | AluOp::Sra => 0b101,
+        AluOp::Or => 0b110,
+        AluOp::And => 0b111,
+    }
+}
+
+fn mul_funct3(op: MulOp) -> u32 {
+    match op {
+        MulOp::Mul => 0b000,
+        MulOp::Mulh => 0b001,
+        MulOp::Mulhsu => 0b010,
+        MulOp::Mulhu => 0b011,
+        MulOp::Div => 0b100,
+        MulOp::Divu => 0b101,
+        MulOp::Rem => 0b110,
+        MulOp::Remu => 0b111,
+    }
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Beq => 0b000,
+        BranchOp::Bne => 0b001,
+        BranchOp::Blt => 0b100,
+        BranchOp::Bge => 0b101,
+        BranchOp::Bltu => 0b110,
+        BranchOp::Bgeu => 0b111,
+    }
+}
+
+fn amo_funct5(op: AmoOp) -> u32 {
+    match op {
+        AmoOp::Swap => 0b00001,
+        AmoOp::Add => 0b00000,
+        AmoOp::Xor => 0b00100,
+        AmoOp::And => 0b01100,
+        AmoOp::Or => 0b01000,
+        AmoOp::Min => 0b10000,
+        AmoOp::Max => 0b10100,
+        AmoOp::Minu => 0b11000,
+        AmoOp::Maxu => 0b11100,
+    }
+}
+
+/// Encodes an instruction into its 32-bit machine-code word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if an immediate or offset is out of range, a
+/// branch/jump offset is odd, or a LUI/AUIPC immediate has nonzero low bits.
+///
+/// # Examples
+///
+/// ```
+/// use mempool_riscv::{encode, decode, Instr, Reg, AluOp};
+///
+/// let instr = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 3 };
+/// let word = encode(instr)?;
+/// assert_eq!(decode(word).unwrap(), instr);
+/// # Ok::<(), mempool_riscv::EncodeError>(())
+/// ```
+pub fn encode(instr: Instr) -> Result<u32, EncodeError> {
+    let fail = |reason| EncodeError { instr, reason };
+    match instr {
+        Instr::Lui { rd, imm } => {
+            if imm & 0xfff != 0 {
+                return Err(fail("lui immediate has nonzero low 12 bits"));
+            }
+            Ok(imm | ((rd.index() as u32) << 7) | 0x37)
+        }
+        Instr::Auipc { rd, imm } => {
+            if imm & 0xfff != 0 {
+                return Err(fail("auipc immediate has nonzero low 12 bits"));
+            }
+            Ok(imm | ((rd.index() as u32) << 7) | 0x17)
+        }
+        Instr::Jal { rd, offset } => {
+            if offset % 2 != 0 {
+                return Err(fail("jal offset is odd"));
+            }
+            if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                return Err(fail("jal offset exceeds ±1 MiB"));
+            }
+            Ok(j_type(offset, rd.index() as u32, 0x6f))
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            if !fits_i12(offset) {
+                return Err(fail("jalr offset exceeds 12 bits"));
+            }
+            Ok(i_type(offset, rs1.index() as u32, 0, rd.index() as u32, 0x67))
+        }
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            if offset % 2 != 0 {
+                return Err(fail("branch offset is odd"));
+            }
+            if !(-(1 << 12)..(1 << 12)).contains(&offset) {
+                return Err(fail("branch offset exceeds ±4 KiB"));
+            }
+            Ok(b_type(
+                offset,
+                rs2.index() as u32,
+                rs1.index() as u32,
+                branch_funct3(op),
+                0x63,
+            ))
+        }
+        Instr::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
+            if !fits_i12(offset) {
+                return Err(fail("load offset exceeds 12 bits"));
+            }
+            let f3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+            };
+            Ok(i_type(offset, rs1.index() as u32, f3, rd.index() as u32, 0x03))
+        }
+        Instr::Store {
+            op,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            if !fits_i12(offset) {
+                return Err(fail("store offset exceeds 12 bits"));
+            }
+            let f3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+            };
+            Ok(s_type(offset, rs2.index() as u32, rs1.index() as u32, f3, 0x23))
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            if !op.has_imm_form() {
+                return Err(fail("sub has no immediate form"));
+            }
+            if op.is_shift() {
+                if !(0..32).contains(&imm) {
+                    return Err(fail("shift amount exceeds 5 bits"));
+                }
+                let f7 = if op == AluOp::Sra { 0b0100000 } else { 0 };
+                Ok(r_type(
+                    f7,
+                    imm as u32,
+                    rs1.index() as u32,
+                    alu_funct3(op),
+                    rd.index() as u32,
+                    0x13,
+                ))
+            } else {
+                if !fits_i12(imm) {
+                    return Err(fail("immediate exceeds 12 bits"));
+                }
+                Ok(i_type(
+                    imm,
+                    rs1.index() as u32,
+                    alu_funct3(op),
+                    rd.index() as u32,
+                    0x13,
+                ))
+            }
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let f7 = match op {
+                AluOp::Sub | AluOp::Sra => 0b0100000,
+                _ => 0,
+            };
+            Ok(r_type(
+                f7,
+                rs2.index() as u32,
+                rs1.index() as u32,
+                alu_funct3(op),
+                rd.index() as u32,
+                0x33,
+            ))
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => Ok(r_type(
+            0b0000001,
+            rs2.index() as u32,
+            rs1.index() as u32,
+            mul_funct3(op),
+            rd.index() as u32,
+            0x33,
+        )),
+        Instr::LrW { rd, rs1 } => Ok(r_type(
+            0b00010 << 2,
+            0,
+            rs1.index() as u32,
+            0b010,
+            rd.index() as u32,
+            0x2f,
+        )),
+        Instr::ScW { rd, rs1, rs2 } => Ok(r_type(
+            0b00011 << 2,
+            rs2.index() as u32,
+            rs1.index() as u32,
+            0b010,
+            rd.index() as u32,
+            0x2f,
+        )),
+        Instr::Amo { op, rd, rs1, rs2 } => Ok(r_type(
+            amo_funct5(op) << 2,
+            rs2.index() as u32,
+            rs1.index() as u32,
+            0b010,
+            rd.index() as u32,
+            0x2f,
+        )),
+        Instr::Csr { op, rd, rs1, csr } => {
+            if csr > 0xfff {
+                return Err(fail("csr address exceeds 12 bits"));
+            }
+            let f3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            Ok(((csr as u32) << 20)
+                | ((rs1.index() as u32) << 15)
+                | (f3 << 12)
+                | ((rd.index() as u32) << 7)
+                | 0x73)
+        }
+        Instr::CsrImm { op, rd, imm, csr } => {
+            if csr > 0xfff {
+                return Err(fail("csr address exceeds 12 bits"));
+            }
+            if imm > 31 {
+                return Err(fail("csr immediate exceeds 5 bits"));
+            }
+            let f3 = match op {
+                CsrOp::Rw => 0b101,
+                CsrOp::Rs => 0b110,
+                CsrOp::Rc => 0b111,
+            };
+            Ok(((csr as u32) << 20)
+                | ((imm as u32) << 15)
+                | (f3 << 12)
+                | ((rd.index() as u32) << 7)
+                | 0x73)
+        }
+        Instr::Fence => Ok(0x0ff0_000f),
+        Instr::FenceI => Ok(0x0000_100f),
+        Instr::Ecall => Ok(0x0000_0073),
+        Instr::Ebreak => Ok(0x0010_0073),
+        Instr::Wfi => Ok(0x1050_0073),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, Reg};
+
+    #[test]
+    fn golden_round_trip() {
+        let words = [
+            0x0035_8513u32,
+            0x40b5_0533,
+            0xdead_b0b7,
+            0x0080_006f,
+            0xff9f_f0ef,
+            0xfe05_0ee3,
+            0xfec4_2a83,
+            0x0155_2a23,
+            0x4015_5513,
+            0x02b5_0533,
+            0x0000_0073,
+        ];
+        for word in words {
+            let instr = decode(word).expect("golden word decodes");
+            assert_eq!(encode(instr).expect("re-encodes"), word, "{instr}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(encode(Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 4096
+        })
+        .is_err());
+        assert!(encode(Instr::OpImm {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 0
+        })
+        .is_err());
+        assert!(encode(Instr::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 32
+        })
+        .is_err());
+        assert!(encode(Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 3
+        })
+        .is_err());
+        assert!(encode(Instr::Lui {
+            rd: Reg::A0,
+            imm: 0x123
+        })
+        .is_err());
+        assert!(encode(Instr::Branch {
+            op: BranchOp::Beq,
+            rs1: Reg::A0,
+            rs2: Reg::A0,
+            offset: 1 << 13
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # mempool-riscv
+//!
+//! The RV32IMA instruction set, as used by the [MemPool] many-core cluster's
+//! Snitch cores: a structured instruction type, machine-code
+//! decoder/encoder, disassembler ([`Instr`]'s `Display`), and a small
+//! two-pass assembler.
+//!
+//! This crate is a *substrate* of the MemPool reproduction: the paper's
+//! benchmarks (`matmul`, `2dconv`, `dct`) are written in RV32IMA assembly and
+//! executed on the cycle-accurate core model in `mempool-snitch`.
+//!
+//! [MemPool]: https://doi.org/10.23919/DATE51398.2021.9474087
+//!
+//! # Examples
+//!
+//! Assemble, inspect, and disassemble a tiny program:
+//!
+//! ```
+//! use mempool_riscv::{assemble, decode};
+//!
+//! let program = assemble("li a0, 7\nslli a0, a0, 2\necall\n")?;
+//! let listing: Vec<String> = program
+//!     .words()
+//!     .iter()
+//!     .map(|&w| decode(w).unwrap().to_string())
+//!     .collect();
+//! assert_eq!(listing, ["addi a0, zero, 7", "slli a0, a0, 2", "ecall"]);
+//! # Ok::<(), mempool_riscv::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod decode;
+mod encode;
+mod instr;
+mod reg;
+
+pub use asm::{assemble, assemble_at, AsmError, Program};
+pub use decode::{decode, DecodeError};
+pub use encode::{encode, EncodeError};
+pub use instr::{csr, AluOp, AmoOp, BranchOp, CsrOp, Instr, LoadOp, MulOp, StoreOp};
+pub use reg::{ParseRegError, Reg};

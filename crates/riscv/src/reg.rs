@@ -1,0 +1,231 @@
+//! Integer register file names for RV32.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 RV32 integer registers, `x0`–`x31`.
+///
+/// `Reg` is a validated newtype: it can only hold values 0–31, so downstream
+/// code (encoder, core model) never needs to bounds-check.
+///
+/// # Examples
+///
+/// ```
+/// use mempool_riscv::Reg;
+///
+/// let a0 = Reg::A0;
+/// assert_eq!(a0.index(), 10);
+/// assert_eq!(a0.to_string(), "a0");
+/// assert_eq!("sp".parse::<Reg>()?, Reg::SP);
+/// # Ok::<(), mempool_riscv::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address, `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer, `x2`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer, `x3`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer, `x4`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `t0` (`x5`).
+    pub const T0: Reg = Reg(5);
+    /// Temporary `t1` (`x6`).
+    pub const T1: Reg = Reg(6);
+    /// Temporary `t2` (`x7`).
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer `s0` (`x8`).
+    pub const S0: Reg = Reg(8);
+    /// Saved register `s1` (`x9`).
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value `a0` (`x10`).
+    pub const A0: Reg = Reg(10);
+    /// Argument / return value `a1` (`x11`).
+    pub const A1: Reg = Reg(11);
+    /// Argument `a2` (`x12`).
+    pub const A2: Reg = Reg(12);
+    /// Argument `a3` (`x13`).
+    pub const A3: Reg = Reg(13);
+    /// Argument `a4` (`x14`).
+    pub const A4: Reg = Reg(14);
+    /// Argument `a5` (`x15`).
+    pub const A5: Reg = Reg(15);
+    /// Argument `a6` (`x16`).
+    pub const A6: Reg = Reg(16);
+    /// Argument `a7` (`x17`).
+    pub const A7: Reg = Reg(17);
+    /// Saved register `s2` (`x18`).
+    pub const S2: Reg = Reg(18);
+    /// Saved register `s3` (`x19`).
+    pub const S3: Reg = Reg(19);
+    /// Saved register `s4` (`x20`).
+    pub const S4: Reg = Reg(20);
+    /// Saved register `s5` (`x21`).
+    pub const S5: Reg = Reg(21);
+    /// Saved register `s6` (`x22`).
+    pub const S6: Reg = Reg(22);
+    /// Saved register `s7` (`x23`).
+    pub const S7: Reg = Reg(23);
+    /// Saved register `s8` (`x24`).
+    pub const S8: Reg = Reg(24);
+    /// Saved register `s9` (`x25`).
+    pub const S9: Reg = Reg(25);
+    /// Saved register `s10` (`x26`).
+    pub const S10: Reg = Reg(26);
+    /// Saved register `s11` (`x27`).
+    pub const S11: Reg = Reg(27);
+    /// Temporary `t3` (`x28`).
+    pub const T3: Reg = Reg(28);
+    /// Temporary `t4` (`x29`).
+    pub const T4: Reg = Reg(29);
+    /// Temporary `t5` (`x30`).
+    pub const T5: Reg = Reg(30);
+    /// Temporary `t6` (`x31`).
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mempool_riscv::Reg;
+    /// assert_eq!(Reg::new(2), Some(Reg::SP));
+    /// assert_eq!(Reg::new(32), None);
+    /// ```
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    pub(crate) fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register index, 0–31.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ABI mnemonic (`zero`, `ra`, `sp`, …).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// Error returned when a register name fails to parse.
+///
+/// # Examples
+///
+/// ```
+/// use mempool_riscv::Reg;
+/// assert!("x99".parse::<Reg>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(pos) = ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(Reg(pos as u8));
+        }
+        if s == "fp" {
+            return Ok(Reg::S0);
+        }
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(idx) = num.parse::<u8>() {
+                if let Some(reg) = Reg::new(idx) {
+                    return Ok(reg);
+                }
+            }
+        }
+        Err(ParseRegError {
+            name: s.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip() {
+        for reg in Reg::all() {
+            let parsed: Reg = reg.abi_name().parse().expect("abi name parses");
+            assert_eq!(parsed, reg);
+        }
+    }
+
+    #[test]
+    fn numeric_names_parse() {
+        for i in 0..32u8 {
+            let parsed: Reg = format!("x{i}").parse().expect("xN parses");
+            assert_eq!(parsed.index(), i);
+        }
+    }
+
+    #[test]
+    fn fp_is_s0() {
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::S0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Reg::new(32).is_none());
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("q7".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+}

@@ -1,0 +1,38 @@
+//! # mempool-snitch
+//!
+//! A cycle-accurate model of the **Snitch** core as instantiated in the
+//! MemPool cluster (DATE 2021): a 21 kGE single-issue, single-stage RV32IMA
+//! core whose small area allows massive replication, with a register
+//! scoreboard and a configurable number of outstanding memory operations to
+//! hide SPM access latency.
+//!
+//! The core is externally clocked, which lets the `mempool` cluster crate
+//! interleave core execution with interconnect and bank activity at cycle
+//! granularity:
+//!
+//! 1. [`SnitchCore::deliver`] — completed memory responses (identified by
+//!    their reorder-buffer tag) write back and clear the scoreboard;
+//! 2. [`SnitchCore::step`] — the core retires at most one instruction, and
+//!    may emit one [`DataRequest`] on its data port.
+//!
+//! Timing model highlights (all configurable via [`SnitchConfig`]):
+//!
+//! * loads/stores/AMOs allocate an LSU slot and complete out of order (the
+//!   tag routes the response to the right slot — the tile ROB of the paper);
+//! * `fence` drains all outstanding operations (MemPool's interconnect does
+//!   not order transactions, so inter-core handshakes fence explicitly);
+//! * the divider is serial (multi-cycle); multiplies are single-cycle;
+//! * taken branches pay a refetch bubble.
+//!
+//! # Examples
+//!
+//! See [`SnitchCore`] for a runnable example.
+
+#![warn(missing_docs)]
+
+mod core;
+mod port;
+
+pub use crate::core::semantics;
+pub use crate::core::{CoreStats, SnitchConfig, SnitchCore, StallCause, TraceEntry};
+pub use port::{DataRequest, DataRequestKind, DataResponse, Fetch};

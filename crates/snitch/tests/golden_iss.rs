@@ -1,0 +1,270 @@
+//! Differential testing: the cycle-accurate Snitch core must compute the
+//! same architectural results as a simple functional RV32IMA interpreter,
+//! for random programs, regardless of memory latency.
+
+use mempool_riscv::{AluOp, Instr, LoadOp, MulOp, Reg, StoreOp};
+use mempool_snitch::{DataRequestKind, DataResponse, Fetch, SnitchConfig, SnitchCore};
+use proptest::prelude::*;
+
+/// A functional (untimed) RV32IMA reference.
+struct Reference {
+    regs: [u32; 32],
+    mem: Vec<u32>,
+}
+
+impl Reference {
+    fn new(mem_words: usize) -> Self {
+        Reference {
+            regs: [0; 32],
+            mem: vec![0; mem_words],
+        }
+    }
+
+    fn run(&mut self, program: &[Instr]) {
+        let mut pc = 0usize;
+        while let Some(&instr) = program.get(pc) {
+            pc += 1;
+            let r = |reg: Reg| self.regs[reg.index() as usize];
+            match instr {
+                Instr::OpImm { op, rd, rs1, imm } => {
+                    let v = eval_alu(op, r(rs1), imm as u32);
+                    self.write(rd, v);
+                }
+                Instr::Op { op, rd, rs1, rs2 } => {
+                    let v = eval_alu(op, r(rs1), r(rs2));
+                    self.write(rd, v);
+                }
+                Instr::MulDiv { op, rd, rs1, rs2 } => {
+                    let v = eval_muldiv(op, r(rs1), r(rs2));
+                    self.write(rd, v);
+                }
+                Instr::Lui { rd, imm } => self.write(rd, imm),
+                Instr::Load { op, rd, rs1, offset } => {
+                    let addr = r(rs1).wrapping_add(offset as u32);
+                    let word = self.mem[(addr / 4) as usize % self.mem.len()];
+                    self.write(rd, op.extract(word, addr & 3));
+                }
+                Instr::Store { op, rs2, rs1, offset } => {
+                    let addr = r(rs1).wrapping_add(offset as u32);
+                    let idx = (addr / 4) as usize % self.mem.len();
+                    self.mem[idx] = op.merge(self.mem[idx], r(rs2), addr & 3);
+                }
+                Instr::Fence => {} // no timing in the reference
+                Instr::Ecall => return,
+                _ => unreachable!("generator does not emit {instr:?}"),
+            }
+        }
+    }
+
+    fn write(&mut self, rd: Reg, value: u32) {
+        if !rd.is_zero() {
+            self.regs[rd.index() as usize] = value;
+        }
+    }
+}
+
+fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+#[allow(clippy::manual_checked_ops)] // RISC-V div-by-zero returns -1, not None
+fn eval_muldiv(op: MulOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulOp::Mulhsu => (((a as i32 as i64) * (b as i64)) >> 32) as u32,
+        MulOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulOp::Div => match (a as i32, b as i32) {
+            (_, 0) => u32::MAX,
+            (i32::MIN, -1) => a,
+            (x, y) => (x / y) as u32,
+        },
+        MulOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        MulOp::Rem => match (a as i32, b as i32) {
+            (_, 0) => a,
+            (i32::MIN, -1) => 0,
+            (x, y) => (x % y) as u32,
+        },
+        MulOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+const MEM_WORDS: usize = 64;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+/// Random straight-line instruction: ALU, mul/div, loads/stores into a small
+/// wrapped memory window (addresses kept in range by construction).
+fn any_straightline() -> impl Strategy<Value = Instr> {
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ];
+    let mul = prop_oneof![
+        Just(MulOp::Mul),
+        Just(MulOp::Mulh),
+        Just(MulOp::Mulhsu),
+        Just(MulOp::Mulhu),
+        Just(MulOp::Div),
+        Just(MulOp::Divu),
+        Just(MulOp::Rem),
+        Just(MulOp::Remu),
+    ];
+    prop_oneof![
+        (alu.clone(), any_reg(), any_reg(), -2048i32..2048).prop_filter_map(
+            "imm form",
+            |(op, rd, rs1, imm)| {
+                if !op.has_imm_form() {
+                    return None;
+                }
+                let imm = if op.is_shift() { imm.rem_euclid(32) } else { imm };
+                Some(Instr::OpImm { op, rd, rs1, imm })
+            }
+        ),
+        (alu, any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (mul, any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
+        (any_reg(), 0u32..0x1000).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
+        // Loads/stores relative to x0 within the memory window (word
+        // aligned so sub-word extraction offsets stay in range).
+        (any_reg(), 0i32..(MEM_WORDS as i32)).prop_map(|(rd, w)| Instr::Load {
+            op: LoadOp::Lw,
+            rd,
+            rs1: Reg::ZERO,
+            offset: w * 4,
+        }),
+        (any_reg(), 0i32..(MEM_WORDS as i32), 0u8..4).prop_map(|(rd, w, b)| Instr::Load {
+            op: LoadOp::Lbu,
+            rd,
+            rs1: Reg::ZERO,
+            offset: w * 4 + i32::from(b),
+        }),
+        (any_reg(), 0i32..(MEM_WORDS as i32)).prop_map(|(rs2, w)| Instr::Store {
+            op: StoreOp::Sw,
+            rs2,
+            rs1: Reg::ZERO,
+            offset: w * 4,
+        }),
+        (any_reg(), 0i32..(MEM_WORDS as i32), 0u8..4).prop_map(|(rs2, w, b)| Instr::Store {
+            op: StoreOp::Sb,
+            rs2,
+            rs1: Reg::ZERO,
+            offset: w * 4 + i32::from(b),
+        }),
+    ]
+}
+
+/// Runs the cycle-accurate core on `program` with the given fixed memory
+/// latency and an in-order-response memory; returns (registers, memory).
+fn run_timed(program: &[Instr], latency: u64, outstanding: usize) -> ([u32; 32], Vec<u32>) {
+    let mut core = SnitchCore::new(SnitchConfig {
+        outstanding,
+        div_latency: 3,
+        ..SnitchConfig::default()
+    });
+    let mut mem = vec![0u32; MEM_WORDS];
+    let mut pending: Vec<(u64, DataResponse)> = Vec::new();
+    let mut now = 0u64;
+    let budget = 200_000;
+    while (!core.halted() || core.has_outstanding()) && now < budget {
+        now += 1;
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, resp) = pending.remove(i);
+                core.deliver(resp);
+            } else {
+                i += 1;
+            }
+        }
+        let fetch = program
+            .get((core.pc() / 4) as usize)
+            .map_or(Fetch::Fault, |&i| Fetch::Ready(i));
+        if let Some(req) = core.step(fetch, true) {
+            let idx = (req.addr / 4) as usize % MEM_WORDS;
+            let data = match req.kind {
+                DataRequestKind::Load(_) | DataRequestKind::LoadReserved => mem[idx],
+                DataRequestKind::Store { op, data } => {
+                    mem[idx] = op.merge(mem[idx], data, req.addr & 3);
+                    0
+                }
+                DataRequestKind::Amo { op, operand } => {
+                    let old = mem[idx];
+                    mem[idx] = op.apply(old, operand);
+                    old
+                }
+                DataRequestKind::StoreConditional { data } => {
+                    mem[idx] = data;
+                    0
+                }
+            };
+            pending.push((now + latency, DataResponse { tag: req.tag, data }));
+        }
+    }
+    assert!(core.halted(), "timed run exceeded cycle budget");
+    let mut regs = [0u32; 32];
+    for r in Reg::all() {
+        regs[r.index() as usize] = core.reg(r);
+    }
+    (regs, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Architectural equivalence with the functional reference, across
+    /// memory latencies and LSU depths. Memory responses may return while
+    /// later independent instructions already executed — the scoreboard
+    /// must make that invisible.
+    #[test]
+    fn timed_core_matches_reference(
+        body in proptest::collection::vec(any_straightline(), 1..60),
+        latency in 1u64..12,
+        outstanding in 1usize..9,
+    ) {
+        let mut program = body.clone();
+        program.push(Instr::Fence);
+        program.push(Instr::Ecall);
+
+        let mut reference = Reference::new(MEM_WORDS);
+        reference.run(&program);
+
+        let (regs, mem) = run_timed(&program, latency, outstanding);
+        prop_assert_eq!(regs, reference.regs, "latency={} lsu={}", latency, outstanding);
+        prop_assert_eq!(mem, reference.mem);
+    }
+}

@@ -1,0 +1,190 @@
+//! Load-sweep experiments: the methodology behind Fig. 5 and Fig. 6.
+
+use crate::{AddressSpace, Pattern, TrafficGen};
+use mempool::{Cluster, ClusterConfig, LatencyStats, ValidateConfigError};
+
+/// Timing windows of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windows {
+    /// Warm-up cycles before measurement starts.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Cycle cap for the drain phase after generation stops.
+    pub drain: u64,
+}
+
+impl Default for Windows {
+    fn default() -> Self {
+        Windows {
+            warmup: 1_000,
+            measure: 8_000,
+            drain: 50_000,
+        }
+    }
+}
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load λ (requests/core/cycle).
+    pub offered_load: f64,
+    /// Delivered throughput (responses/core/cycle) over the measurement
+    /// window.
+    pub throughput: f64,
+    /// Round-trip latency distribution (generation → response) of requests
+    /// generated in the measurement window.
+    pub latency: LatencyStats,
+    /// Fraction of issued requests that stayed in the local tile.
+    pub locality: f64,
+    /// Mean fraction of occupied global-interconnect registers per cycle
+    /// (buffer-occupancy congestion metric).
+    pub net_occupancy: f64,
+}
+
+impl SweepPoint {
+    /// Mean round-trip latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+/// Runs one (topology, pattern, load) experiment on `config` and returns
+/// its sweep point.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn run_point(
+    config: ClusterConfig,
+    pattern: Pattern,
+    load: f64,
+    windows: Windows,
+    seed: u64,
+) -> Result<SweepPoint, ValidateConfigError> {
+    let map = config.address_map()?;
+    let scrambler = config.scrambler()?;
+    let l1_bytes = map.size_bytes() as u32;
+    let cores_per_tile = config.cores_per_tile;
+    let mut cluster = Cluster::new(config, |loc| {
+        let (seq_base, seq_bytes, seq_total) = match scrambler {
+            Some(s) => (
+                s.seq_base((loc.tile) as u32),
+                s.seq_bytes_per_tile(),
+                s.seq_region_bytes() as u32,
+            ),
+            None => (0, 0, 0),
+        };
+        let _ = cores_per_tile;
+        TrafficGen::new(
+            load,
+            pattern,
+            AddressSpace {
+                l1_bytes,
+                seq_base,
+                seq_bytes,
+                seq_total,
+                tile: loc.tile as u32,
+                num_tiles: config.num_tiles as u32,
+                banks_per_tile: config.banks_per_tile as u32,
+            },
+            64,
+            seed.wrapping_mul(0x9e37_79b9).wrapping_add(loc.core as u64),
+        )
+    })?;
+
+    cluster.step_cycles(windows.warmup);
+    for gen in cluster.cores_mut() {
+        gen.start_measuring();
+    }
+    let delivered_before = cluster.stats().responses_delivered;
+    cluster.step_cycles(windows.measure);
+    let delivered = cluster.stats().responses_delivered - delivered_before;
+
+    // Drain so every measured request completes and contributes latency.
+    for gen in cluster.cores_mut() {
+        gen.stop();
+    }
+    let _ = cluster.run(windows.drain);
+
+    let mut latency = LatencyStats::new();
+    for gen in cluster.cores() {
+        latency.merge(&gen.stats().latency);
+    }
+    let num_cores = cluster.config().num_cores();
+    Ok(SweepPoint {
+        offered_load: load,
+        throughput: delivered as f64 / (windows.measure as f64 * num_cores as f64),
+        latency,
+        locality: cluster.stats().locality(),
+        net_occupancy: cluster.stats().net_occupancy(),
+    })
+}
+
+/// Runs a full load sweep (one [`run_point`] per load), spreading the
+/// points over worker threads — each point is an independent cluster.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn run_sweep(
+    config: ClusterConfig,
+    pattern: Pattern,
+    loads: &[f64],
+    windows: Windows,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ValidateConfigError> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(loads.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<SweepPoint, ValidateConfigError>>> =
+        (0..loads.len()).map(|_| None).collect();
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&load) = loads.get(i) else { break };
+                let point = run_point(config, pattern, load, windows, seed);
+                slots.lock().expect("no panics while holding the lock")[i] = Some(point);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// Mean waiting-plus-service time of an M/D/1 queue with unit service time
+/// at utilization `rho` — the analytical model of a single SPM bank under
+/// Poisson traffic (service = the bank's one access per cycle).
+///
+/// Used to cross-validate the simulator: on the ideal (routing-free)
+/// topology, the measured round-trip latency must approach
+/// `md1_latency(rho)` at low-to-moderate loads.
+///
+/// # Panics
+///
+/// Panics unless `0 <= rho < 1`.
+pub fn md1_latency(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "utilization must be in [0, 1)");
+    1.0 + rho / (2.0 * (1.0 - rho))
+}
+
+/// Estimates the saturation throughput: the delivered rate at an offered
+/// load far beyond any feasible acceptance rate.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn saturation_throughput(
+    config: ClusterConfig,
+    pattern: Pattern,
+    windows: Windows,
+    seed: u64,
+) -> Result<f64, ValidateConfigError> {
+    Ok(run_point(config, pattern, 1.0, windows, seed)?.throughput)
+}

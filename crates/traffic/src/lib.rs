@@ -1,0 +1,33 @@
+//! # mempool-traffic
+//!
+//! Synthetic traffic generation and the network-analysis experiments of the
+//! MemPool paper (§V-A, §V-B): Poisson injectors with uniform or
+//! locality-biased destinations, plugged into the cycle-accurate cluster in
+//! place of the Snitch cores, plus the load-sweep harness that regenerates
+//! Fig. 5 (topology comparison) and Fig. 6 (hybrid addressing scheme).
+//!
+//! # Examples
+//!
+//! Measure one point of the Fig. 5 sweep on a reduced cluster:
+//!
+//! ```
+//! use mempool::{ClusterConfig, Topology};
+//! use mempool_traffic::{run_point, Pattern, Windows};
+//!
+//! let windows = Windows { warmup: 200, measure: 1_000, drain: 10_000 };
+//! let config = ClusterConfig::small(Topology::TopH);
+//! let point = run_point(config, Pattern::Uniform, 0.05, windows, 42)?;
+//! assert!(point.throughput > 0.03); // well below saturation: all delivered
+//! assert!(point.avg_latency() >= 1.0);
+//! # Ok::<(), mempool::ValidateConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod experiment;
+mod gen;
+mod replay;
+
+pub use experiment::{md1_latency, run_point, run_sweep, saturation_throughput, SweepPoint, Windows};
+pub use gen::{AddressSpace, GenStats, Pattern, Permutation, TrafficGen};
+pub use replay::{replay_trace, ReplayCore, ReplayTiming};

@@ -1,0 +1,235 @@
+//! Trace-driven replay: feed a [`MemoryTrace`] captured from a real program
+//! back into the network, with or without the original timing — the
+//! standard NoC methodology for studying an application's traffic on
+//! alternative topologies without re-executing its compute.
+
+use mempool::{Core, LatencyStats, MemoryTrace};
+use mempool_riscv::{LoadOp, StoreOp};
+use mempool_snitch::{DataRequest, DataRequestKind, DataResponse, Fetch};
+use std::sync::Arc;
+
+/// How a replay source paces its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayTiming {
+    /// Respect the recorded issue cycles: a request is eligible no earlier
+    /// than its original cycle (it may slip later under backpressure).
+    AsRecorded,
+    /// Ignore recorded timing and issue as fast as the network accepts —
+    /// measures the pure network-limited duration of the traffic.
+    Compressed,
+}
+
+/// A [`Core`] implementation replaying one core's slice of a
+/// [`MemoryTrace`].
+///
+/// Loads and stores are replayed as word accesses at the recorded
+/// addresses; responses retire in-flight slots exactly as the original
+/// LSU's would.
+#[derive(Debug, Clone)]
+pub struct ReplayCore {
+    trace: Arc<MemoryTrace>,
+    core: usize,
+    timing: ReplayTiming,
+    pos: usize,
+    clock: u64,
+    tags: Vec<Option<u64>>, // issue cycle per in-flight tag
+    in_flight: usize,
+    completed: u64,
+    latency: LatencyStats,
+}
+
+impl ReplayCore {
+    /// Creates the replay source for `core`'s slice of `trace` with
+    /// `outstanding` request slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of the trace's range or `outstanding` is not
+    /// in `1..=256`.
+    pub fn new(
+        trace: Arc<MemoryTrace>,
+        core: usize,
+        timing: ReplayTiming,
+        outstanding: usize,
+    ) -> Self {
+        assert!(core < trace.num_cores(), "core outside the trace");
+        assert!((1..=256).contains(&outstanding), "outstanding in 1..=256");
+        ReplayCore {
+            trace,
+            core,
+            timing,
+            pos: 0,
+            clock: 0,
+            tags: vec![None; outstanding],
+            in_flight: 0,
+            completed: 0,
+            latency: LatencyStats::new(),
+        }
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Round-trip latency distribution (issue → response).
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+}
+
+impl Core for ReplayCore {
+    fn deliver(&mut self, response: DataResponse) {
+        let issued = self.tags[response.tag as usize]
+            .take()
+            .expect("response matches an in-flight tag");
+        self.in_flight -= 1;
+        self.completed += 1;
+        self.latency.record(self.clock + 1 - issued);
+    }
+
+    fn step(
+        &mut self,
+        _fetch: &mut dyn FnMut(u32) -> Fetch,
+        request_ready: bool,
+    ) -> Option<DataRequest> {
+        self.clock += 1;
+        let events = self.trace.core(self.core);
+        let event = events.get(self.pos)?;
+        if self.timing == ReplayTiming::AsRecorded && event.cycle > self.clock {
+            return None;
+        }
+        if !request_ready {
+            return None;
+        }
+        let tag = self.tags.iter().position(Option::is_none)?;
+        self.tags[tag] = Some(self.clock);
+        self.in_flight += 1;
+        self.pos += 1;
+        let kind = if event.write {
+            DataRequestKind::Store {
+                op: StoreOp::Sw,
+                data: 0,
+            }
+        } else {
+            DataRequestKind::Load(LoadOp::Lw)
+        };
+        Some(DataRequest {
+            tag: tag as u8,
+            addr: event.addr & !3,
+            kind,
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.trace.core(self.core).len() && self.in_flight == 0
+    }
+}
+
+/// Replays `trace` on a fresh cluster built from `config` and returns the
+/// cycles the replay took.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors; returns the run error when
+/// the replay does not drain within `max_cycles`.
+///
+/// # Panics
+///
+/// Panics if the trace's core count differs from the configuration's.
+pub fn replay_trace(
+    config: mempool::ClusterConfig,
+    trace: &MemoryTrace,
+    timing: ReplayTiming,
+    max_cycles: u64,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    assert_eq!(
+        trace.num_cores(),
+        config.num_cores(),
+        "trace and configuration disagree on the core count"
+    );
+    let shared = Arc::new(trace.clone());
+    let mut cluster = mempool::Cluster::new(config, |loc| {
+        ReplayCore::new(Arc::clone(&shared), loc.core, timing, 8)
+    })?;
+    let cycles = cluster.run(max_cycles)?;
+    Ok(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool::TraceEvent;
+
+    fn tiny_trace(cores: usize, events_per_core: usize) -> MemoryTrace {
+        let mut trace = MemoryTrace::new(cores);
+        for c in 0..cores {
+            for i in 0..events_per_core {
+                trace.record(
+                    c,
+                    TraceEvent {
+                        cycle: (i as u64 + 1) * 3,
+                        addr: ((c * events_per_core + i) * 4) as u32,
+                        write: i % 2 == 0,
+                    },
+                );
+            }
+        }
+        trace
+    }
+
+    fn drive(core: &mut ReplayCore, cycles: u64, respond_after: u64) {
+        let mut pending: Vec<(u64, u8)> = Vec::new();
+        for now in 1..=cycles {
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].0 <= now {
+                    let (_, tag) = pending.remove(i);
+                    core.deliver(DataResponse { tag, data: 0 });
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(req) = core.step(&mut |_| Fetch::Stall, true) {
+                pending.push((now + respond_after, req.tag));
+            }
+        }
+    }
+
+    #[test]
+    fn replays_every_event_once() {
+        let trace = Arc::new(tiny_trace(2, 10));
+        let mut core = ReplayCore::new(Arc::clone(&trace), 0, ReplayTiming::Compressed, 4);
+        drive(&mut core, 200, 2);
+        assert!(core.done());
+        assert_eq!(core.completed(), 10);
+    }
+
+    #[test]
+    fn as_recorded_respects_issue_cycles() {
+        let trace = Arc::new(tiny_trace(1, 5));
+        let mut core = ReplayCore::new(Arc::clone(&trace), 0, ReplayTiming::AsRecorded, 8);
+        // At cycle 2 nothing may issue yet (first event is at cycle 3).
+        assert!(core.step(&mut |_| Fetch::Stall, true).is_none());
+        assert!(core.step(&mut |_| Fetch::Stall, true).is_none());
+        assert!(core.step(&mut |_| Fetch::Stall, true).is_some());
+    }
+
+    #[test]
+    fn compressed_issues_back_to_back() {
+        let trace = Arc::new(tiny_trace(1, 5));
+        let mut core = ReplayCore::new(Arc::clone(&trace), 0, ReplayTiming::Compressed, 8);
+        for _ in 0..5 {
+            assert!(core.step(&mut |_| Fetch::Stall, true).is_some());
+        }
+        assert!(core.step(&mut |_| Fetch::Stall, true).is_none());
+    }
+
+    #[test]
+    fn backpressure_stalls_replay() {
+        let trace = Arc::new(tiny_trace(1, 3));
+        let mut core = ReplayCore::new(Arc::clone(&trace), 0, ReplayTiming::Compressed, 8);
+        assert!(core.step(&mut |_| Fetch::Stall, false).is_none());
+        assert!(!core.done());
+    }
+}

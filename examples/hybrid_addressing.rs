@@ -1,0 +1,61 @@
+//! Hybrid addressing scheme in action (§IV of the paper): the same DCT
+//! binary runs twice — once with the scrambling logic keeping each core's
+//! blocks and stack in its own tile, once on the plain interleaved map —
+//! and the cycle counts show why the scheme is worth a wire crossing and a
+//! multiplexer.
+//!
+//! Run with: `cargo run --release --example hybrid_addressing`
+
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_kernels::{run_kernel, Dct, Geometry, Kernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scrambled = ClusterConfig::paper(Topology::TopH);
+    let mut interleaved = scrambled;
+    interleaved.seq_region_bytes = None;
+
+    // First, show the address transformation itself.
+    let cluster = Cluster::snitch(scrambled)?;
+    let scr = cluster.scrambler().expect("scrambling enabled");
+    let map = cluster.address_map();
+    println!("the scrambler is a pure wire crossing (bijective, same view for all cores):");
+    for tile in [0u32, 1, 63] {
+        let vaddr = scr.seq_base(tile) + 0x40;
+        let at = map.decode(scr.scramble(vaddr)).expect("in range");
+        println!(
+            "  programmer address {vaddr:#08x} (tile {tile}'s sequential region) \
+             -> tile {:>2}, bank {:>2}, row {:>3}",
+            at.tile, at.bank, at.row
+        );
+    }
+    let outside = scr.seq_region_bytes() as u32 + 0x40;
+    println!(
+        "  programmer address {outside:#08x} (interleaved region)        -> unchanged: {:#08x}\n",
+        scr.scramble(outside)
+    );
+
+    // Then run the paper's stack-heavy kernel both ways.
+    let geom = Geometry::from_config(&scrambled, 4096);
+    let dct = Dct::new(geom)?;
+    println!("running `{}` (8x8 blocks + stack intermediates) on 256 cores, TopH:", dct.name());
+
+    let with = run_kernel(&dct, scrambled, 99, 100_000_000)?;
+    println!(
+        "  scrambling ON : {:>8} cycles, {:>5.1} % of accesses local",
+        with.cycles,
+        100.0 * with.stats.locality()
+    );
+    let without = run_kernel(&dct, interleaved, 99, 100_000_000)?;
+    println!(
+        "  scrambling OFF: {:>8} cycles, {:>5.1} % of accesses local",
+        without.cycles,
+        100.0 * without.stats.locality()
+    );
+    println!(
+        "\nthe hybrid map made the identical binary {:.2}x faster — the paper's",
+        without.cycles as f64 / with.cycles as f64
+    );
+    println!("\"performance gains of up to 20 % in real-world benchmarks\" (and far more");
+    println!("for fully stack-resident kernels), at zero programming-model cost.");
+    Ok(())
+}

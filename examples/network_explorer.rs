@@ -1,0 +1,69 @@
+//! Network explorer: compare the three MemPool interconnect topologies
+//! under synthetic traffic, the way §V-A of the paper does, and watch the
+//! saturation points emerge.
+//!
+//! Run with: `cargo run --release --example network_explorer [load]`
+//!
+//! An optional load argument (requests/core/cycle) prints a single
+//! detailed point instead of the default mini-sweep.
+
+use mempool::{ClusterConfig, Topology};
+use mempool_traffic::{run_point, Pattern, Windows};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let windows = Windows {
+        warmup: 500,
+        measure: 4_000,
+        drain: 60_000,
+    };
+    let topologies = [Topology::Top1, Topology::Top4, Topology::TopH];
+
+    if let Some(load) = std::env::args().nth(1) {
+        let load: f64 = load.parse()?;
+        println!("single point at load {load} (256-core cluster, uniform traffic)\n");
+        for topo in topologies {
+            let p = run_point(
+                ClusterConfig::paper(topo),
+                Pattern::Uniform,
+                load,
+                windows,
+                7,
+            )?;
+            println!(
+                "{topo:>5}: delivered {:.3} req/core/cycle, latency mean {:.2} / p99 {} cycles",
+                p.throughput,
+                p.latency.mean(),
+                p.latency.quantile(0.99).unwrap_or(0),
+            );
+        }
+        return Ok(());
+    }
+
+    println!("mini-sweep on the 256-core cluster (uniform random destinations)");
+    println!("paper reference: Top1 congests at ~0.10, Top4/TopH at ~0.38\n");
+    println!(
+        "{:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "load", "thr:top1", "top4", "topH", "lat:top1", "top4", "topH"
+    );
+    for load in [0.05, 0.10, 0.20, 0.30, 0.40] {
+        let mut thr = Vec::new();
+        let mut lat = Vec::new();
+        for topo in topologies {
+            let p = run_point(
+                ClusterConfig::paper(topo),
+                Pattern::Uniform,
+                load,
+                windows,
+                7,
+            )?;
+            thr.push(p.throughput);
+            lat.push(p.latency.mean());
+        }
+        println!(
+            "{load:>6.2} | {:>8.3} {:>8.3} {:>8.3} | {:>8.1} {:>8.1} {:>8.1}",
+            thr[0], thr[1], thr[2], lat[0], lat[1], lat[2]
+        );
+    }
+    println!("\n(latencies explode once a topology saturates — Fig. 5b of the paper)");
+    Ok(())
+}

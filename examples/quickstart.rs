@@ -1,0 +1,70 @@
+//! Quickstart: build a MemPool cluster, run a small parallel program on all
+//! cores, and read back the results.
+//!
+//! Every core computes `hartid²` with a multiply, stores it into a shared
+//! array, synchronizes on a barrier, and then verifies its left neighbour's
+//! slot — exercising the shared-L1 view that makes MemPool "easy to
+//! program".
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_kernels::{emit_barrier, emit_epilogue, emit_prologue, Geometry};
+use mempool_riscv::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's full 256-core cluster with the TopH interconnect.
+    let config = ClusterConfig::paper(Topology::TopH);
+    let geom = Geometry::from_config(&config, 4096);
+    let table = geom.data_base(); // shared array in the interleaved region
+
+    let source = format!
+        ("{prologue}\
+         \t# table[hartid] = hartid * hartid\n\
+         \tmul  t0, s0, s0\n\
+         \tli   t1, {table}\n\
+         \tslli t2, s0, 2\n\
+         \tadd  t1, t1, t2\n\
+         \tsw   t0, (t1)\n\
+         \tjal  ra, __barrier\n\
+         \t# read the left neighbour's slot\n\
+         \taddi t3, s0, -1\n\
+         \tbgez t3, in_range\n\
+         \tli   t3, {last}\n\
+         in_range:\n\
+         \tslli t3, t3, 2\n\
+         \tli   t1, {table}\n\
+         \tadd  t1, t1, t3\n\
+         \tlw   a0, (t1)\n\
+         {epilogue}\
+         {barrier}",
+        prologue = emit_prologue(&geom),
+        epilogue = emit_epilogue(),
+        barrier = emit_barrier(&geom),
+        last = geom.num_cores() - 1,
+    );
+
+    let program = assemble(&source)?;
+    let mut cluster = Cluster::snitch(config)?;
+    cluster.load_program(&program)?;
+    let cycles = cluster.run(10_000_000)?;
+
+    // Verify both the shared table and each core's observation.
+    for core in 0..geom.num_cores() {
+        let expected = (core as u32).pow(2);
+        assert_eq!(cluster.read_word(table + 4 * core as u32), Some(expected));
+        let left = if core == 0 { geom.num_cores() - 1 } else { core - 1 } as u32;
+        assert_eq!(cluster.cores()[core].reg(mempool_riscv::Reg::A0), left * left);
+    }
+
+    let stats = cluster.stats();
+    println!("ran {} cores for {cycles} cycles", geom.num_cores());
+    println!(
+        "memory traffic: {} requests ({:.1} % local), mean round-trip {:.2} cycles",
+        stats.requests_issued,
+        100.0 * stats.locality(),
+        stats.latency.mean()
+    );
+    println!("all {} squared-hartid slots verified", geom.num_cores());
+    Ok(())
+}

@@ -1,0 +1,347 @@
+//! `mempool-run` — assemble an RV32IMA source file and execute it on the
+//! cycle-accurate MemPool cluster.
+//!
+//! ```console
+//! $ mempool-run program.s                        # 256 cores, TopH
+//! $ mempool-run --topology top1 --small prog.s  # 64 cores, Top1
+//! $ mempool-run --no-scramble --dump-mem 0x40000:8 prog.s
+//! ```
+
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_riscv::{assemble, Reg};
+use std::process::ExitCode;
+
+struct Options {
+    topology: Topology,
+    small: bool,
+    scramble: bool,
+    max_cycles: u64,
+    dump_regs: Option<usize>,
+    dump_mem: Option<(u32, usize)>,
+    trace_core: Option<usize>,
+    functional: bool,
+    listing: bool,
+    emit_bin: Option<String>,
+    describe: bool,
+    path: String,
+}
+
+const USAGE: &str = "usage: mempool-run [OPTIONS] <program.s>
+
+options:
+  --topology <top1|top4|topH|ideal>  interconnect topology (default topH)
+  --small                            64-core cluster instead of 256
+  --no-scramble                      disable the hybrid addressing scheme
+  --max-cycles <n>                   cycle budget (default 100000000)
+  --dump-regs <core>                 print core's registers after the run
+  --dump-mem <addr>:<words>          print an L1 region after the run
+  --trace-core <core>                print the core's last 32 retired instructions
+  --functional                       run on the untimed reference simulator
+  --listing                          print the assembled program and exit
+  --emit-bin <file>                  write the assembled image (LE words) and exit
+  --describe                         print the instantiated hardware and exit
+  --help                             this text";
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        topology: Topology::TopH,
+        small: false,
+        scramble: true,
+        max_cycles: 100_000_000,
+        dump_regs: None,
+        dump_mem: None,
+        trace_core: None,
+        functional: false,
+        listing: false,
+        emit_bin: None,
+        describe: false,
+        path: String::new(),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--topology" => {
+                opts.topology = match value("--topology")?.as_str() {
+                    "top1" => Topology::Top1,
+                    "top4" => Topology::Top4,
+                    "topH" | "toph" => Topology::TopH,
+                    "ideal" => Topology::Ideal,
+                    other => return Err(format!("unknown topology `{other}`")),
+                };
+            }
+            "--small" => opts.small = true,
+            "--no-scramble" => opts.scramble = false,
+            "--max-cycles" => {
+                opts.max_cycles = value("--max-cycles")?
+                    .parse()
+                    .map_err(|_| "invalid --max-cycles value".to_owned())?;
+            }
+            "--dump-regs" => {
+                opts.dump_regs = Some(
+                    value("--dump-regs")?
+                        .parse()
+                        .map_err(|_| "invalid --dump-regs core index".to_owned())?,
+                );
+            }
+            "--dump-mem" => {
+                let spec = value("--dump-mem")?;
+                let (addr, words) = spec
+                    .split_once(':')
+                    .ok_or("expected --dump-mem <addr>:<words>")?;
+                let addr = parse_u32(addr).ok_or("invalid --dump-mem address")?;
+                let words = words.parse().map_err(|_| "invalid --dump-mem word count")?;
+                opts.dump_mem = Some((addr, words));
+            }
+            "--trace-core" => {
+                opts.trace_core = Some(
+                    value("--trace-core")?
+                        .parse()
+                        .map_err(|_| "invalid --trace-core core index".to_owned())?,
+                );
+            }
+            "--functional" => opts.functional = true,
+            "--listing" => opts.listing = true,
+            "--emit-bin" => opts.emit_bin = Some(value("--emit-bin")?),
+            "--describe" => opts.describe = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            _ if arg.starts_with('-') => return Err(format!("unknown option `{arg}`\n{USAGE}")),
+            _ => opts.path = arg,
+        }
+    }
+    if opts.path.is_empty() && !opts.describe {
+        return Err(USAGE.to_owned());
+    }
+    Ok(opts)
+}
+
+fn run_functional(opts: &Options, program: &mempool_riscv::Program) -> Result<(), String> {
+    use mempool::{FunctionalSim, L1Memory};
+    let mut config = if opts.small {
+        ClusterConfig::small(opts.topology)
+    } else {
+        ClusterConfig::paper(opts.topology)
+    };
+    if !opts.scramble {
+        config.seq_region_bytes = None;
+    }
+    let mut sim = FunctionalSim::new(config).map_err(|e| e.to_string())?;
+    sim.load_program(program).map_err(|e| e.to_string())?;
+    let steps = sim.run(opts.max_cycles).map_err(|e| e.to_string())?;
+    println!(
+        "functional run finished in {steps} round-robin steps ({} instructions, {} cores)",
+        sim.instret(),
+        config.num_cores()
+    );
+    if sim.any_faulted() {
+        println!("warning: at least one core halted on a fault");
+    }
+    if let Some((addr, words)) = opts.dump_mem {
+        println!("\nL1 at {addr:#010x} ({words} words):");
+        for (i, w) in sim.read_words(addr, words).into_iter().enumerate() {
+            if i % 4 == 0 {
+                print!("  {:08x}: ", addr as usize + 4 * i);
+            }
+            print!("{w:08x} ");
+            if i % 4 == 3 {
+                println!();
+            }
+        }
+        if words % 4 != 0 {
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    if opts.describe {
+        let mut config = if opts.small {
+            ClusterConfig::small(opts.topology)
+        } else {
+            ClusterConfig::paper(opts.topology)
+        };
+        if !opts.scramble {
+            config.seq_region_bytes = None;
+        }
+        let cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
+        print!("{}", cluster.describe());
+        return Ok(());
+    }
+    let source =
+        std::fs::read_to_string(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
+    let program = assemble(&source).map_err(|e| format!("{}: {e}", opts.path))?;
+
+    if opts.listing {
+        print!("{}", program.listing());
+        return Ok(());
+    }
+    if let Some(out) = &opts.emit_bin {
+        let bytes: Vec<u8> = program
+            .words()
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {} bytes to {out}", bytes.len());
+        return Ok(());
+    }
+
+    if opts.functional {
+        return run_functional(opts, &program);
+    }
+    let mut config = if opts.small {
+        ClusterConfig::small(opts.topology)
+    } else {
+        ClusterConfig::paper(opts.topology)
+    };
+    if !opts.scramble {
+        config.seq_region_bytes = None;
+    }
+    let mut cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
+    cluster.load_program(&program).map_err(|e| e.to_string())?;
+    if let Some(core) = opts.trace_core {
+        cluster
+            .cores_mut()
+            .get_mut(core)
+            .ok_or_else(|| format!("core {core} out of range"))?
+            .enable_trace(32);
+    }
+    let cycles = cluster.run(opts.max_cycles).map_err(|e| e.to_string())?;
+
+    let stats = cluster.stats();
+    let cores = cluster.core_stats_total();
+    println!(
+        "finished in {cycles} cycles on {} ({} cores, scrambling {})",
+        opts.topology,
+        config.num_cores(),
+        if opts.scramble { "on" } else { "off" }
+    );
+    println!(
+        "instructions: {} ({:.3} IPC/core), memory: {} requests, {:.1} % local, \
+         latency mean {:.2}",
+        cores.instret,
+        cores.instret as f64 / (cycles.max(1) as f64 * config.num_cores() as f64),
+        stats.requests_issued,
+        100.0 * stats.locality(),
+        stats.latency.mean()
+    );
+    let faults = cluster.cores().iter().filter(|c| c.faulted()).count();
+    if faults > 0 {
+        println!("warning: {faults} core(s) halted on a fetch fault (ran past the image?)");
+    }
+
+    if let Some(core) = opts.dump_regs {
+        let core_ref = cluster
+            .cores()
+            .get(core)
+            .ok_or_else(|| format!("core {core} out of range"))?;
+        println!("\ncore {core} registers (pc={:#010x}):", core_ref.pc());
+        for reg in Reg::all() {
+            print!("  {:>4}={:08x}", reg.abi_name(), core_ref.reg(reg));
+            if (reg.index() + 1) % 4 == 0 {
+                println!();
+            }
+        }
+    }
+    if let Some(core) = opts.trace_core {
+        println!("\ncore {core} retirement trace (last 32):");
+        for entry in cluster.cores()[core].trace() {
+            println!("  cycle {:>8}  {:08x}:  {}", entry.cycle, entry.pc, entry.instr);
+        }
+    }
+    if let Some((addr, words)) = opts.dump_mem {
+        println!("\nL1 at {addr:#010x} ({words} words):");
+        for (i, w) in cluster
+            .read_words(addr, words)
+            .into_iter()
+            .enumerate()
+        {
+            if i % 4 == 0 {
+                print!("  {:08x}: ", addr as usize + 4 * i);
+            }
+            print!("{w:08x} ");
+            if i % 4 == 3 {
+                println!();
+            }
+        }
+        if words % 4 != 0 {
+            println!();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Options, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let o = args(&["prog.s"]).unwrap();
+        assert_eq!(o.topology, Topology::TopH);
+        assert!(o.scramble && !o.small && !o.functional);
+        assert_eq!(o.path, "prog.s");
+
+        let o = args(&[
+            "--topology", "top1", "--small", "--no-scramble", "--max-cycles", "123",
+            "--dump-regs", "7", "--dump-mem", "0x100:8", "--trace-core", "3",
+            "--functional", "p.s",
+        ])
+        .unwrap();
+        assert_eq!(o.topology, Topology::Top1);
+        assert!(o.small && !o.scramble && o.functional);
+        assert_eq!(o.max_cycles, 123);
+        assert_eq!(o.dump_regs, Some(7));
+        assert_eq!(o.dump_mem, Some((0x100, 8)));
+        assert_eq!(o.trace_core, Some(3));
+    }
+
+    #[test]
+    fn rejections() {
+        assert!(args(&[]).is_err(), "missing path");
+        assert!(args(&["--topology", "mesh", "p.s"]).is_err());
+        assert!(args(&["--dump-mem", "100", "p.s"]).is_err(), "missing :words");
+        assert!(args(&["--max-cycles", "many", "p.s"]).is_err());
+        assert!(args(&["--bogus", "p.s"]).is_err());
+    }
+
+    #[test]
+    fn hex_and_decimal_addresses() {
+        assert_eq!(parse_u32("0x20"), Some(0x20));
+        assert_eq!(parse_u32("32"), Some(32));
+        assert_eq!(parse_u32("zz"), None);
+    }
+}

@@ -1,0 +1,17 @@
+//! # mempool-suite
+//!
+//! The umbrella crate of the MemPool reproduction: re-exports every member
+//! crate and hosts the runnable examples (`examples/`), the cross-crate
+//! integration tests (`tests/`), and the `mempool-run` CLI.
+//!
+//! Start from [`mempool`] (the cluster simulator) or the repository
+//! README.
+
+pub use mempool;
+pub use mempool_kernels;
+pub use mempool_mem;
+pub use mempool_noc;
+pub use mempool_physical;
+pub use mempool_riscv;
+pub use mempool_snitch;
+pub use mempool_traffic;

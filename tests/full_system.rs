@@ -1,0 +1,264 @@
+//! Cross-crate integration tests: assembler → Snitch ISS → cluster →
+//! interconnect → SPM, exercised through the public APIs only.
+
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_kernels::{emit_barrier, emit_epilogue, emit_prologue, Geometry};
+use mempool_riscv::{assemble, Reg};
+
+fn tiny_top1() -> ClusterConfig {
+    // 4 tiles × 4 cores: the smallest legal Top1 cluster.
+    ClusterConfig {
+        num_tiles: 4,
+        ..ClusterConfig::small(Topology::Top1)
+    }
+}
+
+#[test]
+fn amo_reduction_across_all_topologies() {
+    // Every core adds its hartid to a shared accumulator; the result is
+    // the closed-form sum regardless of topology and scrambling.
+    for topo in Topology::all() {
+        for scrambled in [true, false] {
+            let mut config = ClusterConfig::small(topo);
+            if !scrambled {
+                config.seq_region_bytes = None;
+            }
+            let geom = Geometry::from_config(&config, 4096);
+            let acc = geom.data_base();
+            let source = format!(
+                "{prologue}\tli t0, {acc}\n\tamoadd.w zero, s0, (t0)\n{epilogue}",
+                prologue = emit_prologue(&geom),
+                epilogue = emit_epilogue(),
+            );
+            let program = assemble(&source).unwrap();
+            let mut cluster = Cluster::snitch(config).unwrap();
+            cluster.load_program(&program).unwrap();
+            cluster.run(1_000_000).unwrap();
+            let n = geom.num_cores() as u32;
+            assert_eq!(
+                cluster.read_word(acc),
+                Some(n * (n - 1) / 2),
+                "{topo} scrambled={scrambled}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lr_sc_spinlock_mutual_exclusion() {
+    // A classic LR/SC spinlock protecting a *non-atomic* increment: if
+    // mutual exclusion or the release fence ever breaks, increments get
+    // lost and the final count is wrong.
+    let config = tiny_top1();
+    let geom = Geometry::from_config(&config, 4096);
+    let lock = geom.data_base();
+    let counter = geom.data_base() + 4;
+    let rounds = 5;
+    let source = format!(
+        "{prologue}\
+         \tli   s3, {rounds}\n\
+         \tli   s4, {lock}\n\
+         \tli   s5, {counter}\n\
+         again:\n\
+         acquire:\n\
+         \tlr.w t0, (s4)\n\
+         \tbnez t0, acquire\n\
+         \tli   t1, 1\n\
+         \tsc.w t0, t1, (s4)\n\
+         \tbnez t0, acquire\n\
+         \t# critical section: non-atomic read-modify-write\n\
+         \tlw   t2, (s5)\n\
+         \taddi t2, t2, 1\n\
+         \tsw   t2, (s5)\n\
+         \tfence                      # publish before release\n\
+         \tsw   zero, (s4)\n\
+         \taddi s3, s3, -1\n\
+         \tbnez s3, again\n\
+         {epilogue}",
+        prologue = emit_prologue(&geom),
+        epilogue = emit_epilogue(),
+    );
+    let program = assemble(&source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(10_000_000).expect("no livelock");
+    assert_eq!(
+        cluster.read_word(counter),
+        Some(geom.num_cores() as u32 * rounds)
+    );
+    assert_eq!(cluster.read_word(lock), Some(0), "lock released");
+}
+
+#[test]
+fn barrier_pipeline_two_phases() {
+    // Phase 1: core i writes slot i. Barrier. Phase 2: core i sums all
+    // slots — every core must observe the complete phase-1 state.
+    let config = ClusterConfig::small(Topology::TopH);
+    let geom = Geometry::from_config(&config, 4096);
+    let table = geom.data_base();
+    let n = geom.num_cores();
+    let source = format!(
+        "{prologue}\
+         \tli   t0, {table}\n\
+         \tslli t1, s0, 2\n\
+         \tadd  t0, t0, t1\n\
+         \taddi t2, s0, 1\n\
+         \tsw   t2, (t0)\n\
+         \tjal  ra, __barrier\n\
+         \tli   t0, {table}\n\
+         \tli   t3, {n}\n\
+         \tli   a0, 0\n\
+         sum:\n\
+         \tlw   t4, (t0)\n\
+         \tadd  a0, a0, t4\n\
+         \taddi t0, t0, 4\n\
+         \taddi t3, t3, -1\n\
+         \tbnez t3, sum\n\
+         {epilogue}\
+         {barrier}",
+        prologue = emit_prologue(&geom),
+        epilogue = emit_epilogue(),
+        barrier = emit_barrier(&geom),
+    );
+    let program = assemble(&source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(20_000_000).unwrap();
+    let expect = (n as u32) * (n as u32 + 1) / 2;
+    for (i, core) in cluster.cores().iter().enumerate() {
+        assert_eq!(core.reg(Reg::A0), expect, "core {i} saw a partial phase 1");
+    }
+}
+
+#[test]
+fn sub_word_accesses_through_the_network() {
+    // Byte and halfword stores/loads to a remote tile exercise the strobe
+    // path end to end.
+    let config = ClusterConfig::small(Topology::TopH);
+    let geom = Geometry::from_config(&config, 4096);
+    let base = geom.data_base();
+    let source = format!(
+        "csrr t0, mhartid\n\
+         bnez t0, done\n\
+         li   t1, {base}\n\
+         li   t2, 0x11223344\n\
+         sw   t2, 0(t1)\n\
+         li   t3, 0xaa\n\
+         sb   t3, 1(t1)\n\
+         li   t4, 0xbbcc\n\
+         sh   t4, 4(t1)\n\
+         fence\n\
+         lw   a0, 0(t1)\n\
+         lbu  a1, 1(t1)\n\
+         lhu  a2, 4(t1)\n\
+         lb   a3, 3(t1)\n\
+         done: ecall\n"
+    );
+    let program = assemble(&source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(1_000_000).unwrap();
+    let core = &cluster.cores()[0];
+    assert_eq!(core.reg(Reg::A0), 0x1122_aa44);
+    assert_eq!(core.reg(Reg::A1), 0xaa);
+    assert_eq!(core.reg(Reg::A2), 0xbbcc);
+    assert_eq!(core.reg(Reg::A3), 0x11);
+    assert_eq!(cluster.read_word(base), Some(0x1122_aa44));
+    assert_eq!(cluster.read_word(base + 4), Some(0xbbcc));
+}
+
+#[test]
+fn memory_helpers_round_trip_through_scrambler() {
+    let config = ClusterConfig::small(Topology::TopH);
+    let mut cluster = Cluster::snitch(config).unwrap();
+    let words: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    // Spans sequential and interleaved regions.
+    for base in [0u32, 4096 - 128, 65536] {
+        cluster.write_words(base, &words);
+        assert_eq!(cluster.read_words(base, words.len()), words, "base {base:#x}");
+    }
+    assert_eq!(cluster.read_word(0xffff_fffc), None);
+}
+
+#[test]
+fn run_timeout_is_reported() {
+    let config = tiny_top1();
+    let program = assemble("spin: j spin\n").unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    let err = cluster.run(1_000).unwrap_err();
+    assert_eq!(err.budget(), 1_000);
+    assert!(err.to_string().contains("1000 cycles"));
+}
+
+#[test]
+fn divider_and_mul_pipeline_in_parallel_program() {
+    // Mixed-latency arithmetic on all cores; spot-checked against Rust.
+    let config = ClusterConfig::small(Topology::Top4);
+    let source = "csrr t0, mhartid\n\
+                  addi t1, t0, 13\n\
+                  mul  t2, t1, t1\n\
+                  li   t3, 7\n\
+                  divu a0, t2, t3\n\
+                  remu a1, t2, t3\n\
+                  ecall\n";
+    let program = assemble(source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(1_000_000).unwrap();
+    for (i, core) in cluster.cores().iter().enumerate() {
+        let sq = ((i as u32) + 13).pow(2);
+        assert_eq!(core.reg(Reg::A0), sq / 7, "core {i}");
+        assert_eq!(core.reg(Reg::A1), sq % 7, "core {i}");
+    }
+}
+
+#[test]
+fn out_of_range_access_faults_core_not_simulator() {
+    // A guest store beyond L1 must kill only the offending core.
+    let config = ClusterConfig::small(Topology::TopH);
+    let source = "csrr t0, mhartid\n\
+                  bnez t0, ok\n\
+                  li   t1, 0x7fffff00\n\
+                  sw   t1, (t1)\n\
+                  ok: ecall\n";
+    let program = assemble(source).unwrap();
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&program).unwrap();
+    cluster.run(1_000_000).unwrap();
+    assert_eq!(cluster.stats().memory_faults, 1);
+    assert!(cluster.cores()[0].faulted());
+    assert!(!cluster.cores()[1].faulted());
+}
+
+#[test]
+fn reset_chains_program_phases_over_shared_memory() {
+    // Phase 1: every core writes hartid+1 to its slot. Reset (memory
+    // survives). Phase 2: every core doubles its slot. The combination only
+    // works if reset preserved L1 and restarted the cores.
+    let config = ClusterConfig::small(Topology::TopH);
+    let geom = Geometry::from_config(&config, 4096);
+    let table = geom.data_base();
+
+    let phase1 = assemble(&format!(
+        "csrr t0, mhartid\nslli t1, t0, 2\nli t2, {table}\nadd t1, t1, t2\n\
+         addi t3, t0, 1\nsw t3, (t1)\nfence\necall\n"
+    ))
+    .unwrap();
+    let phase2 = assemble(&format!(
+        "csrr t0, mhartid\nslli t1, t0, 2\nli t2, {table}\nadd t1, t1, t2\n\
+         lw t3, (t1)\nslli t3, t3, 1\nsw t3, (t1)\nfence\necall\n"
+    ))
+    .unwrap();
+
+    let mut cluster = Cluster::snitch(config).unwrap();
+    cluster.load_program(&phase1).unwrap();
+    cluster.run(1_000_000).unwrap();
+    cluster.reset();
+    assert_eq!(cluster.stats().cycles, 0, "stats restarted");
+    cluster.load_program(&phase2).unwrap();
+    cluster.run(1_000_000).unwrap();
+    for i in 0..geom.num_cores() as u32 {
+        assert_eq!(cluster.read_word(table + 4 * i), Some(2 * (i + 1)));
+    }
+}
