@@ -1,15 +1,19 @@
 //! The cycle-accurate MemPool cluster simulator.
 
-use crate::net::Net;
-use crate::tile::{ProgramImage, Tile};
+use crate::faults::{
+    BankFailure, DeadlockDiagnostic, FaultEvent, FaultLog, FaultPlan, LinkFaultKind, PendingDump,
+    SimError, TileDiagnostic,
+};
+use crate::net::{LinkRef, Net};
+use crate::tile::{BankGate, ProgramImage, Tile};
 use crate::{
-    ClusterConfig, ClusterStats, Core, RefillNetwork, Request, Response, Topology,
+    ClusterConfig, ClusterStats, Core, FaultStats, RefillNetwork, Request, Response, Topology,
     ValidateConfigError,
 };
-use mempool_mem::{AddressMap, CacheStats, Scrambler};
+use mempool_mem::{AddressMap, CacheStats, QuarantineMap, Scrambler};
 use mempool_noc::Ring;
-use mempool_snitch::DataResponse;
-use std::collections::VecDeque;
+use mempool_snitch::{DataRequestKind, DataResponse};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// A refill transaction on the I-cache ring (§III-B's "low-overhead refill
@@ -40,8 +44,35 @@ impl RefillRing {
         }
     }
 
-    fn cycle(&mut self, tiles: &mut [Tile], now: u64) {
-        self.ring.advance();
+    fn cycle(
+        &mut self,
+        tiles: &mut [Tile],
+        now: u64,
+        faults: Option<&FaultPlan>,
+        fstats: &mut FaultStats,
+    ) {
+        // Injected ring faults: lost flits vanish from their slot; any
+        // stalled slot freezes the whole (bufferless, synchronous) ring for
+        // the cycle.
+        let mut advance = true;
+        if let Some(plan) = faults {
+            if plan.spec().has_ring_faults() {
+                for slot in 0..self.ring.stops() {
+                    if plan.ring_dropped(now, slot as u64)
+                        && self.ring.drop_in_flight(slot).is_some()
+                    {
+                        fstats.ring_drops += 1;
+                    }
+                    if plan.ring_stalled(now, slot as u64) {
+                        fstats.ring_stalls += 1;
+                        advance = false;
+                    }
+                }
+            }
+        }
+        if advance {
+            self.ring.advance();
+        }
         // Responses arriving at tiles install their lines.
         for (t, tile) in tiles.iter_mut().enumerate() {
             while let Some(pkt) = self.ring.eject(t) {
@@ -94,6 +125,18 @@ impl fmt::Display for RunTimeoutError {
 
 impl std::error::Error for RunTimeoutError {}
 
+/// Retry-layer bookkeeping for one in-flight request, keyed by
+/// `(core, tag)`. `last_sent` distinguishes a live (re)issue from a stale
+/// response still draining out of the network after a retry.
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    addr: u32,
+    kind: DataRequestKind,
+    issued_at: u64,
+    last_sent: u64,
+    retries: u32,
+}
+
 /// Placement of one core within the cluster, handed to the core factory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreLocation {
@@ -140,6 +183,22 @@ pub struct Cluster<C> {
     deliveries: Vec<Response>,
     refill_ring: Option<RefillRing>,
     trace: Option<crate::MemoryTrace>,
+    // --- fault injection and resilience ---
+    faults: Option<FaultPlan>,
+    quarantine: QuarantineMap,
+    /// Retry-layer view of every tracked in-flight request, in
+    /// deterministic (core, tag) order.
+    pending: BTreeMap<(u32, u8), PendingRequest>,
+    fault_log: FaultLog,
+    /// Scheduled permanent bank failures (absolute cycles, sorted);
+    /// `next_failure` indexes the first not yet activated.
+    pending_failures: Vec<BankFailure>,
+    next_failure: usize,
+    /// Per-core first cycle at which an injected lockup releases.
+    locked_until: Vec<u64>,
+    /// Watchdog: last cycle the progress signature changed, and its value.
+    last_progress: u64,
+    progress_mark: u64,
 }
 
 impl<C: Core> Cluster<C> {
@@ -184,6 +243,15 @@ impl<C: Core> Cluster<C> {
                 }
             },
             trace: None,
+            faults: None,
+            quarantine: QuarantineMap::new(map),
+            pending: BTreeMap::new(),
+            fault_log: FaultLog::default(),
+            pending_failures: Vec::new(),
+            next_failure: 0,
+            locked_until: vec![0; config.num_cores()],
+            last_progress: 0,
+            progress_mark: 0,
             config,
         })
     }
@@ -226,6 +294,65 @@ impl<C: Core> Cluster<C> {
     /// Number of requests issued but not yet answered.
     pub fn in_flight(&self) -> u64 {
         self.in_flight
+    }
+
+    /// Instruction-cache refills outstanding across all tiles.
+    pub fn pending_refills(&self) -> usize {
+        self.tiles.iter().map(Tile::pending_refills).sum()
+    }
+
+    /// Installs (or removes, with `None`) the fault plan driving injection
+    /// from the *next* cycle on.
+    ///
+    /// Scheduled bank failures are re-derived from the plan and land within
+    /// the first [`FaultPlan::bank_failures`] window of cycles after this
+    /// call; quarantine state and the fault log restart.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.quarantine = QuarantineMap::new(self.map);
+        self.fault_log.clear();
+        self.pending_failures.clear();
+        self.next_failure = 0;
+        // A previously stalled link must not stay frozen after its plan is
+        // gone.
+        self.net.for_each_link(&mut |_, link| match link {
+            LinkRef::Req(b) => b.set_stalled(false),
+            LinkRef::Resp(b) => b.set_stalled(false),
+        });
+        if let Some(plan) = &plan {
+            let mut failures = plan.bank_failures(
+                self.config.num_tiles as u32,
+                self.config.banks_per_tile as u32,
+            );
+            for f in &mut failures {
+                f.cycle += self.now;
+            }
+            self.pending_failures = failures;
+        }
+        self.faults = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The log of notable fault events since the plan was installed.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// Number of banks currently quarantined (dead, traffic remapped).
+    pub fn quarantined_banks(&self) -> usize {
+        self.quarantine.quarantined_banks()
+    }
+
+    /// Whether per-request bookkeeping (the retry layer's pending map) is
+    /// active. Off in the default configuration, so fault-free runs keep
+    /// their zero-overhead hot path.
+    fn track_pending(&self) -> bool {
+        self.faults.is_some()
+            || self.config.resilience.retries_enabled()
+            || self.config.resilience.watchdog_enabled()
     }
 
     /// A human-readable description of the instantiated hardware: the
@@ -351,7 +478,7 @@ impl<C: Core> Cluster<C> {
     /// address is out of range.
     pub fn read_word(&self, vaddr: u32) -> Option<u32> {
         let phys = self.scrambler.map_or(vaddr, |s| s.scramble(vaddr));
-        let at = self.map.decode(phys)?;
+        let at = self.quarantine.remap(self.map.decode(phys)?);
         self.tiles[at.tile as usize].banks[at.bank as usize].peek(at.row)
     }
 
@@ -359,35 +486,177 @@ impl<C: Core> Cluster<C> {
     /// input data). Returns `None` when the address is out of range.
     pub fn write_word(&mut self, vaddr: u32, value: u32) -> Option<()> {
         let phys = self.scrambler.map_or(vaddr, |s| s.scramble(vaddr));
-        let at = self.map.decode(phys)?;
+        let at = self.quarantine.remap(self.map.decode(phys)?);
         self.tiles[at.tile as usize].banks[at.bank as usize].poke(at.row, value);
         Some(())
     }
 
     /// Bulk [`write_word`](Cluster::write_word) of consecutive words.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range runs past the end of L1.
-    pub fn write_words(&mut self, vaddr: u32, values: &[u32]) {
+    /// Returns a [`BusError`](crate::BusError) naming the first address
+    /// outside L1 (counted in `stats.memory_faults`); preceding words are
+    /// written.
+    pub fn write_words(&mut self, vaddr: u32, values: &[u32]) -> Result<(), crate::BusError> {
         for (i, &v) in values.iter().enumerate() {
-            self.write_word(vaddr + 4 * i as u32, v)
-                .unwrap_or_else(|| panic!("address {:#x} out of L1", vaddr + 4 * i as u32));
+            let addr = vaddr + 4 * i as u32;
+            if self.write_word(addr, v).is_none() {
+                self.stats.memory_faults += 1;
+                return Err(crate::BusError { addr });
+            }
         }
+        Ok(())
     }
 
     /// Bulk [`read_word`](Cluster::read_word) of consecutive words.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range runs past the end of L1.
-    pub fn read_words(&self, vaddr: u32, len: usize) -> Vec<u32> {
+    /// Returns a [`BusError`](crate::BusError) naming the first address
+    /// outside L1 (counted in `stats.memory_faults`).
+    pub fn read_words(&mut self, vaddr: u32, len: usize) -> Result<Vec<u32>, crate::BusError> {
         (0..len)
             .map(|i| {
-                self.read_word(vaddr + 4 * i as u32)
-                    .unwrap_or_else(|| panic!("address {:#x} out of L1", vaddr + 4 * i as u32))
+                let addr = vaddr + 4 * i as u32;
+                self.read_word(addr).ok_or_else(|| {
+                    self.stats.memory_faults += 1;
+                    crate::BusError { addr }
+                })
             })
             .collect()
+    }
+
+    /// Applies the cycle's scheduled and rolled faults: permanent bank
+    /// failures activate (and quarantine), transient bank stalls are
+    /// counted, and every interconnect register stage gets its stall/drop/
+    /// corrupt decision for the cycle.
+    fn apply_faults(&mut self, now: u64) {
+        while self.next_failure < self.pending_failures.len()
+            && self.pending_failures[self.next_failure].cycle <= now
+        {
+            let f = self.pending_failures[self.next_failure];
+            self.next_failure += 1;
+            self.stats.faults.banks_failed += 1;
+            let substitute = self.quarantine.quarantine(f.tile, f.bank);
+            if substitute.is_some() {
+                self.stats.faults.banks_quarantined += 1;
+            }
+            self.fault_log.record(FaultEvent::BankFailed {
+                cycle: now,
+                tile: f.tile,
+                bank: f.bank,
+                substitute,
+            });
+        }
+        let Some(plan) = &self.faults else { return };
+        let spec = *plan.spec();
+        // Transient bank stalls are counted here, once per (bank, cycle);
+        // the routing-phase gate closures re-derive the same (pure,
+        // counter-mode) decision without double counting.
+        if spec.bank_stall > 0.0 {
+            for tile in 0..self.config.num_tiles as u32 {
+                for bank in 0..self.config.banks_per_tile as u32 {
+                    if plan.bank_stalled(now, tile, bank) {
+                        self.stats.faults.bank_stalls += 1;
+                    }
+                }
+            }
+        }
+        if spec.has_link_faults() {
+            let fstats = &mut self.stats.faults;
+            self.net.for_each_link(&mut |id, link| {
+                let Some(kind) = plan.link_fault(now, id) else {
+                    match link {
+                        LinkRef::Req(b) => b.set_stalled(false),
+                        LinkRef::Resp(b) => b.set_stalled(false),
+                    }
+                    return;
+                };
+                match (kind, link) {
+                    (LinkFaultKind::Stall, LinkRef::Req(b)) => {
+                        b.set_stalled(true);
+                        fstats.link_stalls += 1;
+                    }
+                    (LinkFaultKind::Stall, LinkRef::Resp(b)) => {
+                        b.set_stalled(true);
+                        fstats.link_stalls += 1;
+                    }
+                    (LinkFaultKind::Drop, LinkRef::Req(b)) => {
+                        b.set_stalled(false);
+                        if b.drop_head().is_some() {
+                            fstats.link_drops += 1;
+                        }
+                    }
+                    (LinkFaultKind::Drop, LinkRef::Resp(b)) => {
+                        b.set_stalled(false);
+                        if b.drop_head().is_some() {
+                            fstats.link_drops += 1;
+                        }
+                    }
+                    // Requests carry validated routing fields; corrupting
+                    // them would crash the switch rather than model a data
+                    // fault, so the corrupt roll is a no-op on request
+                    // stages.
+                    (LinkFaultKind::Corrupt, LinkRef::Req(b)) => b.set_stalled(false),
+                    (LinkFaultKind::Corrupt, LinkRef::Resp(b)) => {
+                        b.set_stalled(false);
+                        if let Some(resp) = b.head_mut() {
+                            resp.data ^= 1 << plan.corrupt_bit(now, id);
+                            fstats.link_corruptions += 1;
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Timeout/retry layer: re-issues tracked requests whose response is
+    /// overdue, abandoning (and faulting the core of) any that exhaust the
+    /// retry budget.
+    fn retry_overdue(&mut self, now: u64) {
+        let timeout = self.config.resilience.request_timeout;
+        let max_retries = self.config.resilience.max_retries;
+        let overdue: Vec<(u32, u8)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now - p.last_sent >= timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        for (core, tag) in overdue {
+            // The retry needs the core's output latch; if it is busy this
+            // cycle the request simply stays overdue until next cycle.
+            if self.out_latches[core as usize].is_some() {
+                continue;
+            }
+            let p = self.pending[&(core, tag)];
+            self.stats.faults.request_timeouts += 1;
+            if p.retries >= max_retries {
+                self.pending.remove(&(core, tag));
+                self.stats.faults.requests_abandoned += 1;
+                self.in_flight -= 1;
+                self.fault_log.record(FaultEvent::RequestAbandoned {
+                    cycle: now,
+                    core,
+                    addr: p.addr,
+                    retries: p.retries,
+                });
+                self.cores[core as usize].fault();
+            } else {
+                let p = self.pending.get_mut(&(core, tag)).expect("checked above");
+                p.retries += 1;
+                p.last_sent = now;
+                let (addr, kind) = (p.addr, p.kind);
+                self.stats.faults.request_retries += 1;
+                self.out_latches[core as usize] = Some(Request {
+                    core,
+                    tag,
+                    addr,
+                    kind,
+                    issued_at: now,
+                });
+            }
+        }
     }
 
     /// Advances the whole cluster by one clock cycle.
@@ -395,6 +664,13 @@ impl<C: Core> Cluster<C> {
         self.now += 1;
         let now = self.now;
         let cpt = self.config.cores_per_tile;
+        let track = self.track_pending();
+
+        // 0. Fault application: scheduled bank failures activate, link
+        //    register stages get their per-cycle fault decisions.
+        if self.faults.is_some() || self.next_failure < self.pending_failures.len() {
+            self.apply_faults(now);
+        }
 
         // 1. I-cache refill transport (fixed-latency ports or the ring).
         match &mut self.refill_ring {
@@ -403,7 +679,12 @@ impl<C: Core> Cluster<C> {
                     tile.refill_tick(now);
                 }
             }
-            Some(ring) => ring.cycle(&mut self.tiles, now),
+            Some(ring) => ring.cycle(
+                &mut self.tiles,
+                now,
+                self.faults.as_ref(),
+                &mut self.stats.faults,
+            ),
         }
 
         // 2. Response phase: master response registers deliver; tile
@@ -422,6 +703,20 @@ impl<C: Core> Cluster<C> {
             self.net.route_responses(&mut self.tiles, cpt);
         }
         for resp in self.deliveries.drain(..) {
+            if track {
+                // After a retry, the original response may still drain out
+                // of the network; only the copy matching the latest issue
+                // completes the request.
+                let fresh = self
+                    .pending
+                    .get(&(resp.core, resp.tag))
+                    .is_some_and(|p| p.last_sent == resp.issued_at);
+                if !fresh {
+                    self.stats.faults.stale_responses += 1;
+                    continue;
+                }
+                self.pending.remove(&(resp.core, resp.tag));
+            }
             self.stats.latency.record(now - resp.issued_at);
             self.stats.responses_delivered += 1;
             self.in_flight -= 1;
@@ -431,8 +726,35 @@ impl<C: Core> Cluster<C> {
             });
         }
 
+        // 2b. Retry layer: overdue tracked requests are re-issued (or
+        //     abandoned) before the cores step, so a retry occupies the
+        //     core's output latch exactly like a fresh issue.
+        if self.config.resilience.retries_enabled() && !self.pending.is_empty() {
+            self.retry_overdue(now);
+        }
+
         // 3. Core phase.
         for c in 0..self.cores.len() {
+            if now < self.locked_until[c] {
+                continue;
+            }
+            if let Some(plan) = &self.faults {
+                if let Some(len) = plan.core_lockup(now, c as u32) {
+                    self.locked_until[c] = now + len;
+                    self.stats.faults.core_lockups += 1;
+                    self.fault_log.record(FaultEvent::CoreLocked {
+                        cycle: now,
+                        core: c as u32,
+                        until: now + len,
+                    });
+                    continue;
+                }
+                if plan.spurious_retire(now, c as u32) && !self.cores[c].done() {
+                    self.cores[c].spurious_retire();
+                    self.stats.faults.spurious_retires += 1;
+                    continue;
+                }
+            }
             let ready = self.out_latches[c].is_none();
             let tile_idx = c / cpt;
             let issued = {
@@ -443,14 +765,25 @@ impl<C: Core> Cluster<C> {
             };
             if let Some(dr) = issued {
                 debug_assert!(ready, "core issued against backpressure");
-                let phys = self.scrambler.map_or(dr.addr, |s| s.scramble(dr.addr));
-                let Some(at) = self.map.decode(phys) else {
+                let mut phys = self.scrambler.map_or(dr.addr, |s| s.scramble(dr.addr));
+                let Some(mut at) = self.map.decode(phys) else {
                     // An address outside L1 is a guest-program bug: kill the
                     // offending core, keep the cluster alive.
                     self.stats.memory_faults += 1;
                     self.cores[c].fault();
                     continue;
                 };
+                // Graceful degradation: traffic to a quarantined bank is
+                // remapped at issue onto its substitute (always within the
+                // same tile, so locality classification is unaffected).
+                if !self.quarantine.is_identity() {
+                    let remapped = self.quarantine.remap(at);
+                    if remapped.bank != at.bank {
+                        self.stats.faults.quarantine_remaps += 1;
+                        at = remapped;
+                        phys = self.map.encode(at);
+                    }
+                }
                 if at.tile as usize == tile_idx {
                     self.stats.local_requests += 1;
                 } else {
@@ -480,6 +813,18 @@ impl<C: Core> Cluster<C> {
                         },
                     );
                 }
+                if track {
+                    self.pending.insert(
+                        (c as u32, dr.tag),
+                        PendingRequest {
+                            addr: phys,
+                            kind: dr.kind,
+                            issued_at: now,
+                            last_sent: now,
+                            retries: 0,
+                        },
+                    );
+                }
                 self.out_latches[c] = Some(Request {
                     core: c as u32,
                     tag: dr.tag,
@@ -492,17 +837,41 @@ impl<C: Core> Cluster<C> {
 
         // 4. Request phase: long-haul networks, then tile crossbars + bank
         //    accesses, then core latches into the master port registers.
+        //    `gate` is the per-cycle fault view of each bank.
+        let quarantine = &self.quarantine;
+        let faults = self.faults.as_ref();
+        let gate = move |tile: usize, bank: u32| -> BankGate {
+            if quarantine.is_quarantined(tile as u32, bank) {
+                return BankGate::Dead;
+            }
+            if let Some(plan) = faults {
+                if plan.bank_stalled(now, tile as u32, bank) {
+                    return BankGate::Stalled;
+                }
+            }
+            BankGate::Ready
+        };
         if let Net::Ideal(ideal) = &mut self.net {
             self.stats.bank_accesses += ideal.route_requests(
                 &mut self.out_latches,
                 &mut self.tiles,
                 &self.map,
                 &mut self.stats.tile_accesses,
+                &gate,
+                &mut self.stats.faults.requests_dropped,
             );
         } else {
             self.net.route_longhaul_requests(&mut self.tiles, &self.map);
             for (t, latches) in self.out_latches.chunks_mut(cpt).enumerate() {
-                let served = self.tiles[t].accept_requests(t, latches, &self.map, now);
+                let tile_gate = |bank: u32| gate(t, bank);
+                let served = self.tiles[t].accept_requests(
+                    t,
+                    latches,
+                    &self.map,
+                    now,
+                    &tile_gate,
+                    &mut self.stats.faults.requests_dropped,
+                );
                 self.stats.bank_accesses += served;
                 self.stats.tile_accesses[t] += served;
             }
@@ -519,6 +888,23 @@ impl<C: Core> Cluster<C> {
         self.stats.net_occupancy_sum += occupied;
         self.stats.net_register_slots = total;
         self.stats.cycles += 1;
+
+        // Watchdog progress signature: any delivered response, bank access,
+        // new issue, refill, or resilience action (drop, retry, abandon,
+        // stale drain) counts as forward motion.
+        let f = &self.stats.faults;
+        let signature = self.stats.responses_delivered
+            + self.stats.bank_accesses
+            + self.stats.requests_issued
+            + self.stats.icache_refills
+            + f.stale_responses
+            + f.requests_dropped
+            + f.request_retries
+            + f.requests_abandoned;
+        if signature != self.progress_mark {
+            self.progress_mark = signature;
+            self.last_progress = now;
+        }
     }
 
     /// Runs `n` cycles unconditionally (for open-ended traffic experiments).
@@ -529,22 +915,67 @@ impl<C: Core> Cluster<C> {
     }
 
     /// Runs until every core reports [`Core::done`] and all in-flight
-    /// requests drained, or the budget expires.
+    /// requests drained, or the budget expires, or the watchdog (when
+    /// enabled in [`ResilienceConfig`](crate::ResilienceConfig)) detects a
+    /// deadlock.
     ///
     /// Returns the number of cycles executed by this call.
     ///
     /// # Errors
     ///
-    /// Returns [`RunTimeoutError`] when the budget expires first.
-    pub fn run(&mut self, max_cycles: u64) -> Result<u64, RunTimeoutError> {
+    /// [`SimError::Timeout`] when the budget expires while the cluster is
+    /// still making progress; [`SimError::Deadlock`] — with a per-tile dump
+    /// of stuck requests — when work is outstanding but nothing has moved
+    /// for the configured number of cycles.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, SimError> {
         let start = self.now;
+        let watchdog = self.config.resilience.watchdog_cycles;
         while !(self.in_flight == 0 && self.cores.iter().all(Core::done)) {
             if self.now - start >= max_cycles {
-                return Err(RunTimeoutError { budget: max_cycles });
+                return Err(SimError::Timeout(RunTimeoutError { budget: max_cycles }));
             }
             self.cycle();
+            if watchdog > 0
+                && (self.in_flight > 0 || self.pending_refills() > 0)
+                && self.now - self.last_progress >= watchdog
+            {
+                return Err(SimError::Deadlock(Box::new(self.deadlock_diagnostic())));
+            }
         }
         Ok(self.now - start)
+    }
+
+    /// Snapshot of the stuck memory system for the watchdog report:
+    /// tracked in-flight requests grouped by destination tile.
+    fn deadlock_diagnostic(&self) -> DeadlockDiagnostic {
+        /// Longest per-tile request dump; `total` still reports the rest.
+        const MAX_DUMP_PER_TILE: usize = 8;
+        let mut tiles: BTreeMap<u32, TileDiagnostic> = BTreeMap::new();
+        for (&(core, tag), p) in &self.pending {
+            let tile = self.map.decode(p.addr).map_or(u32::MAX, |at| at.tile);
+            let entry = tiles.entry(tile).or_insert_with(|| TileDiagnostic {
+                tile,
+                total: 0,
+                requests: Vec::new(),
+            });
+            entry.total += 1;
+            if entry.requests.len() < MAX_DUMP_PER_TILE {
+                entry.requests.push(PendingDump {
+                    core,
+                    tag,
+                    addr: p.addr,
+                    issued_at: p.issued_at,
+                    retries: p.retries,
+                });
+            }
+        }
+        DeadlockDiagnostic {
+            cycle: self.now,
+            idle_cycles: self.now - self.last_progress,
+            in_flight: self.in_flight as usize,
+            pending_refills: self.pending_refills(),
+            tiles: tiles.into_values().collect(),
+        }
     }
 
     /// Resets all transient machine state — cores are rebuilt via
@@ -569,6 +1000,14 @@ impl<C: Core> Cluster<C> {
         if let Some(ring) = &mut self.refill_ring {
             *ring = RefillRing::new(self.config.num_tiles, ring.l2_latency);
         }
+        // Resilience state: transient bookkeeping restarts, but the fault
+        // plan, its remaining scheduled failures, and quarantined banks
+        // survive — a reset does not heal dead hardware.
+        self.pending.clear();
+        self.locked_until.iter_mut().for_each(|l| *l = 0);
+        self.fault_log.clear();
+        self.last_progress = self.now;
+        self.progress_mark = 0;
     }
 }
 

@@ -98,6 +98,49 @@ impl Default for IcacheConfig {
     }
 }
 
+/// Resilience knobs: per-request timeouts, bounded retry, and the cluster
+/// watchdog.
+///
+/// Everything defaults to *off* (zero), so a fault-free cluster behaves
+/// bit-identically to one built before this subsystem existed. Enable
+/// [`standard`](ResilienceConfig::standard) when running fault campaigns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Cycles an in-flight request may wait for its response before the
+    /// retry layer re-issues it (0 disables timeouts and retries).
+    pub request_timeout: u64,
+    /// Re-issues per request before it is abandoned and the issuing core is
+    /// faulted.
+    pub max_retries: u32,
+    /// Consecutive cycles without memory-system progress (while work is
+    /// outstanding) before the watchdog declares a deadlock (0 disables the
+    /// watchdog).
+    pub watchdog_cycles: u64,
+}
+
+impl ResilienceConfig {
+    /// The recommended settings for fault-injection runs: a 4096-cycle
+    /// request timeout (far above any fault-free round trip), three
+    /// retries, and a 16384-cycle watchdog.
+    pub fn standard() -> Self {
+        ResilienceConfig {
+            request_timeout: 4096,
+            max_retries: 3,
+            watchdog_cycles: 16384,
+        }
+    }
+
+    /// Whether the retry layer is active.
+    pub fn retries_enabled(&self) -> bool {
+        self.request_timeout > 0
+    }
+
+    /// Whether the watchdog is active.
+    pub fn watchdog_enabled(&self) -> bool {
+        self.watchdog_cycles > 0
+    }
+}
+
 /// Full configuration of a MemPool cluster.
 ///
 /// The default is the paper's 256-core system: 64 tiles × 4 cores, 16 banks
@@ -136,6 +179,8 @@ pub struct ClusterConfig {
     pub core: SnitchConfig,
     /// Instruction-cache parameters.
     pub icache: IcacheConfig,
+    /// Timeout / retry / watchdog settings (all disabled by default).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ClusterConfig {
@@ -188,6 +233,7 @@ impl ClusterConfig {
             seq_region_bytes: Some(4096),
             core: SnitchConfig::default(),
             icache: IcacheConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -204,6 +250,7 @@ impl ClusterConfig {
             seq_region_bytes: Some(4096),
             core: SnitchConfig::default(),
             icache: IcacheConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 

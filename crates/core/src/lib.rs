@@ -56,6 +56,7 @@
 
 mod cluster;
 mod config;
+pub mod faults;
 mod functional;
 mod net;
 mod packet;
@@ -63,10 +64,16 @@ mod stats;
 mod tile;
 
 pub use cluster::{Cluster, CoreLocation, RunTimeoutError};
+pub use faults::{
+    BankFailure, BusError, DeadlockDiagnostic, FaultEvent, FaultLog, FaultPlan, FaultSpec,
+    LinkFaultKind, ParseFaultSpecError, PendingDump, SimError, TileDiagnostic,
+};
 pub use functional::{FunctionalSim, FunctionalTimeoutError};
-pub use config::{ClusterConfig, IcacheConfig, RefillNetwork, Topology, ValidateConfigError};
+pub use config::{
+    ClusterConfig, IcacheConfig, RefillNetwork, ResilienceConfig, Topology, ValidateConfigError,
+};
 pub use packet::{MemoryTrace, Request, Response, TraceEvent};
-pub use stats::{ClusterStats, LatencyStats};
+pub use stats::{ClusterStats, FaultStats, LatencyStats};
 pub use tile::ProgramImage;
 
 use mempool_snitch::{DataRequest, DataResponse, Fetch};
@@ -82,30 +89,25 @@ pub trait L1Memory {
     /// Writes a word; `None` when `vaddr` lies outside L1.
     fn write_word(&mut self, vaddr: u32, value: u32) -> Option<()>;
 
-    /// Bulk read of consecutive words.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range runs past the end of L1.
-    fn read_words(&self, vaddr: u32, len: usize) -> Vec<u32> {
+    /// Bulk read of consecutive words. Returns a [`BusError`] naming the
+    /// first address that falls outside L1.
+    fn read_words(&self, vaddr: u32, len: usize) -> Result<Vec<u32>, BusError> {
         (0..len)
             .map(|i| {
-                self.read_word(vaddr + 4 * i as u32)
-                    .unwrap_or_else(|| panic!("address {:#x} out of L1", vaddr + 4 * i as u32))
+                let addr = vaddr + 4 * i as u32;
+                self.read_word(addr).ok_or(BusError { addr })
             })
             .collect()
     }
 
-    /// Bulk write of consecutive words.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range runs past the end of L1.
-    fn write_words(&mut self, vaddr: u32, values: &[u32]) {
+    /// Bulk write of consecutive words. Returns a [`BusError`] naming the
+    /// first address that falls outside L1; words before it are written.
+    fn write_words(&mut self, vaddr: u32, values: &[u32]) -> Result<(), BusError> {
         for (i, &v) in values.iter().enumerate() {
-            self.write_word(vaddr + 4 * i as u32, v)
-                .unwrap_or_else(|| panic!("address {:#x} out of L1", vaddr + 4 * i as u32));
+            let addr = vaddr + 4 * i as u32;
+            self.write_word(addr, v).ok_or(BusError { addr })?;
         }
+        Ok(())
     }
 }
 
@@ -148,6 +150,11 @@ pub trait Core {
     /// address outside L1). The default does nothing; core models that can
     /// halt should do so.
     fn fault(&mut self) {}
+
+    /// Injected fault: the core retires its current instruction without
+    /// executing it (a spurious retire). The default does nothing; traffic
+    /// generators have no program counter to skip.
+    fn spurious_retire(&mut self) {}
 }
 
 impl Core for mempool_snitch::SnitchCore {
@@ -174,5 +181,9 @@ impl Core for mempool_snitch::SnitchCore {
 
     fn fault(&mut self) {
         self.force_fault();
+    }
+
+    fn spurious_retire(&mut self) {
+        self.skip_instruction();
     }
 }

@@ -14,13 +14,26 @@
 //!   latches (the "optional elastic buffer at each switch output" of the
 //!   paper) so a blocked packet retries without re-crossing the fabric.
 
-use crate::tile::Tile;
+use crate::tile::{BankGate, Tile};
 use crate::{ClusterConfig, Request, Response, Topology};
 use mempool_mem::AddressMap;
 use mempool_noc::{ElasticBuffer, Fabric, Offer, RoundRobin};
 
 /// Direction indices for TopH ports: L is port 0, then N/NE/E.
 const DIR_PARTNER_XOR: [usize; 3] = [2, 3, 1]; // N, NE, E
+
+/// A borrowed interconnect register stage, handed to the fault injector.
+///
+/// Request stages only ever suffer stalls and drops — their routing fields
+/// are validated at issue and re-checked (`expect`) at every switch, so
+/// corrupting them would crash the router rather than model a data fault.
+/// Response stages additionally allow payload corruption.
+pub(crate) enum LinkRef<'a> {
+    /// A request-carrying register stage.
+    Req(&'a mut ElasticBuffer<Request>),
+    /// A response-carrying register stage.
+    Resp(&'a mut ElasticBuffer<Response>),
+}
 
 pub(crate) enum Net {
     Ideal(IdealNet),
@@ -94,6 +107,57 @@ impl Net {
         }
     }
 
+    /// Visits every register stage of the global interconnect with a stable
+    /// link id (construction order), so a seeded fault plan addresses the
+    /// same physical register every run. The ideal network has no registers
+    /// and is never visited.
+    pub fn for_each_link(&mut self, f: &mut dyn FnMut(u64, LinkRef<'_>)) {
+        let mut id = 0u64;
+        match self {
+            Net::Ideal(_) => {}
+            Net::Global(n) => {
+                for reg in &mut n.master_req {
+                    f(id, LinkRef::Req(reg));
+                    id += 1;
+                }
+                for reg in &mut n.master_resp {
+                    f(id, LinkRef::Resp(reg));
+                    id += 1;
+                }
+                for port in &mut n.mid_req {
+                    for reg in port {
+                        f(id, LinkRef::Req(reg));
+                        id += 1;
+                    }
+                }
+                for port in &mut n.mid_resp {
+                    for reg in port {
+                        f(id, LinkRef::Resp(reg));
+                        id += 1;
+                    }
+                }
+            }
+            Net::Hier(n) => {
+                for reg in &mut n.master_req {
+                    f(id, LinkRef::Req(reg));
+                    id += 1;
+                }
+                for reg in &mut n.master_resp {
+                    f(id, LinkRef::Resp(reg));
+                    id += 1;
+                }
+                for reg in &mut n.boundary_req {
+                    f(id, LinkRef::Req(reg));
+                    id += 1;
+                }
+                for reg in &mut n.boundary_resp {
+                    f(id, LinkRef::Resp(reg));
+                    id += 1;
+                }
+            }
+        }
+    }
+
     /// (occupied, total) register slots across the global interconnect —
     /// the buffer-occupancy congestion metric.
     pub fn occupancy(&self) -> (u64, u64) {
@@ -156,12 +220,18 @@ impl IdealNet {
     }
 
     /// Resolves all core latches directly against the banks.
+    ///
+    /// `gate` is the fault-injection view of each (tile, bank) this cycle;
+    /// requests granted to a dead bank are discarded and counted in
+    /// `dropped`.
     pub fn route_requests(
         &mut self,
         latches: &mut [Option<Request>],
         tiles: &mut [Tile],
         map: &AddressMap,
         tile_accesses: &mut [u64],
+        gate: &dyn Fn(usize, u32) -> BankGate,
+        dropped: &mut u64,
     ) -> u64 {
         // Bucket contenders per global bank.
         let mut contenders: Vec<(usize, usize)> = Vec::new(); // (bank, core)
@@ -183,15 +253,27 @@ impl IdealNet {
             }
             let tile = bank / self.banks_per_tile;
             let bank_in_tile = bank % self.banks_per_tile;
-            if tiles[tile].bank_resp[bank_in_tile].can_push() {
-                let cores: Vec<usize> = contenders[i..j].iter().map(|&(_, c)| c).collect();
-                let winner = self.rr[bank].grant(&cores).expect("nonempty");
-                let req = latches[winner].take().expect("contender had a request");
-                let at = map.decode(req.addr).expect("validated");
-                let resp = crate::tile::ideal_bank_access(&mut tiles[tile], &req, at);
-                tiles[tile].bank_resp[bank_in_tile].push(resp);
-                tile_accesses[tile] += 1;
-                accesses += 1;
+            match gate(tile, bank_in_tile as u32) {
+                BankGate::Stalled => {}
+                BankGate::Dead => {
+                    let cores: Vec<usize> = contenders[i..j].iter().map(|&(_, c)| c).collect();
+                    let winner = self.rr[bank].grant(&cores).expect("nonempty");
+                    latches[winner].take().expect("contender had a request");
+                    *dropped += 1;
+                }
+                BankGate::Ready => {
+                    if tiles[tile].bank_resp[bank_in_tile].can_push() {
+                        let cores: Vec<usize> =
+                            contenders[i..j].iter().map(|&(_, c)| c).collect();
+                        let winner = self.rr[bank].grant(&cores).expect("nonempty");
+                        let req = latches[winner].take().expect("contender had a request");
+                        let at = map.decode(req.addr).expect("validated");
+                        let resp = crate::tile::ideal_bank_access(&mut tiles[tile], &req, at);
+                        tiles[tile].bank_resp[bank_in_tile].push(resp);
+                        tile_accesses[tile] += 1;
+                        accesses += 1;
+                    }
+                }
             }
             i = j;
         }

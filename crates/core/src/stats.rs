@@ -122,6 +122,116 @@ impl fmt::Display for LatencyStats {
     }
 }
 
+/// Counters of injected faults and the resilience machinery's reactions.
+///
+/// Split from the performance counters so fault campaigns can report the
+/// two separately: everything here is zero in a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Cycles in which a bank refused requests due to an injected stall.
+    pub bank_stalls: u64,
+    /// Permanent bank failures activated.
+    pub banks_failed: u64,
+    /// Banks successfully quarantined (traffic redirected).
+    pub banks_quarantined: u64,
+    /// Requests whose target bank was substituted by the quarantine map.
+    pub quarantine_remaps: u64,
+    /// In-flight requests discarded because their target bank was dead.
+    pub requests_dropped: u64,
+    /// Link-cycles an interconnect register stage spent stall-gated.
+    pub link_stalls: u64,
+    /// Flits silently dropped from interconnect register stages.
+    pub link_drops: u64,
+    /// Response payloads corrupted in interconnect register stages.
+    pub link_corruptions: u64,
+    /// Slot-cycles the refill ring spent stall-gated.
+    pub ring_stalls: u64,
+    /// Refill-ring flits lost in flight.
+    pub ring_drops: u64,
+    /// Core lockups injected.
+    pub core_lockups: u64,
+    /// Instructions spuriously retired (skipped) by injected faults.
+    pub spurious_retires: u64,
+    /// Requests that exceeded the per-request timeout.
+    pub request_timeouts: u64,
+    /// Requests re-issued by the retry layer.
+    pub request_retries: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub requests_abandoned: u64,
+    /// Responses discarded as stale (a retry's original answer arrived
+    /// after the request had already been re-issued or abandoned).
+    pub stale_responses: u64,
+}
+
+impl FaultStats {
+    /// Total fault injections (not counting the resilience layer's own
+    /// reactions like retries and remaps).
+    pub fn total_injected(&self) -> u64 {
+        self.bank_stalls
+            + self.banks_failed
+            + self.link_stalls
+            + self.link_drops
+            + self.link_corruptions
+            + self.ring_stalls
+            + self.ring_drops
+            + self.core_lockups
+            + self.spurious_retires
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Accumulates `other` into `self` (for campaign-level aggregation).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.bank_stalls += other.bank_stalls;
+        self.banks_failed += other.banks_failed;
+        self.banks_quarantined += other.banks_quarantined;
+        self.quarantine_remaps += other.quarantine_remaps;
+        self.requests_dropped += other.requests_dropped;
+        self.link_stalls += other.link_stalls;
+        self.link_drops += other.link_drops;
+        self.link_corruptions += other.link_corruptions;
+        self.ring_stalls += other.ring_stalls;
+        self.ring_drops += other.ring_drops;
+        self.core_lockups += other.core_lockups;
+        self.spurious_retires += other.spurious_retires;
+        self.request_timeouts += other.request_timeouts;
+        self.request_retries += other.request_retries;
+        self.requests_abandoned += other.requests_abandoned;
+        self.stale_responses += other.stale_responses;
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bank_stalls={} banks_failed={} banks_quarantined={} quarantine_remaps={} \
+             requests_dropped={} link_stalls={} link_drops={} link_corruptions={} \
+             ring_stalls={} ring_drops={} core_lockups={} spurious_retires={} \
+             request_timeouts={} request_retries={} requests_abandoned={} stale_responses={}",
+            self.bank_stalls,
+            self.banks_failed,
+            self.banks_quarantined,
+            self.quarantine_remaps,
+            self.requests_dropped,
+            self.link_stalls,
+            self.link_drops,
+            self.link_corruptions,
+            self.ring_stalls,
+            self.ring_drops,
+            self.core_lockups,
+            self.spurious_retires,
+            self.request_timeouts,
+            self.request_retries,
+            self.requests_abandoned,
+            self.stale_responses,
+        )
+    }
+}
+
 /// Aggregate counters of one simulation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusterStats {
@@ -155,6 +265,9 @@ pub struct ClusterStats {
     pub net_register_slots: u64,
     /// Bank accesses served per tile (activity heat map).
     pub tile_accesses: Vec<u64>,
+    /// Injected-fault and resilience counters (all zero without a fault
+    /// plan).
+    pub faults: FaultStats,
 }
 
 impl ClusterStats {

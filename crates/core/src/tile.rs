@@ -70,6 +70,21 @@ struct RefillUnit {
     refills: u64,
 }
 
+/// Per-bank fault gate consulted by the tile request crossbar each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BankGate {
+    /// Bank operates normally.
+    Ready,
+    /// Transient stall: the bank refuses requests this cycle; they wait in
+    /// their latches and retry next cycle.
+    Stalled,
+    /// Permanent failure: requests addressed here are granted and silently
+    /// discarded (the timeout/retry layer recovers them). Dropping instead
+    /// of stalling keeps dead banks from permanently clogging the
+    /// interconnect's elastic buffers.
+    Dead,
+}
+
 /// One tile: banks, crossbars, remote-port latches, I-cache.
 #[derive(Debug, Clone)]
 pub(crate) struct Tile {
@@ -179,9 +194,19 @@ impl Tile {
         Fetch::Stall
     }
 
+    /// Number of I-cache lines requested but not yet installed (outstanding
+    /// refill work, however far along the transport it is).
+    pub fn pending_refills(&self) -> usize {
+        self.refill.pending.len()
+    }
+
     /// Resolves the tile request crossbar and performs the granted bank
     /// accesses. Masters are the tile's cores (their output latches, when
     /// the request targets this tile) and the K slave-port latches.
+    ///
+    /// `gate` is the fault-injection view of each bank this cycle; requests
+    /// granted to a [`BankGate::Dead`] bank are discarded and counted in
+    /// `dropped`.
     ///
     /// Returns the number of bank accesses performed.
     pub fn accept_requests(
@@ -190,6 +215,8 @@ impl Tile {
         core_latches: &mut [Option<Request>],
         map: &AddressMap,
         now: u64,
+        gate: &dyn Fn(u32) -> BankGate,
+        dropped: &mut u64,
     ) -> u64 {
         debug_assert_eq!(core_latches.len(), self.cores_per_tile);
         let mut offers: Vec<Offer> = Vec::with_capacity(core_latches.len() + self.slave_req.len());
@@ -222,9 +249,13 @@ impl Tile {
             return 0;
         }
         let bank_resp = &self.bank_resp;
-        let granted = self
-            .req_fabric
-            .resolve(&offers, &mut |bank| bank_resp[bank].can_push());
+        let granted = self.req_fabric.resolve(&offers, &mut |bank| {
+            match gate(bank as u32) {
+                BankGate::Ready => bank_resp[bank].can_push(),
+                BankGate::Stalled => false,
+                BankGate::Dead => true, // grants are discarded below
+            }
+        });
         let mut accesses = 0;
         for (i, &g) in granted.iter().enumerate() {
             if !g {
@@ -237,6 +268,10 @@ impl Tile {
                 self.slave_req[src - cores].take().expect("granted offer had a request")
             };
             let at = map.decode(req.addr).expect("validated above");
+            if gate(at.bank) == BankGate::Dead {
+                *dropped += 1;
+                continue;
+            }
             let response = bank_access(&mut self.banks[at.bank as usize], &req, at.row, at.byte);
             let _ = now;
             self.bank_resp[at.bank as usize].push(response);

@@ -7,8 +7,8 @@ use crate::matmul::BuildKernelError;
 use crate::runtime::{emit_epilogue, emit_prologue};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 
 /// The `2dconv` benchmark: each tile holds `rows_per_tile` image rows (and
 /// the corresponding output rows) in its sequential region; each core
@@ -210,8 +210,8 @@ impl Kernel for Conv2d {
         let w = self.width;
         for r in 0..self.height() {
             let row: Vec<u32> = image[r * w..(r + 1) * w].iter().map(|&x| x as u32).collect();
-            cluster.write_words(self.in_row_addr(r), &row);
-            cluster.write_words(self.out_row_addr(r), &vec![0; w]);
+            cluster.write_words(self.in_row_addr(r), &row).expect("kernel layout fits in L1");
+            cluster.write_words(self.out_row_addr(r), &vec![0; w]).expect("kernel layout fits in L1");
         }
     }
 
@@ -219,7 +219,7 @@ impl Kernel for Conv2d {
         let image = self.image(seed);
         let expect = conv2d_3x3_i32(&image, self.height(), self.width);
         for r in 0..self.height() {
-            let got = cluster.read_words(self.out_row_addr(r), self.width);
+            let got = cluster.read_words(self.out_row_addr(r), self.width).expect("kernel layout fits in L1");
             for c in 0..self.width {
                 let e = expect[r * self.width + c];
                 if e as u32 != got[c] {

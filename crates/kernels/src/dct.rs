@@ -9,8 +9,8 @@ use crate::matmul::BuildKernelError;
 use crate::runtime::{emit_epilogue, emit_prologue};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 
 /// Per-tile sequential-region layout of the DCT kernel:
 /// `[0, 256)` — the shared Q7 coefficient table (64 words);
@@ -169,19 +169,19 @@ impl Kernel for Dct {
             .map(|&c| c as u32)
             .collect();
         for tile in 0..self.geom.num_tiles {
-            cluster.write_words(self.coeff_addr(tile), &coeffs);
+            cluster.write_words(self.coeff_addr(tile), &coeffs).expect("kernel layout fits in L1");
         }
         for core in 0..self.geom.num_cores() {
             let block: Vec<u32> = self.block(core, seed).iter().map(|&x| x as u32).collect();
-            cluster.write_words(self.in_addr(core), &block);
-            cluster.write_words(self.out_addr(core), &vec![0; 64]);
+            cluster.write_words(self.in_addr(core), &block).expect("kernel layout fits in L1");
+            cluster.write_words(self.out_addr(core), &vec![0; 64]).expect("kernel layout fits in L1");
         }
     }
 
     fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
         for core in 0..self.geom.num_cores() {
             let expect = dct8x8_q7(&self.block(core, seed));
-            let got = cluster.read_words(self.out_addr(core), 64);
+            let got = cluster.read_words(self.out_addr(core), 64).expect("kernel layout fits in L1");
             for (i, (&e, &g)) in expect.iter().zip(&got).enumerate() {
                 if e as u32 != g {
                     return Err(CheckKernelError::new(format!(

@@ -11,8 +11,8 @@ use crate::matmul::BuildKernelError;
 use crate::runtime::{emit_epilogue, emit_prologue};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 
 /// A 256-bin histogram over `len` byte-valued samples, accumulated with
 /// one `amoadd.w` per sample.
@@ -123,8 +123,8 @@ impl Kernel for Histogram {
     }
 
     fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
-        cluster.write_words(self.samples_base(), &self.samples(seed));
-        cluster.write_words(self.bins_base(), &vec![0; BINS]);
+        cluster.write_words(self.samples_base(), &self.samples(seed)).expect("kernel layout fits in L1");
+        cluster.write_words(self.bins_base(), &vec![0; BINS]).expect("kernel layout fits in L1");
     }
 
     fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
@@ -132,7 +132,7 @@ impl Kernel for Histogram {
         for s in self.samples(seed) {
             expect[s as usize] += 1;
         }
-        let got = cluster.read_words(self.bins_base(), BINS);
+        let got = cluster.read_words(self.bins_base(), BINS).expect("kernel layout fits in L1");
         for (bin, (&e, &g)) in expect.iter().zip(&got).enumerate() {
             if e != g {
                 return Err(CheckKernelError::new(format!(
@@ -232,13 +232,13 @@ impl Kernel for Transpose {
     }
 
     fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
-        cluster.write_words(self.in_base(), &self.input(seed));
-        cluster.write_words(self.out_base(), &vec![0; self.n * self.n]);
+        cluster.write_words(self.in_base(), &self.input(seed)).expect("kernel layout fits in L1");
+        cluster.write_words(self.out_base(), &vec![0; self.n * self.n]).expect("kernel layout fits in L1");
     }
 
     fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
         let input = self.input(seed);
-        let got = cluster.read_words(self.out_base(), self.n * self.n);
+        let got = cluster.read_words(self.out_base(), self.n * self.n).expect("kernel layout fits in L1");
         for r in 0..self.n {
             for c in 0..self.n {
                 let e = input[r * self.n + c];

@@ -16,8 +16,8 @@ use crate::matmul::BuildKernelError;
 use crate::runtime::{emit_barrier_with_backoff, emit_epilogue, emit_prologue};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 
 /// Q15 twiddle factors `W_n^k = exp(-2πik/n)` for `k < n/2`, as
 /// `(re, im)` pairs (cos clamped to 32767).
@@ -217,17 +217,17 @@ impl Kernel for Fft {
             words[2 * r] = re as u32;
             words[2 * r + 1] = im as u32;
         }
-        mem.write_words(self.data_base(), &words);
+        mem.write_words(self.data_base(), &words).expect("kernel layout fits in L1");
         let tw: Vec<u32> = twiddle_table(self.n)
             .iter()
             .flat_map(|&(re, im)| [re as u32, im as u32])
             .collect();
-        mem.write_words(self.twiddle_base(), &tw);
+        mem.write_words(self.twiddle_base(), &tw).expect("kernel layout fits in L1");
     }
 
     fn check(&self, mem: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
         let expect = fft_q15(&self.input(seed));
-        let got = mem.read_words(self.data_base(), self.n * 2);
+        let got = mem.read_words(self.data_base(), self.n * 2).expect("kernel layout fits in L1");
         for (i, &(re, im)) in expect.iter().enumerate() {
             let (gr, gi) = (got[2 * i] as i32, got[2 * i + 1] as i32);
             if (re, im) != (gr, gi) {
@@ -275,8 +275,8 @@ mod tests {
 
     #[test]
     fn matches_f64_dft_within_fixed_point_error() {
-        let mut rng = rand::rngs::mock::StepRng::new(12345, 0x9e37_79b9);
-        use rand::RngCore;
+        let mut rng = mempool_rng::StepRng::new(12345, 0x9e37_79b9);
+        use mempool_rng::RngCore;
         let input: Vec<(i32, i32)> = (0..64)
             .map(|_| {
                 (

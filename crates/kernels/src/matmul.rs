@@ -5,8 +5,8 @@ use crate::golden::matmul_i32;
 use crate::runtime::{emit_epilogue, emit_prologue};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 use std::fmt;
 
 /// Error building a [`Matmul`] kernel.
@@ -173,15 +173,15 @@ impl Kernel for Matmul {
     fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
         let (a, b) = self.inputs(seed);
         let to_u32 = |v: &[i32]| v.iter().map(|&x| x as u32).collect::<Vec<_>>();
-        cluster.write_words(self.a_base(), &to_u32(&a));
-        cluster.write_words(self.b_base(), &to_u32(&b));
-        cluster.write_words(self.c_base(), &vec![0; self.n * self.n]);
+        cluster.write_words(self.a_base(), &to_u32(&a)).expect("kernel layout fits in L1");
+        cluster.write_words(self.b_base(), &to_u32(&b)).expect("kernel layout fits in L1");
+        cluster.write_words(self.c_base(), &vec![0; self.n * self.n]).expect("kernel layout fits in L1");
     }
 
     fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
         let (a, b) = self.inputs(seed);
         let expect = matmul_i32(&a, &b, self.n);
-        let got = cluster.read_words(self.c_base(), self.n * self.n);
+        let got = cluster.read_words(self.c_base(), self.n * self.n).expect("kernel layout fits in L1");
         for (i, (&e, &g)) in expect.iter().zip(&got).enumerate() {
             if e as u32 != g {
                 return Err(CheckKernelError::new(format!(

@@ -62,8 +62,9 @@ pub enum RunKernelError {
     Config(mempool::ValidateConfigError),
     /// The program image contains an undecodable word.
     Decode(mempool_riscv::DecodeError),
-    /// The program did not finish within the cycle budget.
-    Timeout(mempool::RunTimeoutError),
+    /// The program did not finish within the cycle budget, or the
+    /// watchdog detected a deadlock.
+    Timeout(mempool::SimError),
     /// The functional run did not finish within the step budget.
     FunctionalTimeout(mempool::FunctionalTimeoutError),
     /// Results did not match the golden model.

@@ -8,8 +8,8 @@ use crate::matmul::BuildKernelError;
 use crate::runtime::{emit_epilogue, emit_prologue};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 
 /// `y[i] = a·x[i] + y[i]` over `len` elements split contiguously across all
 /// cores. Both vectors live in the shared interleaved region, so accesses
@@ -99,13 +99,13 @@ impl Kernel for Axpy {
 
     fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
         let (x, y) = self.inputs(seed);
-        cluster.write_words(self.x_base(), &x.iter().map(|&v| v as u32).collect::<Vec<_>>());
-        cluster.write_words(self.y_base(), &y.iter().map(|&v| v as u32).collect::<Vec<_>>());
+        cluster.write_words(self.x_base(), &x.iter().map(|&v| v as u32).collect::<Vec<_>>()).expect("kernel layout fits in L1");
+        cluster.write_words(self.y_base(), &y.iter().map(|&v| v as u32).collect::<Vec<_>>()).expect("kernel layout fits in L1");
     }
 
     fn check(&self, cluster: &dyn L1Memory, seed: u64) -> Result<(), CheckKernelError> {
         let (x, y) = self.inputs(seed);
-        let got = cluster.read_words(self.y_base(), self.len);
+        let got = cluster.read_words(self.y_base(), self.len).expect("kernel layout fits in L1");
         for i in 0..self.len {
             let expect = x[i].wrapping_mul(self.a).wrapping_add(y[i]);
             if expect as u32 != got[i] {
@@ -211,8 +211,8 @@ impl Kernel for DotProduct {
 
     fn init(&self, cluster: &mut dyn L1Memory, seed: u64) {
         let (x, y) = self.inputs(seed);
-        cluster.write_words(self.x_base(), &x.iter().map(|&v| v as u32).collect::<Vec<_>>());
-        cluster.write_words(self.y_base(), &y.iter().map(|&v| v as u32).collect::<Vec<_>>());
+        cluster.write_words(self.x_base(), &x.iter().map(|&v| v as u32).collect::<Vec<_>>()).expect("kernel layout fits in L1");
+        cluster.write_words(self.y_base(), &y.iter().map(|&v| v as u32).collect::<Vec<_>>()).expect("kernel layout fits in L1");
         cluster.write_word(self.result_addr(), 0).expect("in range");
     }
 

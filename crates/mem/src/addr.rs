@@ -273,6 +273,131 @@ impl Scrambler {
     }
 }
 
+/// Graceful-degradation remap for failed SPM banks.
+///
+/// When a bank is declared dead, every address that decodes onto it is
+/// re-pointed at a *substitute* live bank in the same tile. The substitute
+/// then serves both its own rows and the dead bank's rows, halving its
+/// effective capacity but keeping the address space fully readable and
+/// writable — requests simply contend on the surviving bank. Tiles are
+/// independent: a failure never redirects traffic across the interconnect.
+///
+/// The map starts as the identity and is updated incrementally via
+/// [`quarantine`](QuarantineMap::quarantine). Substitution is resolved
+/// eagerly (path compression): `remap` is always a single table lookup, and
+/// quarantining a bank that already served as a substitute re-points every
+/// bank that leaned on it.
+///
+/// # Examples
+///
+/// ```
+/// use mempool_mem::{AddressMap, QuarantineMap};
+///
+/// let map = AddressMap::new(4, 4, 16)?;
+/// let mut q = QuarantineMap::new(map);
+/// assert!(q.is_identity());
+/// // Bank 1 of tile 2 dies; bank 2 takes over its rows.
+/// assert_eq!(q.quarantine(2, 1), Some(2));
+/// let at = map.decode(map.encode(mempool_mem::BankAddress {
+///     tile: 2, bank: 1, row: 3, byte: 0,
+/// })).unwrap();
+/// assert_eq!(q.remap(at).bank, 2);
+/// # Ok::<(), mempool_mem::BuildAddressMapError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineMap {
+    banks_per_tile: u32,
+    /// `subst[tile * banks_per_tile + bank]` = the live bank (same tile)
+    /// that services requests addressed to `bank`.
+    subst: Vec<u32>,
+    /// Whether each global bank has been declared dead.
+    dead: Vec<bool>,
+}
+
+impl QuarantineMap {
+    /// Creates the identity map (no banks quarantined) for `map`'s geometry.
+    pub fn new(map: AddressMap) -> QuarantineMap {
+        let total = (map.num_tiles() * map.banks_per_tile()) as usize;
+        QuarantineMap {
+            banks_per_tile: map.banks_per_tile(),
+            subst: (0..total as u32)
+                .map(|i| i % map.banks_per_tile())
+                .collect(),
+            dead: vec![false; total],
+        }
+    }
+
+    fn index(&self, tile: u32, bank: u32) -> usize {
+        (tile * self.banks_per_tile + bank) as usize
+    }
+
+    /// Declares bank `bank` of tile `tile` dead and redirects its traffic to
+    /// the next live bank of the same tile (searching upward with wraparound).
+    ///
+    /// Returns the substitute bank, or `None` when the bank is already
+    /// quarantined or it is the tile's last live bank (a tile cannot lose
+    /// its entire SPM, so the final failure is refused and the bank stays
+    /// live).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` or `bank` is out of range.
+    pub fn quarantine(&mut self, tile: u32, bank: u32) -> Option<u32> {
+        assert!(bank < self.banks_per_tile, "bank out of range");
+        let idx = self.index(tile, bank);
+        if self.dead[idx] {
+            return None;
+        }
+        let substitute = (1..self.banks_per_tile)
+            .map(|step| (bank + step) % self.banks_per_tile)
+            .find(|&b| !self.dead[self.index(tile, b)])?;
+        self.dead[idx] = true;
+        // Re-point the bank itself and every earlier casualty that leaned on
+        // it, so lookups stay a single table read.
+        for b in 0..self.banks_per_tile {
+            let i = self.index(tile, b);
+            if self.subst[i] == bank {
+                self.subst[i] = substitute;
+            }
+        }
+        Some(substitute)
+    }
+
+    /// Whether bank `bank` of tile `tile` is quarantined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` or `bank` is out of range.
+    pub fn is_quarantined(&self, tile: u32, bank: u32) -> bool {
+        assert!(bank < self.banks_per_tile, "bank out of range");
+        self.dead[self.index(tile, bank)]
+    }
+
+    /// Applies the remap: dead banks resolve to their substitute, live banks
+    /// to themselves. Tile, row, and byte are never changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at.tile` or `at.bank` is out of range.
+    pub fn remap(&self, at: BankAddress) -> BankAddress {
+        assert!(at.bank < self.banks_per_tile, "bank out of range");
+        BankAddress {
+            bank: self.subst[self.index(at.tile, at.bank)],
+            ..at
+        }
+    }
+
+    /// Whether no bank has been quarantined (remap is the identity).
+    pub fn is_identity(&self) -> bool {
+        !self.dead.iter().any(|&d| d)
+    }
+
+    /// Number of quarantined banks across the whole cluster.
+    pub fn quarantined_banks(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +499,84 @@ mod tests {
         assert!(Scrambler::new(map, 8).is_none()); // smaller than one row
         assert!(Scrambler::new(map, 512).is_none()); // exceeds tile SPM (256 B)
         assert!(Scrambler::new(map, 256).is_some()); // exactly the tile SPM
+    }
+
+    #[test]
+    fn quarantine_starts_as_identity() {
+        let map = small_map();
+        let q = QuarantineMap::new(map);
+        assert!(q.is_identity());
+        assert_eq!(q.quarantined_banks(), 0);
+        for addr in (0..map.size_bytes() as u32).step_by(4) {
+            let at = map.decode(addr).unwrap();
+            assert_eq!(q.remap(at), at);
+        }
+    }
+
+    #[test]
+    fn quarantine_redirects_within_tile() {
+        let map = small_map();
+        let mut q = QuarantineMap::new(map);
+        assert_eq!(q.quarantine(1, 2), Some(3));
+        assert!(q.is_quarantined(1, 2));
+        assert!(!q.is_identity());
+        let at = BankAddress {
+            tile: 1,
+            bank: 2,
+            row: 5,
+            byte: 0,
+        };
+        let got = q.remap(at);
+        assert_eq!((got.tile, got.bank, got.row), (1, 3, 5));
+        // Other tiles are untouched.
+        let other = BankAddress {
+            tile: 2,
+            bank: 2,
+            row: 5,
+            byte: 0,
+        };
+        assert_eq!(q.remap(other), other);
+    }
+
+    #[test]
+    fn quarantine_chain_compresses() {
+        let map = small_map();
+        let mut q = QuarantineMap::new(map);
+        // Bank 1 dies -> bank 2; then bank 2 dies -> bank 3. Bank 1's
+        // traffic must follow to bank 3, not the dead bank 2.
+        assert_eq!(q.quarantine(0, 1), Some(2));
+        assert_eq!(q.quarantine(0, 2), Some(3));
+        let at = BankAddress {
+            tile: 0,
+            bank: 1,
+            row: 0,
+            byte: 0,
+        };
+        assert_eq!(q.remap(at).bank, 3);
+        // Remapped target is always live.
+        for bank in 0..4 {
+            let at = BankAddress {
+                tile: 0,
+                bank,
+                row: 0,
+                byte: 0,
+            };
+            assert!(!q.is_quarantined(0, q.remap(at).bank));
+        }
+    }
+
+    #[test]
+    fn quarantine_wraps_and_refuses_last_bank() {
+        let map = small_map();
+        let mut q = QuarantineMap::new(map);
+        assert_eq!(q.quarantine(3, 3), Some(0)); // wraps around
+        assert_eq!(q.quarantine(3, 3), None); // already dead
+        assert_eq!(q.quarantine(3, 1), Some(2));
+        assert_eq!(q.quarantine(3, 2), Some(0));
+        // Bank 0 is the last live bank of tile 3: refuse.
+        assert_eq!(q.quarantine(3, 0), None);
+        assert!(!q.is_quarantined(3, 0));
+        assert_eq!(q.quarantined_banks(), 3);
     }
 
     #[test]

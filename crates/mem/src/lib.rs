@@ -36,6 +36,6 @@ mod addr;
 mod icache;
 mod spm;
 
-pub use addr::{AddressMap, BankAddress, BuildAddressMapError, Scrambler};
+pub use addr::{AddressMap, BankAddress, BuildAddressMapError, QuarantineMap, Scrambler};
 pub use icache::{BuildCacheError, CacheStats, ICache};
 pub use spm::{BankOp, BankRowError, SpmBank};

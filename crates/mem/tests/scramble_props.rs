@@ -1,103 +1,138 @@
-//! Property tests for the hybrid addressing scheme and bank semantics.
+//! Property tests for the hybrid addressing scheme and bank semantics,
+//! driven by a seeded PRNG so every case is deterministic and replayable.
 
 use mempool_mem::{AddressMap, BankOp, Scrambler, SpmBank};
 use mempool_riscv::AmoOp;
-use proptest::prelude::*;
+use mempool_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_geometry() -> impl Strategy<Value = (u32, u32, u32, u32)> {
-    // (tiles, banks, rows, seq_bytes) with valid power-of-two relations.
-    (0u32..4, 1u32..4, 3u32..8).prop_flat_map(|(t, b, r)| {
-        let tiles: u32 = 1 << t;
-        let banks: u32 = 1 << b;
-        let rows: u32 = 1 << r;
-        let row_bytes: u32 = 4 * banks;
-        let max_seq: u32 = rows * row_bytes;
-        (1u32..=(max_seq / row_bytes).trailing_zeros() + 1).prop_map(move |s| {
-            (tiles, banks, rows, row_bytes << (s - 1))
-        })
-    })
+/// Enumerates every valid (tiles, banks, rows, seq_bytes) geometry the old
+/// proptest strategy could produce: power-of-two tiles/banks/rows with the
+/// sequential region a power-of-two multiple of the row stride.
+fn geometries() -> Vec<(u32, u32, u32, u32)> {
+    let mut out = Vec::new();
+    for t in 0..4u32 {
+        for b in 1..4u32 {
+            for r in 3..8u32 {
+                let tiles: u32 = 1 << t;
+                let banks: u32 = 1 << b;
+                let rows: u32 = 1 << r;
+                let row_bytes: u32 = 4 * banks;
+                let max_seq: u32 = rows * row_bytes;
+                for s in 1..=(max_seq / row_bytes).trailing_zeros() + 1 {
+                    out.push((tiles, banks, rows, row_bytes << (s - 1)));
+                }
+            }
+        }
+    }
+    out
 }
 
-proptest! {
-    /// The scrambler is a bijection on the whole address space and the
-    /// identity outside the sequential region, for arbitrary geometries.
-    #[test]
-    fn scramble_bijective((tiles, banks, rows, seq) in arb_geometry()) {
+/// The scrambler is a bijection on the whole address space and the identity
+/// outside the sequential region, for arbitrary geometries.
+#[test]
+fn scramble_bijective() {
+    for (tiles, banks, rows, seq) in geometries() {
         let map = AddressMap::new(tiles, banks, rows).unwrap();
         let scr = Scrambler::new(map, seq).unwrap();
         let size = map.size_bytes() as u32;
         let mut seen = vec![false; size as usize];
         for addr in 0..size {
             let phys = scr.scramble(addr);
-            prop_assert!(phys < size);
-            prop_assert!(!seen[phys as usize]);
+            assert!(phys < size);
+            assert!(!seen[phys as usize]);
             seen[phys as usize] = true;
-            prop_assert_eq!(scr.unscramble(phys), addr);
+            assert_eq!(scr.unscramble(phys), addr);
             if u64::from(addr) >= scr.seq_region_bytes() {
-                prop_assert_eq!(phys, addr);
+                assert_eq!(phys, addr);
             }
         }
     }
+}
 
-    /// Every address in tile T's sequential region decodes to tile T after
-    /// scrambling — the paper's "private data stays in the local tile".
-    #[test]
-    fn sequential_region_is_tile_local((tiles, banks, rows, seq) in arb_geometry()) {
+/// Every address in tile T's sequential region decodes to tile T after
+/// scrambling — the paper's "private data stays in the local tile".
+#[test]
+fn sequential_region_is_tile_local() {
+    for (tiles, banks, rows, seq) in geometries() {
         let map = AddressMap::new(tiles, banks, rows).unwrap();
         let scr = Scrambler::new(map, seq).unwrap();
         for tile in 0..tiles {
             let base = scr.seq_base(tile);
             for offset in (0..seq).step_by(4) {
                 let at = map.decode(scr.scramble(base + offset)).unwrap();
-                prop_assert_eq!(at.tile, tile);
+                assert_eq!(at.tile, tile);
             }
         }
     }
+}
 
-    /// Within one sequential region, consecutive words still rotate across
-    /// the tile's banks (bank conflicts stay minimized for streaming).
-    #[test]
-    fn sequential_region_interleaves_banks((tiles, banks, rows, seq) in arb_geometry()) {
+/// Within one sequential region, consecutive words still rotate across the
+/// tile's banks (bank conflicts stay minimized for streaming).
+#[test]
+fn sequential_region_interleaves_banks() {
+    for (tiles, banks, rows, seq) in geometries() {
         let map = AddressMap::new(tiles, banks, rows).unwrap();
         let scr = Scrambler::new(map, seq).unwrap();
         let _ = tiles;
         let base = scr.seq_base(0);
         for word in 0..(seq / 4).min(64) {
             let at = map.decode(scr.scramble(base + word * 4)).unwrap();
-            prop_assert_eq!(at.bank, word % banks);
+            assert_eq!(at.bank, word % banks);
         }
     }
+}
 
-    /// A bank behaves exactly like a reference word array under random
-    /// load/store/AMO sequences.
-    #[test]
-    fn bank_matches_reference_model(
-        ops in proptest::collection::vec((0u32..8, any::<u32>(), 0u8..4), 1..200)
-    ) {
+/// A bank behaves exactly like a reference word array under random
+/// load/store/AMO sequences.
+#[test]
+fn bank_matches_reference_model() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xba9c_0000 ^ case);
         let mut bank = SpmBank::new(8);
         let mut model = [0u32; 8];
-        for (row, value, kind) in ops {
-            match kind {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let row = rng.gen_range(0u32..8);
+            let value = rng.gen::<u32>();
+            match rng.gen_range(0u8..4) {
                 0 => {
                     let got = bank.access(row, BankOp::Load).unwrap();
-                    prop_assert_eq!(got, model[row as usize]);
+                    assert_eq!(got, model[row as usize], "case {case}");
                 }
                 1 => {
-                    bank.access(row, BankOp::Store { data: value, strobe: 0xf }).unwrap();
+                    bank.access(
+                        row,
+                        BankOp::Store {
+                            data: value,
+                            strobe: 0xf,
+                        },
+                    )
+                    .unwrap();
                     model[row as usize] = value;
                 }
                 2 => {
                     let old = bank
-                        .access(row, BankOp::Amo { op: AmoOp::Add, operand: value })
+                        .access(
+                            row,
+                            BankOp::Amo {
+                                op: AmoOp::Add,
+                                operand: value,
+                            },
+                        )
                         .unwrap();
-                    prop_assert_eq!(old, model[row as usize]);
+                    assert_eq!(old, model[row as usize], "case {case}");
                     model[row as usize] = model[row as usize].wrapping_add(value);
                 }
                 _ => {
                     let old = bank
-                        .access(row, BankOp::Amo { op: AmoOp::Maxu, operand: value })
+                        .access(
+                            row,
+                            BankOp::Amo {
+                                op: AmoOp::Maxu,
+                                operand: value,
+                            },
+                        )
                         .unwrap();
-                    prop_assert_eq!(old, model[row as usize]);
+                    assert_eq!(old, model[row as usize], "case {case}");
                     model[row as usize] = model[row as usize].max(value);
                 }
             }
@@ -109,7 +144,7 @@ proptest! {
 /// over random access/fill sequences.
 mod icache_props {
     use mempool_mem::ICache;
-    use proptest::prelude::*;
+    use mempool_rng::{Rng, SeedableRng, StdRng};
 
     /// Straightforward reference: per set, a vector of tags ordered by
     /// recency (front = MRU).
@@ -160,19 +195,23 @@ mod icache_props {
         }
     }
 
-    proptest! {
-        #[test]
-        fn icache_matches_reference_lru(
-            ops in proptest::collection::vec((any::<bool>(), 0u32..4096), 1..400)
-        ) {
+    #[test]
+    fn icache_matches_reference_lru() {
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(0x1cac_4e00 ^ case);
             let mut dut = ICache::new(512, 4, 32).unwrap();
             let mut reference = RefCache::new(512, 4, 32);
-            for (is_fill, addr) in ops {
-                if is_fill {
+            for _ in 0..rng.gen_range(1usize..400) {
+                let addr = rng.gen_range(0u32..4096);
+                if rng.gen::<bool>() {
                     dut.fill(addr);
                     reference.fill(addr);
                 } else {
-                    prop_assert_eq!(dut.probe(addr), reference.probe(addr), "addr {:#x}", addr);
+                    assert_eq!(
+                        dut.probe(addr),
+                        reference.probe(addr),
+                        "case {case} addr {addr:#x}"
+                    );
                 }
             }
         }

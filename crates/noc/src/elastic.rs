@@ -35,6 +35,10 @@ pub struct ElasticBuffer<T> {
     stored: VecDeque<T>,
     arrivals: VecDeque<T>,
     capacity: usize,
+    /// Fault-injection gate: while set, the register neither presents a
+    /// head nor accepts pushes (valid/ready forced low), modeling a
+    /// transient link stall. Contents are preserved.
+    stalled: bool,
 }
 
 impl<T> ElasticBuffer<T> {
@@ -49,6 +53,7 @@ impl<T> ElasticBuffer<T> {
             stored: VecDeque::with_capacity(capacity),
             arrivals: VecDeque::with_capacity(capacity),
             capacity,
+            stalled: false,
         }
     }
 
@@ -69,7 +74,7 @@ impl<T> ElasticBuffer<T> {
 
     /// Whether a push would be accepted this cycle.
     pub fn can_push(&self) -> bool {
-        self.len() < self.capacity
+        !self.stalled && self.len() < self.capacity
     }
 
     /// Stages an item for arrival; it becomes visible after [`commit`].
@@ -87,14 +92,43 @@ impl<T> ElasticBuffer<T> {
         self.arrivals.push_back(item);
     }
 
-    /// The oldest *visible* item, if any.
+    /// The oldest *visible* item, if any (`None` while stalled).
     pub fn head(&self) -> Option<&T> {
+        if self.stalled {
+            return None;
+        }
         self.stored.front()
     }
 
-    /// Removes and returns the oldest visible item.
+    /// Removes and returns the oldest visible item (`None` while stalled).
     pub fn pop(&mut self) -> Option<T> {
+        if self.stalled {
+            return None;
+        }
         self.stored.pop_front()
+    }
+
+    /// Fault injection: gates the register's valid/ready handshake for the
+    /// current cycle. Re-assert or clear every cycle; contents survive.
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    /// Whether the register is currently stall-gated.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Fault injection: silently discards the oldest stored item (a lost
+    /// flit), bypassing the stall gate. Returns the dropped item.
+    pub fn drop_head(&mut self) -> Option<T> {
+        self.stored.pop_front()
+    }
+
+    /// Fault injection: mutable access to the oldest stored item, for
+    /// payload corruption. Bypasses the stall gate.
+    pub fn head_mut(&mut self) -> Option<&mut T> {
+        self.stored.front_mut()
     }
 
     /// End-of-cycle commit: staged arrivals become visible.
@@ -103,10 +137,11 @@ impl<T> ElasticBuffer<T> {
         debug_assert!(self.stored.len() <= self.capacity);
     }
 
-    /// Drops all contents (stored and staged).
+    /// Drops all contents (stored and staged) and clears any stall gate.
     pub fn clear(&mut self) {
         self.stored.clear();
         self.arrivals.clear();
+        self.stalled = false;
     }
 
     /// Iterates over the visible items, oldest first.

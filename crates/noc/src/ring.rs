@@ -105,6 +105,17 @@ impl<T> Ring<T> {
         self.outputs[stop].pop_front()
     }
 
+    /// Fault injection: removes the packet riding the link that leaves
+    /// `slot`, if any, and returns its payload (a lost flit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn drop_in_flight(&mut self, slot: usize) -> Option<T> {
+        assert!(slot < self.stops(), "slot out of range");
+        self.slots[slot].take().map(|f| f.payload)
+    }
+
     /// Number of ejected packets waiting at `stop`.
     pub fn pending(&self, stop: usize) -> usize {
         self.outputs[stop].len()

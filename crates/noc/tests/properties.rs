@@ -1,20 +1,22 @@
-//! Property tests for the interconnect substrate.
+//! Property tests for the interconnect substrate, driven by a seeded PRNG
+//! so every case is deterministic and replayable from its iteration index.
 
 use mempool_noc::{ElasticBuffer, Fabric, Offer};
-use proptest::prelude::*;
+use mempool_rng::{Rng, SeedableRng, StdRng};
 
-proptest! {
-    /// An elastic buffer is a FIFO: any interleaving of pushes/pops/commits
-    /// preserves order and never loses or duplicates items.
-    #[test]
-    fn elastic_buffer_is_fifo(ops in proptest::collection::vec(0u8..3, 1..200)) {
+/// An elastic buffer is a FIFO: any interleaving of pushes/pops/commits
+/// preserves order and never loses or duplicates items.
+#[test]
+fn elastic_buffer_is_fifo() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xe1a5_7100 ^ case);
         let mut buf = ElasticBuffer::new(2);
         let mut reference: Vec<u32> = Vec::new();
         let mut next = 0u32;
         let mut popped = Vec::new();
         let mut ref_popped = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..rng.gen_range(1usize..200) {
+            match rng.gen_range(0u8..3) {
                 0 => {
                     if buf.can_push() {
                         buf.push(next);
@@ -31,41 +33,53 @@ proptest! {
                 _ => buf.commit(),
             }
         }
-        prop_assert_eq!(popped, ref_popped);
+        assert_eq!(popped, ref_popped, "case {case}");
     }
+}
 
-    /// Fabric conservation: over any random offered pattern, each committed
-    /// packet lands on its own output port and no two committed packets
-    /// share an output.
-    #[test]
-    fn fabric_grants_are_conflict_free(
-        dests in proptest::collection::vec(0usize..64, 64),
-        mask in proptest::collection::vec(any::<bool>(), 64),
-    ) {
+/// Fabric conservation: over any random offered pattern, each committed
+/// packet lands on its own output port and no two committed packets share
+/// an output.
+#[test]
+fn fabric_grants_are_conflict_free() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xfab1_c000 ^ case);
         let mut net = Fabric::butterfly(64, 4).unwrap();
-        let offers: Vec<Offer> = dests
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| mask[i])
-            .map(|(input, &dest)| Offer { input, dest })
-            .collect();
+        let mut offers: Vec<Offer> = Vec::new();
+        for input in 0..64 {
+            if rng.gen::<bool>() {
+                offers.push(Offer {
+                    input,
+                    dest: rng.gen_range(0usize..64),
+                });
+            }
+        }
         let granted = net.resolve(&offers, &mut |_| true);
         let mut used = [false; 64];
         for (offer, &g) in offers.iter().zip(&granted) {
             if g {
                 let port = net.output_port(offer.input, offer.dest);
-                prop_assert_eq!(port, offer.dest);
-                prop_assert!(!used[port], "two grants on output {}", port);
+                assert_eq!(port, offer.dest, "case {case}");
+                assert!(!used[port], "case {case}: two grants on output {port}");
                 used[port] = true;
             }
         }
     }
+}
 
-    /// Work conservation on a crossbar: if all offered destinations are
-    /// distinct and ready, every offer commits (full crossbars are
-    /// non-blocking).
-    #[test]
-    fn crossbar_is_non_blocking(perm in proptest::sample::subsequence((0..16usize).collect::<Vec<_>>(), 1..16)) {
+/// Work conservation on a crossbar: if all offered destinations are
+/// distinct and ready, every offer commits (full crossbars are
+/// non-blocking).
+#[test]
+fn crossbar_is_non_blocking() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xc105_5ba2 ^ case);
+        // Random subsequence of the destinations 0..16, offered in order
+        // from consecutive inputs: all distinct by construction.
+        let perm: Vec<usize> = (0..16usize).filter(|_| rng.gen::<bool>()).collect();
+        if perm.is_empty() {
+            continue;
+        }
         let mut xbar = Fabric::crossbar(16, 16).unwrap();
         let offers: Vec<Offer> = perm
             .iter()
@@ -73,29 +87,37 @@ proptest! {
             .map(|(input, &dest)| Offer { input, dest })
             .collect();
         let granted = xbar.resolve(&offers, &mut |_| true);
-        prop_assert!(granted.iter().all(|&g| g));
+        assert!(granted.iter().all(|&g| g), "case {case}");
     }
+}
 
-    /// At most one packet per contended destination commits per cycle, and
-    /// at least one does when terminals are ready (the fabric never
-    /// deadlocks an uncontended resource).
-    #[test]
-    fn contended_output_progress(n in 2usize..16) {
+/// At most one packet per contended destination commits per cycle, and at
+/// least one does when terminals are ready (the fabric never deadlocks an
+/// uncontended resource).
+#[test]
+fn contended_output_progress() {
+    for n in 2usize..16 {
         let mut net = Fabric::butterfly(16, 4).unwrap();
         let offers: Vec<Offer> = (0..n).map(|input| Offer { input, dest: 7 }).collect();
         let granted = net.resolve(&offers, &mut |_| true);
-        prop_assert_eq!(granted.iter().filter(|&&g| g).count(), 1);
+        assert_eq!(granted.iter().filter(|&&g| g).count(), 1, "{n} contenders");
     }
+}
 
-    /// Butterfly segments compose to the full network for random splits.
-    #[test]
-    fn butterfly_split_composes(split in 1usize..3, src in 0usize..64, dest in 0usize..64) {
+/// Butterfly segments compose to the full network for random splits.
+#[test]
+fn butterfly_split_composes() {
+    let mut rng = StdRng::seed_from_u64(0x5e99_9e57);
+    for case in 0..128 {
+        let split = rng.gen_range(1usize..3);
+        let src = rng.gen_range(0usize..64);
+        let dest = rng.gen_range(0usize..64);
         let seg_a = Fabric::butterfly_segment(64, 4, 0, split).unwrap();
         let seg_b = Fabric::butterfly_segment(64, 4, split, 3).unwrap();
         let full = Fabric::butterfly(64, 4).unwrap();
         let mid = seg_a.output_port(src, dest);
-        prop_assert_eq!(seg_b.output_port(mid, dest), dest);
-        prop_assert_eq!(full.output_port(src, dest), dest);
+        assert_eq!(seg_b.output_port(mid, dest), dest, "case {case}");
+        assert_eq!(full.output_port(src, dest), dest, "case {case}");
     }
 }
 
@@ -124,17 +146,21 @@ fn hot_spot_fairness() {
     }
 }
 
-proptest! {
-    /// Bounded wait: an input that keeps requesting the same destination is
-    /// served within (number of contenders) grants of that output, no
-    /// matter what the other inputs do — round-robin starvation freedom.
-    #[test]
-    fn fabric_bounded_wait(dests in proptest::collection::vec(0usize..16, 16)) {
+/// Bounded wait: an input that keeps requesting the same destination is
+/// served within (number of contenders) grants of that output, no matter
+/// what the other inputs do — round-robin starvation freedom.
+#[test]
+fn fabric_bounded_wait() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xb0b0_0000 ^ case);
         let mut net = Fabric::butterfly(16, 4).unwrap();
-        // Input 0 persistently wants destination 5; others follow `dests`.
+        // Input 0 persistently wants destination 5; others are random.
         let mut offers: Vec<Offer> = vec![Offer { input: 0, dest: 5 }];
-        for (input, &dest) in dests.iter().enumerate().skip(1) {
-            offers.push(Offer { input, dest });
+        for input in 1..16 {
+            offers.push(Offer {
+                input,
+                dest: rng.gen_range(0usize..16),
+            });
         }
         let mut waited = 0;
         loop {
@@ -143,7 +169,10 @@ proptest! {
                 break;
             }
             waited += 1;
-            prop_assert!(waited <= 32, "input 0 starved for {} cycles", waited);
+            assert!(
+                waited <= 32,
+                "case {case}: input 0 starved for {waited} cycles"
+            );
         }
     }
 }

@@ -1,180 +1,219 @@
 //! Property tests: the encoder and decoder are exact inverses over the whole
 //! representable instruction space, and the disassembler output re-assembles
-//! to the same word.
+//! to the same word. Cases come from a seeded PRNG so failures replay.
 
 use mempool_riscv::{
     assemble, decode, encode, AluOp, AmoOp, BranchOp, CsrOp, Instr, LoadOp, MulOp, Reg, StoreOp,
 };
-use proptest::prelude::*;
+use mempool_rng::{Rng, SeedableRng, StdRng};
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+];
+const MUL_OPS: [MulOp; 8] = [
+    MulOp::Mul,
+    MulOp::Mulh,
+    MulOp::Mulhsu,
+    MulOp::Mulhu,
+    MulOp::Div,
+    MulOp::Divu,
+    MulOp::Rem,
+    MulOp::Remu,
+];
+const BRANCH_OPS: [BranchOp; 6] = [
+    BranchOp::Beq,
+    BranchOp::Bne,
+    BranchOp::Blt,
+    BranchOp::Bge,
+    BranchOp::Bltu,
+    BranchOp::Bgeu,
+];
+const LOAD_OPS: [LoadOp; 5] = [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu];
+const STORE_OPS: [StoreOp; 3] = [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw];
+const AMO_OPS: [AmoOp; 9] = [
+    AmoOp::Swap,
+    AmoOp::Add,
+    AmoOp::Xor,
+    AmoOp::And,
+    AmoOp::Or,
+    AmoOp::Min,
+    AmoOp::Max,
+    AmoOp::Minu,
+    AmoOp::Maxu,
+];
+const CSR_OPS: [CsrOp; 3] = [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc];
+
+fn any_reg(rng: &mut StdRng) -> Reg {
+    Reg::new(rng.gen_range(0u8..32)).unwrap()
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ]
+fn pick<T: Copy>(rng: &mut StdRng, options: &[T]) -> T {
+    options[rng.gen_range(0usize..options.len())]
 }
 
-fn any_instr() -> impl Strategy<Value = Instr> {
-    let mul_op = prop_oneof![
-        Just(MulOp::Mul),
-        Just(MulOp::Mulh),
-        Just(MulOp::Mulhsu),
-        Just(MulOp::Mulhu),
-        Just(MulOp::Div),
-        Just(MulOp::Divu),
-        Just(MulOp::Rem),
-        Just(MulOp::Remu),
-    ];
-    let branch_op = prop_oneof![
-        Just(BranchOp::Beq),
-        Just(BranchOp::Bne),
-        Just(BranchOp::Blt),
-        Just(BranchOp::Bge),
-        Just(BranchOp::Bltu),
-        Just(BranchOp::Bgeu),
-    ];
-    let load_op = prop_oneof![
-        Just(LoadOp::Lb),
-        Just(LoadOp::Lh),
-        Just(LoadOp::Lw),
-        Just(LoadOp::Lbu),
-        Just(LoadOp::Lhu),
-    ];
-    let store_op = prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)];
-    let amo_op = prop_oneof![
-        Just(AmoOp::Swap),
-        Just(AmoOp::Add),
-        Just(AmoOp::Xor),
-        Just(AmoOp::And),
-        Just(AmoOp::Or),
-        Just(AmoOp::Min),
-        Just(AmoOp::Max),
-        Just(AmoOp::Minu),
-        Just(AmoOp::Maxu),
-    ];
-    let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
-    prop_oneof![
-        (any_reg(), 0u32..0x10_0000)
-            .prop_map(|(rd, imm)| Instr::Lui { rd, imm: imm << 12 }),
-        (any_reg(), 0u32..0x10_0000)
-            .prop_map(|(rd, imm)| Instr::Auipc { rd, imm: imm << 12 }),
-        (any_reg(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, half)| Instr::Jal { rd, offset: half * 2 }),
-        (any_reg(), any_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (branch_op, any_reg(), any_reg(), -(1i32 << 11)..(1 << 11)).prop_map(
-            |(op, rs1, rs2, half)| Instr::Branch {
-                op,
-                rs1,
-                rs2,
-                offset: half * 2
-            }
-        ),
-        (load_op, any_reg(), any_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, offset)| {
-            Instr::Load {
-                op,
-                rd,
-                rs1,
-                offset,
-            }
-        }),
-        (store_op, any_reg(), any_reg(), -2048i32..2048).prop_map(|(op, rs2, rs1, offset)| {
-            Instr::Store {
-                op,
-                rs2,
-                rs1,
-                offset,
-            }
-        }),
-        (any_alu_op(), any_reg(), any_reg(), -2048i32..2048).prop_filter_map(
-            "imm form exists",
-            |(op, rd, rs1, imm)| {
-                if !op.has_imm_form() {
-                    return None;
+/// Uniform draw over every representable instruction form (the old
+/// proptest `any_instr` strategy, enumerated by variant index).
+fn any_instr(rng: &mut StdRng) -> Instr {
+    match rng.gen_range(0u8..19) {
+        0 => Instr::Lui {
+            rd: any_reg(rng),
+            imm: rng.gen_range(0u32..0x10_0000) << 12,
+        },
+        1 => Instr::Auipc {
+            rd: any_reg(rng),
+            imm: rng.gen_range(0u32..0x10_0000) << 12,
+        },
+        2 => Instr::Jal {
+            rd: any_reg(rng),
+            offset: rng.gen_range(-(1i32 << 19)..(1 << 19)) * 2,
+        },
+        3 => Instr::Jalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: rng.gen_range(-2048i32..2048),
+        },
+        4 => Instr::Branch {
+            op: pick(rng, &BRANCH_OPS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: rng.gen_range(-(1i32 << 11)..(1 << 11)) * 2,
+        },
+        5 => Instr::Load {
+            op: pick(rng, &LOAD_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: rng.gen_range(-2048i32..2048),
+        },
+        6 => Instr::Store {
+            op: pick(rng, &STORE_OPS),
+            rs2: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: rng.gen_range(-2048i32..2048),
+        },
+        7 => {
+            let op = loop {
+                let op = pick(rng, &ALU_OPS);
+                if op.has_imm_form() {
+                    break op;
                 }
-                let imm = if op.is_shift() { imm.rem_euclid(32) } else { imm };
-                Some(Instr::OpImm { op, rd, rs1, imm })
+            };
+            let imm = rng.gen_range(-2048i32..2048);
+            let imm = if op.is_shift() { imm.rem_euclid(32) } else { imm };
+            Instr::OpImm {
+                op,
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm,
             }
-        ),
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (mul_op, any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
-        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::LrW { rd, rs1 }),
-        (any_reg(), any_reg(), any_reg())
-            .prop_map(|(rd, rs1, rs2)| Instr::ScW { rd, rs1, rs2 }),
-        (amo_op, any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Amo { op, rd, rs1, rs2 }),
-        (csr_op.clone(), any_reg(), any_reg(), 0u16..0x1000)
-            .prop_map(|(op, rd, rs1, csr)| Instr::Csr { op, rd, rs1, csr }),
-        (csr_op, any_reg(), 0u8..32, 0u16..0x1000)
-            .prop_map(|(op, rd, imm, csr)| Instr::CsrImm { op, rd, imm, csr }),
-        Just(Instr::Fence),
-        Just(Instr::FenceI),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-        Just(Instr::Wfi),
-    ]
+        }
+        8 => Instr::Op {
+            op: pick(rng, &ALU_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        9 => Instr::MulDiv {
+            op: pick(rng, &MUL_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        10 => Instr::LrW {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+        },
+        11 => Instr::ScW {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        12 => Instr::Amo {
+            op: pick(rng, &AMO_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        13 => Instr::Csr {
+            op: pick(rng, &CSR_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            csr: rng.gen_range(0u16..0x1000),
+        },
+        14 => Instr::CsrImm {
+            op: pick(rng, &CSR_OPS),
+            rd: any_reg(rng),
+            imm: rng.gen_range(0u8..32),
+            csr: rng.gen_range(0u16..0x1000),
+        },
+        15 => Instr::Fence,
+        16 => Instr::FenceI,
+        17 => Instr::Ecall,
+        18 => Instr::Ebreak,
+        _ => Instr::Wfi,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    /// encode ∘ decode = id over all representable instructions.
-    #[test]
-    fn encode_decode_roundtrip(instr in any_instr()) {
+/// encode ∘ decode = id over all representable instructions.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xe4c0_de00);
+    for case in 0..2048 {
+        let instr = any_instr(&mut rng);
         let word = encode(instr).expect("generated instruction encodes");
         let back = decode(word).expect("encoded word decodes");
-        prop_assert_eq!(instr, back);
+        assert_eq!(instr, back, "case {case}");
     }
+}
 
-    /// decode ∘ encode = id over all words that decode at all.
-    #[test]
-    fn decode_encode_roundtrip(word in any::<u32>()) {
+/// decode ∘ encode = id over all words that decode at all.
+#[test]
+fn decode_encode_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xdec0_de00);
+    for case in 0..2048 {
+        let word = rng.gen::<u32>();
         if let Ok(instr) = decode(word) {
             let re = encode(instr).expect("decoded instruction re-encodes");
             // Canonicalization: fence and fence.i carry ignored fields, so
             // compare through a second decode instead of bit equality.
             let instr2 = decode(re).expect("re-encoded word decodes");
-            prop_assert_eq!(instr, instr2);
+            assert_eq!(instr, instr2, "case {case} word {word:#010x}");
         }
     }
+}
 
-    /// The disassembly of ALU/load/store/branch forms re-assembles to the
-    /// same instruction (smoke-level: covers the formatting of offsets and
-    /// register names).
-    #[test]
-    fn disasm_reassembles(instr in any_instr()) {
+/// The disassembly of ALU/load/store forms re-assembles to the same
+/// instruction (smoke-level: covers the formatting of offsets and register
+/// names).
+#[test]
+fn disasm_reassembles() {
+    let mut rng = StdRng::seed_from_u64(0xd15a_5a00);
+    for case in 0..2048 {
+        let instr = any_instr(&mut rng);
         // Branch/jump offsets print as relative numbers; reassembling them as
         // absolute targets only works when the offset lands in the program.
         // CSR immediates and U-type immediates also print in a spelled-out
-        // form the assembler reads differently, so skip those classes rather
-        // than reject (rejecting most of the space trips proptest's global
-        // reject limit).
+        // form the assembler reads differently, so skip those classes.
         if instr.is_control()
             || matches!(
                 instr,
                 Instr::Csr { .. } | Instr::CsrImm { .. } | Instr::Lui { .. } | Instr::Auipc { .. }
             )
         {
-            return Ok(());
+            continue;
         }
         let text = instr.to_string();
         let program = assemble(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
-        prop_assert_eq!(program.words().len(), 1, "`{}`", text);
+        assert_eq!(program.words().len(), 1, "case {case} `{text}`");
         let back = decode(program.words()[0]).unwrap();
-        prop_assert_eq!(instr, back, "`{}`", text);
+        assert_eq!(instr, back, "case {case} `{text}`");
     }
 }

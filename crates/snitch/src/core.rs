@@ -273,6 +273,17 @@ impl SnitchCore {
         self.faulted = true;
     }
 
+    /// Fault injection: spuriously retires the instruction at the current
+    /// program counter without executing it (the *silent instruction skip*
+    /// failure mode). No-op once the core has halted.
+    pub fn skip_instruction(&mut self) {
+        if self.halted {
+            return;
+        }
+        self.pc = self.pc.wrapping_add(4);
+        self.stats.instret += 1;
+    }
+
     /// Whether any memory operations are still in flight.
     pub fn has_outstanding(&self) -> bool {
         self.lsu_in_flight > 0

@@ -1,10 +1,11 @@
 //! Differential testing: the cycle-accurate Snitch core must compute the
 //! same architectural results as a simple functional RV32IMA interpreter,
-//! for random programs, regardless of memory latency.
+//! for random programs, regardless of memory latency. Programs come from a
+//! seeded PRNG so every failing case replays from its iteration index.
 
 use mempool_riscv::{AluOp, Instr, LoadOp, MulOp, Reg, StoreOp};
+use mempool_rng::{Rng, SeedableRng, StdRng};
 use mempool_snitch::{DataRequestKind, DataResponse, Fetch, SnitchConfig, SnitchCore};
-use proptest::prelude::*;
 
 /// A functional (untimed) RV32IMA reference.
 struct Reference {
@@ -114,78 +115,96 @@ fn eval_muldiv(op: MulOp, a: u32, b: u32) -> u32 {
 
 const MEM_WORDS: usize = 64;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+];
+const MUL_OPS: [MulOp; 8] = [
+    MulOp::Mul,
+    MulOp::Mulh,
+    MulOp::Mulhsu,
+    MulOp::Mulhu,
+    MulOp::Div,
+    MulOp::Divu,
+    MulOp::Rem,
+    MulOp::Remu,
+];
+
+fn any_reg(rng: &mut StdRng) -> Reg {
+    Reg::new(rng.gen_range(0u8..32)).unwrap()
 }
 
 /// Random straight-line instruction: ALU, mul/div, loads/stores into a small
 /// wrapped memory window (addresses kept in range by construction).
-fn any_straightline() -> impl Strategy<Value = Instr> {
-    let alu = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ];
-    let mul = prop_oneof![
-        Just(MulOp::Mul),
-        Just(MulOp::Mulh),
-        Just(MulOp::Mulhsu),
-        Just(MulOp::Mulhu),
-        Just(MulOp::Div),
-        Just(MulOp::Divu),
-        Just(MulOp::Rem),
-        Just(MulOp::Remu),
-    ];
-    prop_oneof![
-        (alu.clone(), any_reg(), any_reg(), -2048i32..2048).prop_filter_map(
-            "imm form",
-            |(op, rd, rs1, imm)| {
-                if !op.has_imm_form() {
-                    return None;
+fn any_straightline(rng: &mut StdRng) -> Instr {
+    match rng.gen_range(0u8..8) {
+        0 => {
+            let op = loop {
+                let op = ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())];
+                if op.has_imm_form() {
+                    break op;
                 }
-                let imm = if op.is_shift() { imm.rem_euclid(32) } else { imm };
-                Some(Instr::OpImm { op, rd, rs1, imm })
+            };
+            let imm = rng.gen_range(-2048i32..2048);
+            let imm = if op.is_shift() { imm.rem_euclid(32) } else { imm };
+            Instr::OpImm {
+                op,
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm,
             }
-        ),
-        (alu, any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (mul, any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
-        (any_reg(), 0u32..0x1000).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
+        }
+        1 => Instr::Op {
+            op: ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())],
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        2 => Instr::MulDiv {
+            op: MUL_OPS[rng.gen_range(0usize..MUL_OPS.len())],
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        3 => Instr::Lui {
+            rd: any_reg(rng),
+            imm: rng.gen_range(0u32..0x1000) << 12,
+        },
         // Loads/stores relative to x0 within the memory window (word
         // aligned so sub-word extraction offsets stay in range).
-        (any_reg(), 0i32..(MEM_WORDS as i32)).prop_map(|(rd, w)| Instr::Load {
+        4 => Instr::Load {
             op: LoadOp::Lw,
-            rd,
+            rd: any_reg(rng),
             rs1: Reg::ZERO,
-            offset: w * 4,
-        }),
-        (any_reg(), 0i32..(MEM_WORDS as i32), 0u8..4).prop_map(|(rd, w, b)| Instr::Load {
+            offset: rng.gen_range(0i32..MEM_WORDS as i32) * 4,
+        },
+        5 => Instr::Load {
             op: LoadOp::Lbu,
-            rd,
+            rd: any_reg(rng),
             rs1: Reg::ZERO,
-            offset: w * 4 + i32::from(b),
-        }),
-        (any_reg(), 0i32..(MEM_WORDS as i32)).prop_map(|(rs2, w)| Instr::Store {
+            offset: rng.gen_range(0i32..MEM_WORDS as i32) * 4 + rng.gen_range(0i32..4),
+        },
+        6 => Instr::Store {
             op: StoreOp::Sw,
-            rs2,
+            rs2: any_reg(rng),
             rs1: Reg::ZERO,
-            offset: w * 4,
-        }),
-        (any_reg(), 0i32..(MEM_WORDS as i32), 0u8..4).prop_map(|(rs2, w, b)| Instr::Store {
+            offset: rng.gen_range(0i32..MEM_WORDS as i32) * 4,
+        },
+        _ => Instr::Store {
             op: StoreOp::Sb,
-            rs2,
+            rs2: any_reg(rng),
             rs1: Reg::ZERO,
-            offset: w * 4 + i32::from(b),
-        }),
-    ]
+            offset: rng.gen_range(0i32..MEM_WORDS as i32) * 4 + rng.gen_range(0i32..4),
+        },
+    }
 }
 
 /// Runs the cycle-accurate core on `program` with the given fixed memory
@@ -243,20 +262,18 @@ fn run_timed(program: &[Instr], latency: u64, outstanding: usize) -> ([u32; 32],
     (regs, mem)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Architectural equivalence with the functional reference, across
-    /// memory latencies and LSU depths. Memory responses may return while
-    /// later independent instructions already executed — the scoreboard
-    /// must make that invisible.
-    #[test]
-    fn timed_core_matches_reference(
-        body in proptest::collection::vec(any_straightline(), 1..60),
-        latency in 1u64..12,
-        outstanding in 1usize..9,
-    ) {
-        let mut program = body.clone();
+/// Architectural equivalence with the functional reference, across memory
+/// latencies and LSU depths. Memory responses may return while later
+/// independent instructions already executed — the scoreboard must make
+/// that invisible.
+#[test]
+fn timed_core_matches_reference() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x901d_e000 ^ case);
+        let len = rng.gen_range(1usize..60);
+        let mut program: Vec<Instr> = (0..len).map(|_| any_straightline(&mut rng)).collect();
+        let latency = rng.gen_range(1u64..12);
+        let outstanding = rng.gen_range(1usize..9);
         program.push(Instr::Fence);
         program.push(Instr::Ecall);
 
@@ -264,7 +281,10 @@ proptest! {
         reference.run(&program);
 
         let (regs, mem) = run_timed(&program, latency, outstanding);
-        prop_assert_eq!(regs, reference.regs, "latency={} lsu={}", latency, outstanding);
-        prop_assert_eq!(mem, reference.mem);
+        assert_eq!(
+            regs, reference.regs,
+            "case {case} latency={latency} lsu={outstanding}"
+        );
+        assert_eq!(mem, reference.mem, "case {case}");
     }
 }

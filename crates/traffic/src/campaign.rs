@@ -1,0 +1,291 @@
+//! Fault-injection campaigns: sweep one [`FaultSpec`] over many seeds and
+//! classify how the cluster degrades.
+//!
+//! A campaign is the statistical complement of a single fault run: one
+//! seed shows *a* failure, a campaign measures *how often* the cluster
+//! completes, deadlocks, or times out under a given fault intensity, and
+//! what the resilience layer (retries, quarantine, watchdog) absorbed
+//! along the way. Every trial is driven by synthetic Poisson traffic (the
+//! same generators as the §V-A experiments) and is fully determined by
+//! `base_seed + trial index`, so a campaign line is replayable.
+
+use crate::{AddressSpace, Pattern, TrafficGen, Windows};
+use mempool::{
+    Cluster, ClusterConfig, FaultPlan, FaultSpec, FaultStats, SimError, ValidateConfigError,
+};
+
+/// Parameters of one fault-injection campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Offered load per core (requests/core/cycle) of the driving traffic.
+    pub load: f64,
+    /// Destination pattern of the driving traffic.
+    pub pattern: Pattern,
+    /// Warmup/measure/drain windows of each trial.
+    pub windows: Windows,
+    /// The fault intensity under test.
+    pub spec: FaultSpec,
+    /// Number of independent trials (fault seeds).
+    pub trials: u32,
+    /// Seed of the first trial; trial `i` uses `base_seed + i` for both the
+    /// traffic and the fault plan.
+    pub base_seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            load: 0.05,
+            pattern: Pattern::Uniform,
+            windows: Windows::default(),
+            spec: FaultSpec::default(),
+            trials: 8,
+            base_seed: 0,
+        }
+    }
+}
+
+/// How one campaign trial ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// All traffic drained within the drain budget.
+    Completed {
+        /// Cycles the drain phase took.
+        drain_cycles: u64,
+    },
+    /// The watchdog detected a deadlock in the memory system.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+    /// The drain budget expired with traffic still in flight.
+    Timeout,
+}
+
+/// One trial of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// The seed driving this trial's traffic and faults.
+    pub seed: u64,
+    /// How the trial ended.
+    pub outcome: TrialOutcome,
+    /// Fault and resilience counters of the trial.
+    pub faults: FaultStats,
+    /// Banks quarantined by the end of the trial.
+    pub quarantined_banks: usize,
+    /// Responses delivered over the whole trial.
+    pub delivered: u64,
+}
+
+/// Aggregated result of a fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The fault intensity that was swept.
+    pub spec: FaultSpec,
+    /// Every trial, in seed order.
+    pub trials: Vec<Trial>,
+}
+
+impl CampaignReport {
+    /// Fraction of trials that completed (drained all traffic).
+    pub fn completion_rate(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 1.0;
+        }
+        let done = self
+            .trials
+            .iter()
+            .filter(|t| matches!(t.outcome, TrialOutcome::Completed { .. }))
+            .count();
+        done as f64 / self.trials.len() as f64
+    }
+
+    /// Number of trials the watchdog ended with a deadlock report.
+    pub fn deadlocks(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| matches!(t.outcome, TrialOutcome::Deadlock { .. }))
+            .count()
+    }
+
+    /// Fault and resilience counters summed over all trials.
+    pub fn total_faults(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for t in &self.trials {
+            total.merge(&t.faults);
+        }
+        total
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let total = self.total_faults();
+        format!(
+            "spec [{}]: {}/{} trials completed ({} deadlocked), {} faults injected, \
+             {} retries, {} abandoned, {} banks quarantined",
+            self.spec,
+            self.trials.len() - self.deadlocks()
+                - self
+                    .trials
+                    .iter()
+                    .filter(|t| t.outcome == TrialOutcome::Timeout)
+                    .count(),
+            self.trials.len(),
+            self.deadlocks(),
+            total.total_injected(),
+            total.request_retries,
+            total.requests_abandoned,
+            total.banks_quarantined,
+        )
+    }
+}
+
+/// Runs one fault-injection trial: a traffic-driven cluster with the fault
+/// plan `FaultPlan::new(seed, spec)` installed, warmed up, measured, and
+/// drained.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn run_trial(
+    mut config: ClusterConfig,
+    campaign: &CampaignConfig,
+    seed: u64,
+) -> Result<Trial, ValidateConfigError> {
+    // Campaigns need the resilience layer: without retries a single dropped
+    // flit is a guaranteed hang, and without the watchdog a deadlock burns
+    // the whole drain budget.
+    config.resilience = mempool::ResilienceConfig::standard();
+    let map = config.address_map()?;
+    let scrambler = config.scrambler()?;
+    let l1_bytes = map.size_bytes() as u32;
+    let load = campaign.load;
+    let pattern = campaign.pattern;
+    let mut cluster = Cluster::new(config, |loc| {
+        let (seq_base, seq_bytes, seq_total) = match scrambler {
+            Some(s) => (
+                s.seq_base(loc.tile as u32),
+                s.seq_bytes_per_tile(),
+                s.seq_region_bytes() as u32,
+            ),
+            None => (0, 0, 0),
+        };
+        TrafficGen::new(
+            load,
+            pattern,
+            AddressSpace {
+                l1_bytes,
+                seq_base,
+                seq_bytes,
+                seq_total,
+                tile: loc.tile as u32,
+                num_tiles: config.num_tiles as u32,
+                banks_per_tile: config.banks_per_tile as u32,
+            },
+            64,
+            seed.wrapping_mul(0x9e37_79b9).wrapping_add(loc.core as u64),
+        )
+    })?;
+    cluster.set_fault_plan(Some(FaultPlan::new(seed, campaign.spec)));
+
+    cluster.step_cycles(campaign.windows.warmup + campaign.windows.measure);
+    for gen in cluster.cores_mut() {
+        gen.stop();
+    }
+    let drain_start = cluster.now();
+    let outcome = match cluster.run(campaign.windows.drain) {
+        Ok(_) => TrialOutcome::Completed {
+            drain_cycles: cluster.now() - drain_start,
+        },
+        Err(SimError::Deadlock(d)) => TrialOutcome::Deadlock { cycle: d.cycle },
+        Err(SimError::Timeout(_)) => TrialOutcome::Timeout,
+    };
+    Ok(Trial {
+        seed,
+        outcome,
+        faults: cluster.stats().faults,
+        quarantined_banks: cluster.quarantined_banks(),
+        delivered: cluster.stats().responses_delivered,
+    })
+}
+
+/// Runs a whole campaign: [`CampaignConfig::trials`] independent trials
+/// with consecutive seeds, in seed order.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn run_campaign(
+    config: ClusterConfig,
+    campaign: &CampaignConfig,
+) -> Result<CampaignReport, ValidateConfigError> {
+    let mut trials = Vec::with_capacity(campaign.trials as usize);
+    for i in 0..campaign.trials {
+        trials.push(run_trial(config, campaign, campaign.base_seed + u64::from(i))?);
+    }
+    Ok(CampaignReport {
+        spec: campaign.spec,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool::Topology;
+
+    fn small_windows() -> Windows {
+        Windows {
+            warmup: 100,
+            measure: 400,
+            drain: 50_000,
+        }
+    }
+
+    #[test]
+    fn fault_free_campaign_always_completes() {
+        let campaign = CampaignConfig {
+            windows: small_windows(),
+            trials: 2,
+            base_seed: 7,
+            ..CampaignConfig::default()
+        };
+        let report =
+            run_campaign(ClusterConfig::small(Topology::TopH), &campaign).expect("valid config");
+        assert_eq!(report.completion_rate(), 1.0);
+        assert_eq!(report.total_faults().total_injected(), 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let campaign = CampaignConfig {
+            spec: "bank_fail=2,link_drop=0.001,core_lockup=0.0005"
+                .parse()
+                .expect("valid spec"),
+            windows: small_windows(),
+            trials: 2,
+            base_seed: 42,
+            ..CampaignConfig::default()
+        };
+        let config = ClusterConfig::small(Topology::Top1);
+        let a = run_campaign(config, &campaign).expect("valid config");
+        let b = run_campaign(config, &campaign).expect("valid config");
+        assert_eq!(a, b, "same seeds must reproduce the identical report");
+        assert!(a.total_faults().total_injected() > 0, "{}", a.summary());
+    }
+
+    #[test]
+    fn campaign_counts_resilience_actions_under_heavy_drops() {
+        let campaign = CampaignConfig {
+            spec: "link_drop=0.02".parse().expect("valid spec"),
+            windows: small_windows(),
+            trials: 1,
+            base_seed: 3,
+            ..CampaignConfig::default()
+        };
+        let report =
+            run_campaign(ClusterConfig::small(Topology::Top1), &campaign).expect("valid config");
+        let total = report.total_faults();
+        assert!(total.link_drops > 0, "{}", report.summary());
+    }
+}

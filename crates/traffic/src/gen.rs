@@ -6,8 +6,8 @@
 use mempool::{Core, LatencyStats};
 use mempool_riscv::LoadOp;
 use mempool_snitch::{DataRequest, DataRequestKind, DataResponse, Fetch};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mempool_rng::StdRng;
+use mempool_rng::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Destination distribution of generated requests.

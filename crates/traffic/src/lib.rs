@@ -24,10 +24,14 @@
 
 #![warn(missing_docs)]
 
+mod campaign;
 mod experiment;
 mod gen;
 mod replay;
 
+pub use campaign::{
+    run_campaign, run_trial, CampaignConfig, CampaignReport, Trial, TrialOutcome,
+};
 pub use experiment::{md1_latency, run_point, run_sweep, saturation_throughput, SweepPoint, Windows};
 pub use gen::{AddressSpace, GenStats, Pattern, Permutation, TrafficGen};
 pub use replay::{replay_trace, ReplayCore, ReplayTiming};

@@ -7,7 +7,7 @@
 //! $ mempool-run --no-scramble --dump-mem 0x40000:8 prog.s
 //! ```
 
-use mempool::{Cluster, ClusterConfig, Topology};
+use mempool::{Cluster, ClusterConfig, FaultPlan, FaultSpec, ResilienceConfig, Topology};
 use mempool_riscv::{assemble, Reg};
 use std::process::ExitCode;
 
@@ -23,6 +23,8 @@ struct Options {
     listing: bool,
     emit_bin: Option<String>,
     describe: bool,
+    faults: Option<FaultSpec>,
+    seed: u64,
     path: String,
 }
 
@@ -40,6 +42,9 @@ options:
   --listing                          print the assembled program and exit
   --emit-bin <file>                  write the assembled image (LE words) and exit
   --describe                         print the instantiated hardware and exit
+  --faults <spec>                    inject faults: key=value pairs, e.g.
+                                     bank_fail=2,link_stall=0.01 (see FaultSpec)
+  --seed <n>                         fault-injection seed (default 0)
   --help                             this text";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
@@ -55,6 +60,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         listing: false,
         emit_bin: None,
         describe: false,
+        faults: None,
+        seed: 0,
         path: String::new(),
     };
     let mut args = args.into_iter();
@@ -107,6 +114,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--listing" => opts.listing = true,
             "--emit-bin" => opts.emit_bin = Some(value("--emit-bin")?),
             "--describe" => opts.describe = true,
+            "--faults" => {
+                opts.faults = Some(value("--faults")?.parse().map_err(
+                    |e: mempool::ParseFaultSpecError| e.to_string(),
+                )?);
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_owned())?;
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             _ if arg.starts_with('-') => return Err(format!("unknown option `{arg}`\n{USAGE}")),
             _ => opts.path = arg,
@@ -128,6 +145,9 @@ fn run_functional(opts: &Options, program: &mempool_riscv::Program) -> Result<()
     if !opts.scramble {
         config.seq_region_bytes = None;
     }
+    if opts.faults.is_some() {
+        return Err("--faults requires the cycle-accurate simulator".to_owned());
+    }
     let mut sim = FunctionalSim::new(config).map_err(|e| e.to_string())?;
     sim.load_program(program).map_err(|e| e.to_string())?;
     let steps = sim.run(opts.max_cycles).map_err(|e| e.to_string())?;
@@ -141,7 +161,8 @@ fn run_functional(opts: &Options, program: &mempool_riscv::Program) -> Result<()
     }
     if let Some((addr, words)) = opts.dump_mem {
         println!("\nL1 at {addr:#010x} ({words} words):");
-        for (i, w) in sim.read_words(addr, words).into_iter().enumerate() {
+        let dump = sim.read_words(addr, words).map_err(|e| e.to_string())?;
+        for (i, w) in dump.into_iter().enumerate() {
             if i % 4 == 0 {
                 print!("  {:08x}: ", addr as usize + 4 * i);
             }
@@ -226,8 +247,15 @@ fn run(opts: &Options) -> Result<(), String> {
     if !opts.scramble {
         config.seq_region_bytes = None;
     }
+    if opts.faults.is_some() {
+        config.resilience = ResilienceConfig::standard();
+    }
     let mut cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
     cluster.load_program(&program).map_err(|e| e.to_string())?;
+    if let Some(spec) = opts.faults {
+        println!("fault injection: {spec} (seed {})", opts.seed);
+        cluster.set_fault_plan(Some(FaultPlan::new(opts.seed, spec)));
+    }
     if let Some(core) = opts.trace_core {
         cluster
             .cores_mut()
@@ -254,9 +282,21 @@ fn run(opts: &Options) -> Result<(), String> {
         100.0 * stats.locality(),
         stats.latency.mean()
     );
-    let faults = cluster.cores().iter().filter(|c| c.faulted()).count();
-    if faults > 0 {
-        println!("warning: {faults} core(s) halted on a fetch fault (ran past the image?)");
+    let faulted = cluster.cores().iter().filter(|c| c.faulted()).count();
+    if faulted > 0 {
+        println!("warning: {faulted} core(s) halted on a fault");
+    }
+    if opts.faults.is_some() {
+        println!("fault counters: {}", stats.faults);
+        println!(
+            "quarantined banks: {}, fault log: {} event(s) ({} dropped)",
+            cluster.quarantined_banks(),
+            cluster.fault_log().len(),
+            cluster.fault_log().dropped()
+        );
+        for event in cluster.fault_log().events() {
+            println!("  {event}");
+        }
     }
 
     if let Some(core) = opts.dump_regs {
@@ -280,11 +320,8 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if let Some((addr, words)) = opts.dump_mem {
         println!("\nL1 at {addr:#010x} ({words} words):");
-        for (i, w) in cluster
-            .read_words(addr, words)
-            .into_iter()
-            .enumerate()
-        {
+        let dump = cluster.read_words(addr, words).map_err(|e| e.to_string())?;
+        for (i, w) in dump.into_iter().enumerate() {
             if i % 4 == 0 {
                 print!("  {:08x}: ", addr as usize + 4 * i);
             }
@@ -336,6 +373,17 @@ mod tests {
         assert!(args(&["--dump-mem", "100", "p.s"]).is_err(), "missing :words");
         assert!(args(&["--max-cycles", "many", "p.s"]).is_err());
         assert!(args(&["--bogus", "p.s"]).is_err());
+        assert!(args(&["--faults", "warp_core=0.5", "p.s"]).is_err());
+        assert!(args(&["--seed", "abc", "p.s"]).is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        let o = args(&["--faults", "bank_fail=2,link_stall=0.01", "--seed", "42", "p.s"]).unwrap();
+        let spec = o.faults.expect("spec parsed");
+        assert_eq!(spec.bank_fail, 2);
+        assert_eq!(spec.link_stall, 0.01);
+        assert_eq!(o.seed, 42);
     }
 
     #[test]

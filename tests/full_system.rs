@@ -174,10 +174,19 @@ fn memory_helpers_round_trip_through_scrambler() {
     let words: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761)).collect();
     // Spans sequential and interleaved regions.
     for base in [0u32, 4096 - 128, 65536] {
-        cluster.write_words(base, &words);
-        assert_eq!(cluster.read_words(base, words.len()), words, "base {base:#x}");
+        cluster.write_words(base, &words).expect("range in L1");
+        assert_eq!(
+            cluster.read_words(base, words.len()).expect("range in L1"),
+            words,
+            "base {base:#x}"
+        );
     }
     assert_eq!(cluster.read_word(0xffff_fffc), None);
+    // Out-of-range bulk access is a recoverable bus error, not a panic.
+    let err = cluster.write_words(0xffff_fff0, &[1, 2, 3, 4, 5]).unwrap_err();
+    assert_eq!(err.addr, 0xffff_fff0);
+    assert!(cluster.read_words(0xffff_fff0, 2).is_err());
+    assert!(cluster.stats().memory_faults >= 2);
 }
 
 #[test]
@@ -187,8 +196,11 @@ fn run_timeout_is_reported() {
     let mut cluster = Cluster::snitch(config).unwrap();
     cluster.load_program(&program).unwrap();
     let err = cluster.run(1_000).unwrap_err();
-    assert_eq!(err.budget(), 1_000);
-    assert!(err.to_string().contains("1000 cycles"));
+    let mempool::SimError::Timeout(timeout) = err else {
+        panic!("expected a timeout, got {err}");
+    };
+    assert_eq!(timeout.budget(), 1_000);
+    assert!(timeout.to_string().contains("1000 cycles"));
 }
 
 #[test]
