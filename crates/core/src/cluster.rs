@@ -19,19 +19,19 @@ use std::fmt;
 /// A refill transaction on the I-cache ring (§III-B's "low-overhead refill
 /// network").
 #[derive(Debug, Clone, Copy)]
-struct RefillPacket {
-    tile: usize,
-    line: u32,
+pub(crate) struct RefillPacket {
+    pub(crate) tile: usize,
+    pub(crate) line: u32,
 }
 
 /// The modeled AXI refill ring: one stop per tile plus an L2 stop.
-struct RefillRing {
-    ring: Ring<RefillPacket>,
-    l2_stop: usize,
-    l2_latency: u32,
+pub(crate) struct RefillRing {
+    pub(crate) ring: Ring<RefillPacket>,
+    pub(crate) l2_stop: usize,
+    pub(crate) l2_latency: u32,
     /// Requests being served by L2: completion cycle, requesting tile,
     /// line.
-    serving: VecDeque<(u64, usize, u32)>,
+    pub(crate) serving: VecDeque<(u64, usize, u32)>,
 }
 
 impl RefillRing {
@@ -129,12 +129,12 @@ impl std::error::Error for RunTimeoutError {}
 /// `(core, tag)`. `last_sent` distinguishes a live (re)issue from a stale
 /// response still draining out of the network after a retry.
 #[derive(Debug, Clone, Copy)]
-struct PendingRequest {
-    addr: u32,
-    kind: DataRequestKind,
-    issued_at: u64,
-    last_sent: u64,
-    retries: u32,
+pub(crate) struct PendingRequest {
+    pub(crate) addr: u32,
+    pub(crate) kind: DataRequestKind,
+    pub(crate) issued_at: u64,
+    pub(crate) last_sent: u64,
+    pub(crate) retries: u32,
 }
 
 /// Placement of one core within the cluster, handed to the core factory.
@@ -168,37 +168,37 @@ pub struct CoreLocation {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Cluster<C> {
-    config: ClusterConfig,
-    map: AddressMap,
-    scrambler: Option<Scrambler>,
-    cores: Vec<C>,
-    tiles: Vec<Tile>,
-    net: Net,
+    pub(crate) config: ClusterConfig,
+    pub(crate) map: AddressMap,
+    pub(crate) scrambler: Option<Scrambler>,
+    pub(crate) cores: Vec<C>,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) net: Net,
     /// Per-core output latch between the core and the interconnect.
-    out_latches: Vec<Option<Request>>,
-    image: ProgramImage,
-    now: u64,
-    stats: ClusterStats,
-    in_flight: u64,
-    deliveries: Vec<Response>,
-    refill_ring: Option<RefillRing>,
-    trace: Option<crate::MemoryTrace>,
+    pub(crate) out_latches: Vec<Option<Request>>,
+    pub(crate) image: ProgramImage,
+    pub(crate) now: u64,
+    pub(crate) stats: ClusterStats,
+    pub(crate) in_flight: u64,
+    pub(crate) deliveries: Vec<Response>,
+    pub(crate) refill_ring: Option<RefillRing>,
+    pub(crate) trace: Option<crate::MemoryTrace>,
     // --- fault injection and resilience ---
-    faults: Option<FaultPlan>,
-    quarantine: QuarantineMap,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) quarantine: QuarantineMap,
     /// Retry-layer view of every tracked in-flight request, in
     /// deterministic (core, tag) order.
-    pending: BTreeMap<(u32, u8), PendingRequest>,
-    fault_log: FaultLog,
+    pub(crate) pending: BTreeMap<(u32, u8), PendingRequest>,
+    pub(crate) fault_log: FaultLog,
     /// Scheduled permanent bank failures (absolute cycles, sorted);
     /// `next_failure` indexes the first not yet activated.
-    pending_failures: Vec<BankFailure>,
-    next_failure: usize,
+    pub(crate) pending_failures: Vec<BankFailure>,
+    pub(crate) next_failure: usize,
     /// Per-core first cycle at which an injected lockup releases.
-    locked_until: Vec<u64>,
+    pub(crate) locked_until: Vec<u64>,
     /// Watchdog: last cycle the progress signature changed, and its value.
-    last_progress: u64,
-    progress_mark: u64,
+    pub(crate) last_progress: u64,
+    pub(crate) progress_mark: u64,
 }
 
 impl<C: Core> Cluster<C> {

@@ -484,6 +484,26 @@ impl FaultLog {
         self.dropped
     }
 
+    /// The maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reconstructs a log from checkpointed parts (events must not exceed
+    /// `capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is longer than `capacity`.
+    pub fn from_parts(events: Vec<FaultEvent>, capacity: usize, dropped: u64) -> FaultLog {
+        assert!(events.len() <= capacity, "fault log overflows its capacity");
+        FaultLog {
+            events,
+            capacity,
+            dropped,
+        }
+    }
+
     /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()

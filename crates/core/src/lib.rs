@@ -60,6 +60,7 @@ pub mod faults;
 mod functional;
 mod net;
 mod packet;
+pub mod snapshot;
 mod stats;
 mod tile;
 
@@ -73,6 +74,10 @@ pub use config::{
     ClusterConfig, IcacheConfig, RefillNetwork, ResilienceConfig, Topology, ValidateConfigError,
 };
 pub use packet::{MemoryTrace, Request, Response, TraceEvent};
+pub use snapshot::{
+    bisect_divergence, ByteReader, ClusterSnapshot, ComponentDiff, CoreState, DivergenceReport,
+    Fnv, SnapshotError, StateSink,
+};
 pub use stats::{ClusterStats, FaultStats, LatencyStats};
 pub use tile::ProgramImage;
 

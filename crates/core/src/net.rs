@@ -205,7 +205,7 @@ impl Net {
 /// conflicts; only bank conflicts serialize (round-robin per bank).
 pub(crate) struct IdealNet {
     /// One arbiter per global bank, over all cores.
-    rr: Vec<RoundRobin>,
+    pub(crate) rr: Vec<RoundRobin>,
     banks_per_tile: usize,
 }
 
@@ -301,19 +301,19 @@ pub(crate) struct GlobalNet {
     ports: usize,
     /// Top1 concentrates the tile's cores onto one port.
     concentrate: bool,
-    rr_concentrator: Vec<RoundRobin>,
+    pub(crate) rr_concentrator: Vec<RoundRobin>,
     /// `[tile * ports + p]`.
-    master_req: Vec<ElasticBuffer<Request>>,
-    master_resp: Vec<ElasticBuffer<Response>>,
+    pub(crate) master_req: Vec<ElasticBuffer<Request>>,
+    pub(crate) master_resp: Vec<ElasticBuffer<Response>>,
     /// Per port: request butterfly segment A (or the whole network when it
     /// has a single layer).
-    req_a: Vec<Fabric>,
-    req_b: Vec<Fabric>,
+    pub(crate) req_a: Vec<Fabric>,
+    pub(crate) req_b: Vec<Fabric>,
     /// `[port][row]` mid-stage pipeline registers (empty when unsplit).
-    mid_req: Vec<Vec<ElasticBuffer<Request>>>,
-    resp_a: Vec<Fabric>,
-    resp_b: Vec<Fabric>,
-    mid_resp: Vec<Vec<ElasticBuffer<Response>>>,
+    pub(crate) mid_req: Vec<Vec<ElasticBuffer<Request>>>,
+    pub(crate) resp_a: Vec<Fabric>,
+    pub(crate) resp_b: Vec<Fabric>,
+    pub(crate) mid_resp: Vec<Vec<ElasticBuffer<Response>>>,
     split: bool,
 }
 
@@ -617,20 +617,20 @@ pub(crate) struct HierNet {
     cores_per_tile: usize,
     tiles_per_group: usize,
     /// Per tile: crossbar (cores × 4 ports) routing requests to L/N/NE/E.
-    port_router: Vec<Fabric>,
+    pub(crate) port_router: Vec<Fabric>,
     /// `[tile * 4 + port]`, port 0 = L, 1 = N, 2 = NE, 3 = E.
-    master_req: Vec<ElasticBuffer<Request>>,
-    master_resp: Vec<ElasticBuffer<Response>>,
+    pub(crate) master_req: Vec<ElasticBuffer<Request>>,
+    pub(crate) master_resp: Vec<ElasticBuffer<Response>>,
     /// Per group: the 16×16 fully-connected local crossbars.
-    local_req: Vec<Fabric>,
-    local_resp: Vec<Fabric>,
+    pub(crate) local_req: Vec<Fabric>,
+    pub(crate) local_resp: Vec<Fabric>,
     /// `[(group * 3 + dir) * tiles_per_group + row]`, dir 0 = N, 1 = NE,
     /// 2 = E: the register boundary at the group's master interface.
-    boundary_req: Vec<ElasticBuffer<Request>>,
-    boundary_resp: Vec<ElasticBuffer<Response>>,
+    pub(crate) boundary_req: Vec<ElasticBuffer<Request>>,
+    pub(crate) boundary_resp: Vec<ElasticBuffer<Response>>,
     /// Per (group, dir): the 16×16 radix-4 butterflies.
-    inter_req: Vec<Fabric>,
-    inter_resp: Vec<Fabric>,
+    pub(crate) inter_req: Vec<Fabric>,
+    pub(crate) inter_resp: Vec<Fabric>,
 }
 
 #[allow(clippy::needless_range_loop)] // `d` indexes three parallel tables

@@ -1,0 +1,1653 @@
+//! Checkpoint/restore with canonical state digests, and divergence
+//! bisection.
+//!
+//! One byte encoding serves two purposes: serialized, it is the checkpoint
+//! image a [`ClusterSnapshot`] stores; hashed, it is the canonical
+//! [`state_digest`](Cluster::state_digest) that two runs can compare for
+//! bit-identity. Both views stream the same encoders into a [`StateSink`],
+//! so a digest always describes exactly what a snapshot would capture.
+//!
+//! The digest deliberately **excludes** the configuration, the program
+//! image, and the fault *plan parameters* (seed, spec, and the scheduled
+//! bank-failure list): those are inputs, not evolving state. Everything the
+//! inputs *cause* — quarantined banks, fault logs, retry counters, locked
+//! cores — is digested. This is what lets
+//! [`bisect_divergence`] compare a faulted run against a clean one and
+//! pinpoint the first cycle at which their architectural states part ways.
+
+use crate::cluster::{PendingRequest, RefillPacket, RefillRing};
+use crate::faults::{BankFailure, FaultEvent, FaultLog, FaultPlan, FaultSpec};
+use crate::net::Net;
+use crate::tile::Tile;
+use crate::{Cluster, ClusterConfig, Core, Request, Response};
+use mempool_noc::{ElasticBuffer, Fabric, RoundRobin};
+use mempool_riscv::{AmoOp, LoadOp, Reg, StoreOp};
+use mempool_snitch::{DataRequestKind, SnitchCore};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// FNV-1a offset basis (the digest over an empty byte stream).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Snapshot file magic: `"MPSN"` little-endian.
+const MAGIC: u32 = 0x4d50_534e;
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+const HEADER_LEN: usize = 56;
+
+/// A byte sink the canonical state encoders write into: a `Vec<u8>` when
+/// serializing, an [`Fnv`] hasher when digesting.
+pub trait StateSink {
+    /// Appends raw bytes.
+    fn put(&mut self, bytes: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+
+    /// Appends a bool as one byte.
+    fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends an `f64` as its little-endian IEEE-754 bit pattern.
+    fn put_f64(&mut self, v: f64) {
+        self.put(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl StateSink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// A streaming FNV-1a hasher usable as a [`StateSink`], so digests are
+/// computed without materializing the encoded bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl StateSink for Fnv {
+    fn put(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// FNV-1a digest of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut f = Fnv::new();
+    f.put(bytes);
+    f.finish()
+}
+
+/// Error raised when loading or restoring a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the decoder was done.
+    Truncated,
+    /// The leading magic number is not a snapshot's.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// A section's recomputed digest disagrees with the header.
+    DigestMismatch,
+    /// The snapshot was taken from a cluster with a different configuration.
+    ConfigMismatch,
+    /// The snapshot was taken with a different program loaded.
+    ImageMismatch,
+    /// A structurally invalid field (named) was encountered.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a cluster snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::DigestMismatch => write!(f, "snapshot digest mismatch (corrupted file)"),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "snapshot was taken under a different cluster configuration")
+            }
+            SnapshotError::ImageMismatch => {
+                write!(f, "snapshot was taken with a different program loaded")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A bounds-checked little-endian reader over a snapshot byte stream.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Takes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of stream.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Takes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of stream.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length 4")))
+    }
+
+    /// Takes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of stream.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length 8")))
+    }
+
+    /// Takes a bool (one byte; values other than 0/1 are corrupt).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] or [`SnapshotError::Corrupt`].
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bool")),
+        }
+    }
+
+    /// Takes an `f64` stored as its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of stream.
+    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether the stream is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// Core models that can checkpoint their architectural state into the
+/// canonical byte encoding — required of a core type `C` for
+/// [`Cluster::snapshot`] / [`Cluster::restore`] to be available on
+/// `Cluster<C>`.
+pub trait CoreState {
+    /// Streams the core's complete dynamic state into `out`.
+    fn encode_state(&self, out: &mut dyn StateSink);
+
+    /// Restores the core's state from its [`encode_state`] encoding.
+    ///
+    /// [`encode_state`]: CoreState::encode_state
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the bytes are truncated or
+    /// structurally inconsistent with this core's configuration.
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapshotError>;
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs for the ISA-level payload types.
+// ---------------------------------------------------------------------------
+
+fn put_load_op(out: &mut dyn StateSink, op: LoadOp) {
+    out.put_u8(match op {
+        LoadOp::Lb => 0,
+        LoadOp::Lh => 1,
+        LoadOp::Lw => 2,
+        LoadOp::Lbu => 3,
+        LoadOp::Lhu => 4,
+    });
+}
+
+fn take_load_op(r: &mut ByteReader<'_>) -> Result<LoadOp, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => LoadOp::Lb,
+        1 => LoadOp::Lh,
+        2 => LoadOp::Lw,
+        3 => LoadOp::Lbu,
+        4 => LoadOp::Lhu,
+        _ => return Err(SnapshotError::Corrupt("load op")),
+    })
+}
+
+fn put_store_op(out: &mut dyn StateSink, op: StoreOp) {
+    out.put_u8(match op {
+        StoreOp::Sb => 0,
+        StoreOp::Sh => 1,
+        StoreOp::Sw => 2,
+    });
+}
+
+fn take_store_op(r: &mut ByteReader<'_>) -> Result<StoreOp, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => StoreOp::Sb,
+        1 => StoreOp::Sh,
+        2 => StoreOp::Sw,
+        _ => return Err(SnapshotError::Corrupt("store op")),
+    })
+}
+
+fn put_amo_op(out: &mut dyn StateSink, op: AmoOp) {
+    out.put_u8(match op {
+        AmoOp::Swap => 0,
+        AmoOp::Add => 1,
+        AmoOp::Xor => 2,
+        AmoOp::And => 3,
+        AmoOp::Or => 4,
+        AmoOp::Min => 5,
+        AmoOp::Max => 6,
+        AmoOp::Minu => 7,
+        AmoOp::Maxu => 8,
+    });
+}
+
+fn take_amo_op(r: &mut ByteReader<'_>) -> Result<AmoOp, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => AmoOp::Swap,
+        1 => AmoOp::Add,
+        2 => AmoOp::Xor,
+        3 => AmoOp::And,
+        4 => AmoOp::Or,
+        5 => AmoOp::Min,
+        6 => AmoOp::Max,
+        7 => AmoOp::Minu,
+        8 => AmoOp::Maxu,
+        _ => return Err(SnapshotError::Corrupt("amo op")),
+    })
+}
+
+fn put_kind(out: &mut dyn StateSink, kind: DataRequestKind) {
+    match kind {
+        DataRequestKind::Load(op) => {
+            out.put_u8(0);
+            put_load_op(out, op);
+        }
+        DataRequestKind::Store { op, data } => {
+            out.put_u8(1);
+            put_store_op(out, op);
+            out.put_u32(data);
+        }
+        DataRequestKind::Amo { op, operand } => {
+            out.put_u8(2);
+            put_amo_op(out, op);
+            out.put_u32(operand);
+        }
+        DataRequestKind::LoadReserved => out.put_u8(3),
+        DataRequestKind::StoreConditional { data } => {
+            out.put_u8(4);
+            out.put_u32(data);
+        }
+    }
+}
+
+fn take_kind(r: &mut ByteReader<'_>) -> Result<DataRequestKind, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => DataRequestKind::Load(take_load_op(r)?),
+        1 => DataRequestKind::Store {
+            op: take_store_op(r)?,
+            data: r.take_u32()?,
+        },
+        2 => DataRequestKind::Amo {
+            op: take_amo_op(r)?,
+            operand: r.take_u32()?,
+        },
+        3 => DataRequestKind::LoadReserved,
+        4 => DataRequestKind::StoreConditional { data: r.take_u32()? },
+        _ => return Err(SnapshotError::Corrupt("request kind")),
+    })
+}
+
+fn put_req(out: &mut dyn StateSink, req: &Request) {
+    out.put_u32(req.core);
+    out.put_u8(req.tag);
+    out.put_u32(req.addr);
+    put_kind(out, req.kind);
+    out.put_u64(req.issued_at);
+}
+
+fn take_req(r: &mut ByteReader<'_>) -> Result<Request, SnapshotError> {
+    Ok(Request {
+        core: r.take_u32()?,
+        tag: r.take_u8()?,
+        addr: r.take_u32()?,
+        kind: take_kind(r)?,
+        issued_at: r.take_u64()?,
+    })
+}
+
+fn put_resp(out: &mut dyn StateSink, resp: &Response) {
+    out.put_u32(resp.core);
+    out.put_u8(resp.tag);
+    out.put_u32(resp.data);
+    out.put_u64(resp.issued_at);
+    out.put_bool(resp.is_write);
+}
+
+fn take_resp(r: &mut ByteReader<'_>) -> Result<Response, SnapshotError> {
+    Ok(Response {
+        core: r.take_u32()?,
+        tag: r.take_u8()?,
+        data: r.take_u32()?,
+        issued_at: r.take_u64()?,
+        is_write: r.take_bool()?,
+    })
+}
+
+fn put_opt_req(out: &mut dyn StateSink, latch: &Option<Request>) {
+    match latch {
+        None => out.put_bool(false),
+        Some(req) => {
+            out.put_bool(true);
+            put_req(out, req);
+        }
+    }
+}
+
+fn take_opt_req(r: &mut ByteReader<'_>) -> Result<Option<Request>, SnapshotError> {
+    Ok(if r.take_bool()? { Some(take_req(r)?) } else { None })
+}
+
+fn put_opt_resp(out: &mut dyn StateSink, latch: &Option<Response>) {
+    match latch {
+        None => out.put_bool(false),
+        Some(resp) => {
+            out.put_bool(true);
+            put_resp(out, resp);
+        }
+    }
+}
+
+fn take_opt_resp(r: &mut ByteReader<'_>) -> Result<Option<Response>, SnapshotError> {
+    Ok(if r.take_bool()? { Some(take_resp(r)?) } else { None })
+}
+
+// ---------------------------------------------------------------------------
+// Structural codecs: elastic buffers, fabrics, arbiters.
+// ---------------------------------------------------------------------------
+
+fn save_ebuf<T>(
+    out: &mut dyn StateSink,
+    buf: &ElasticBuffer<T>,
+    enc: impl Fn(&mut dyn StateSink, &T),
+) {
+    let stored: Vec<&T> = buf.iter().collect();
+    out.put_u64(stored.len() as u64);
+    for item in stored {
+        enc(out, item);
+    }
+    let arrivals: Vec<&T> = buf.iter_arrivals().collect();
+    out.put_u64(arrivals.len() as u64);
+    for item in arrivals {
+        enc(out, item);
+    }
+    out.put_bool(buf.is_stalled());
+}
+
+fn load_ebuf<T>(
+    r: &mut ByteReader<'_>,
+    buf: &mut ElasticBuffer<T>,
+    dec: impl Fn(&mut ByteReader<'_>) -> Result<T, SnapshotError>,
+) -> Result<(), SnapshotError> {
+    let ns = r.take_u64()? as usize;
+    let mut stored = Vec::new();
+    for _ in 0..ns {
+        stored.push(dec(r)?);
+    }
+    let na = r.take_u64()? as usize;
+    let mut arrivals = Vec::new();
+    for _ in 0..na {
+        arrivals.push(dec(r)?);
+    }
+    let stalled = r.take_bool()?;
+    if stored.len() + arrivals.len() > buf.capacity() {
+        return Err(SnapshotError::Corrupt("elastic buffer occupancy"));
+    }
+    buf.load(stored, arrivals, stalled);
+    Ok(())
+}
+
+fn save_fabric(out: &mut dyn StateSink, fabric: &Fabric) {
+    let pointers = fabric.arbiter_pointers();
+    out.put_u64(pointers.len() as u64);
+    for p in pointers {
+        out.put_u64(p as u64);
+    }
+}
+
+fn load_fabric(r: &mut ByteReader<'_>, fabric: &mut Fabric) -> Result<(), SnapshotError> {
+    let n = r.take_u64()? as usize;
+    if n != fabric.arbiter_pointers().len() {
+        return Err(SnapshotError::Corrupt("fabric arbiter count"));
+    }
+    let mut pointers = Vec::with_capacity(n);
+    for _ in 0..n {
+        pointers.push(r.take_u64()? as usize);
+    }
+    fabric.set_arbiter_pointers(&pointers);
+    Ok(())
+}
+
+fn save_rr_list(out: &mut dyn StateSink, rrs: &[RoundRobin]) {
+    out.put_u64(rrs.len() as u64);
+    for rr in rrs {
+        out.put_u64(rr.pointer() as u64);
+    }
+}
+
+fn load_rr_list(r: &mut ByteReader<'_>, rrs: &mut [RoundRobin]) -> Result<(), SnapshotError> {
+    let n = r.take_u64()? as usize;
+    if n != rrs.len() {
+        return Err(SnapshotError::Corrupt("round-robin arbiter count"));
+    }
+    for rr in rrs {
+        rr.set_pointer(r.take_u64()? as usize);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SnitchCore: the cycle-accurate core model is checkpointable.
+// ---------------------------------------------------------------------------
+
+impl CoreState for SnitchCore {
+    fn encode_state(&self, out: &mut dyn StateSink) {
+        let s = SnitchCore::save_state(self);
+        out.put_u32(s.pc);
+        for reg in s.regs {
+            out.put_u32(reg);
+        }
+        out.put_u32(s.scoreboard);
+        out.put_u64(s.lsu.len() as u64);
+        for slot in &s.lsu {
+            match slot {
+                None => out.put_bool(false),
+                Some(sl) => {
+                    out.put_bool(true);
+                    out.put_u8(sl.dest.map_or(0xff, Reg::index));
+                    match sl.load {
+                        None => out.put_u8(0xff),
+                        Some(op) => put_load_op(out, op),
+                    }
+                    out.put_u32(sl.byte_offset);
+                }
+            }
+        }
+        out.put_bool(s.halted);
+        out.put_bool(s.faulted);
+        out.put_u32(s.exec_busy);
+        out.put_bool(s.fencing);
+        out.put_u32(s.mscratch);
+        let st = s.stats;
+        for v in [
+            st.instret,
+            st.cycles,
+            st.loads,
+            st.stores,
+            st.amos,
+            st.muls,
+            st.divs,
+            st.taken_branches,
+            st.stall_scoreboard,
+            st.stall_lsu_full,
+            st.stall_port,
+            st.stall_fetch,
+            st.stall_fence,
+            st.stall_exec,
+        ] {
+            out.put_u64(v);
+        }
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapshotError> {
+        let mut s = SnitchCore::save_state(self);
+        s.pc = r.take_u32()?;
+        for reg in &mut s.regs {
+            *reg = r.take_u32()?;
+        }
+        s.scoreboard = r.take_u32()?;
+        let depth = r.take_u64()? as usize;
+        if depth != s.lsu.len() {
+            return Err(SnapshotError::Corrupt("LSU depth"));
+        }
+        for slot in &mut s.lsu {
+            *slot = if r.take_bool()? {
+                let dest = match r.take_u8()? {
+                    0xff => None,
+                    idx => Some(Reg::new(idx).ok_or(SnapshotError::Corrupt("register index"))?),
+                };
+                let load = {
+                    let mut probe = r.clone();
+                    if probe.take_u8()? == 0xff {
+                        *r = probe;
+                        None
+                    } else {
+                        Some(take_load_op(r)?)
+                    }
+                };
+                Some(mempool_snitch::LsuSlotState {
+                    dest,
+                    load,
+                    byte_offset: r.take_u32()?,
+                })
+            } else {
+                None
+            };
+        }
+        s.halted = r.take_bool()?;
+        s.faulted = r.take_bool()?;
+        s.exec_busy = r.take_u32()?;
+        s.fencing = r.take_bool()?;
+        s.mscratch = r.take_u32()?;
+        let st = &mut s.stats;
+        for field in [
+            &mut st.instret,
+            &mut st.cycles,
+            &mut st.loads,
+            &mut st.stores,
+            &mut st.amos,
+            &mut st.muls,
+            &mut st.divs,
+            &mut st.taken_branches,
+            &mut st.stall_scoreboard,
+            &mut st.stall_lsu_full,
+            &mut st.stall_port,
+            &mut st.stall_fetch,
+            &mut st.stall_fence,
+            &mut st.stall_exec,
+        ] {
+            *field = r.take_u64()?;
+        }
+        self.restore_state(&s);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot container.
+// ---------------------------------------------------------------------------
+
+/// A complete, versioned checkpoint of a [`Cluster`]'s architectural and
+/// micro-architectural state.
+///
+/// Layout: a 56-byte header (magic, version, configuration digest, program
+/// digest, state digest, cycle, input-section digest, input-section length),
+/// an *input* section (fault-plan parameters and the scheduled bank-failure
+/// list — snapshotted but excluded from the state digest), and the *state*
+/// section covering every core, bank, pipeline register, arbiter pointer,
+/// retry-layer entry, and statistics counter. The state digest in the
+/// header is the FNV-1a hash of the state section, identical to what
+/// [`Cluster::state_digest`] reports on the captured cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl ClusterSnapshot {
+    fn u32_at(&self, offset: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[offset..offset + 4].try_into().expect("in header"))
+    }
+
+    fn u64_at(&self, offset: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("in header"))
+    }
+
+    /// The snapshot format version.
+    pub fn version(&self) -> u32 {
+        self.u32_at(4)
+    }
+
+    /// Digest of the cluster configuration the snapshot was taken under.
+    pub fn config_digest(&self) -> u64 {
+        self.u64_at(8)
+    }
+
+    /// Digest of the loaded program image.
+    pub fn image_digest(&self) -> u64 {
+        self.u64_at(16)
+    }
+
+    /// The canonical state digest at capture time.
+    pub fn state_digest(&self) -> u64 {
+        self.u64_at(24)
+    }
+
+    /// The cycle count at capture time.
+    pub fn cycle(&self) -> u64 {
+        self.u64_at(32)
+    }
+
+    fn section_a(&self) -> &[u8] {
+        let len_a = self.u64_at(48) as usize;
+        &self.bytes[HEADER_LEN..HEADER_LEN + len_a]
+    }
+
+    fn section_b(&self) -> &[u8] {
+        let len_a = self.u64_at(48) as usize;
+        &self.bytes[HEADER_LEN + len_a..]
+    }
+
+    /// The raw serialized image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Parses and validates a serialized snapshot: magic, version, and both
+    /// section digests must check out.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`],
+    /// [`SnapshotError::Truncated`], or [`SnapshotError::DigestMismatch`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<ClusterSnapshot, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        let snap = ClusterSnapshot {
+            bytes: bytes.to_vec(),
+        };
+        if snap.u32_at(0) != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if snap.version() != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(snap.version()));
+        }
+        let len_a = snap.u64_at(48) as usize;
+        if HEADER_LEN + len_a > bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        if fnv64(snap.section_a()) != snap.u64_at(40) {
+            return Err(SnapshotError::DigestMismatch);
+        }
+        if fnv64(snap.section_b()) != snap.state_digest() {
+            return Err(SnapshotError::DigestMismatch);
+        }
+        Ok(snap)
+    }
+
+    /// Writes the snapshot to `path` atomically (temp file + rename), so a
+    /// crash mid-write never leaves a truncated checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O error.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &self.bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`SnapshotError`]s mapped to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_file(path: &Path) -> io::Result<ClusterSnapshot> {
+        let bytes = std::fs::read(path)?;
+        ClusterSnapshot::from_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Digest identifying a [`ClusterConfig`] (formatting-based: two configs
+/// digest equal iff they compare equal field-for-field).
+pub(crate) fn config_digest(config: &ClusterConfig) -> u64 {
+    fnv64(format!("{config:?}").as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Cluster encode/decode.
+// ---------------------------------------------------------------------------
+
+fn save_tile(out: &mut dyn StateSink, tile: &Tile) {
+    for bank in &tile.banks {
+        let words = bank.words();
+        out.put_u64(words.len() as u64);
+        for &w in words {
+            out.put_u32(w);
+        }
+        let reservations = bank.reservations();
+        out.put_u64(reservations.len() as u64);
+        for &(hart, row) in reservations {
+            out.put_u32(hart);
+            out.put_u32(row);
+        }
+    }
+    for reg in &tile.bank_resp {
+        save_ebuf(out, reg, |o, resp| put_resp(o, resp));
+    }
+    save_fabric(out, &tile.req_fabric);
+    save_fabric(out, &tile.resp_fabric);
+    out.put_u64(tile.slave_req.len() as u64);
+    for latch in &tile.slave_req {
+        put_opt_req(out, latch);
+    }
+    for latch in &tile.resp_out {
+        put_opt_resp(out, latch);
+    }
+    out.put_u64(tile.icache.tick());
+    let cs = tile.icache.stats();
+    out.put_u64(cs.hits);
+    out.put_u64(cs.misses);
+    let ways: Vec<(u32, bool, u64)> = tile.icache.ways().collect();
+    out.put_u64(ways.len() as u64);
+    for (tag, valid, lru) in ways {
+        out.put_u32(tag);
+        out.put_bool(valid);
+        out.put_u64(lru);
+    }
+    out.put_u64(tile.refill.pending.len() as u64);
+    for &line in &tile.refill.pending {
+        out.put_u32(line);
+    }
+    out.put_u64(tile.refill.outbox.len() as u64);
+    for &line in &tile.refill.outbox {
+        out.put_u32(line);
+    }
+    match tile.refill.in_flight {
+        None => out.put_bool(false),
+        Some((line, done_at)) => {
+            out.put_bool(true);
+            out.put_u32(line);
+            out.put_u64(done_at);
+        }
+    }
+    out.put_u64(tile.refill.refills);
+}
+
+fn load_tile(r: &mut ByteReader<'_>, tile: &mut Tile) -> Result<(), SnapshotError> {
+    for bank in &mut tile.banks {
+        let n = r.take_u64()? as usize;
+        if n != bank.words().len() {
+            return Err(SnapshotError::Corrupt("bank row count"));
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(r.take_u32()?);
+        }
+        let nr = r.take_u64()? as usize;
+        let mut reservations = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            reservations.push((r.take_u32()?, r.take_u32()?));
+        }
+        bank.load(&words, &reservations);
+    }
+    for reg in &mut tile.bank_resp {
+        load_ebuf(r, reg, take_resp)?;
+    }
+    load_fabric(r, &mut tile.req_fabric)?;
+    load_fabric(r, &mut tile.resp_fabric)?;
+    let ports = r.take_u64()? as usize;
+    if ports != tile.slave_req.len() {
+        return Err(SnapshotError::Corrupt("remote port count"));
+    }
+    for latch in &mut tile.slave_req {
+        *latch = take_opt_req(r)?;
+    }
+    for latch in &mut tile.resp_out {
+        *latch = take_opt_resp(r)?;
+    }
+    let tick = r.take_u64()?;
+    let cache_stats = mempool_mem::CacheStats {
+        hits: r.take_u64()?,
+        misses: r.take_u64()?,
+    };
+    let nways = r.take_u64()? as usize;
+    if nways != tile.icache.ways().count() {
+        return Err(SnapshotError::Corrupt("icache way count"));
+    }
+    let mut ways = Vec::with_capacity(nways);
+    for _ in 0..nways {
+        ways.push((r.take_u32()?, r.take_bool()?, r.take_u64()?));
+    }
+    tile.icache.load(ways, tick, cache_stats);
+    let np = r.take_u64()? as usize;
+    tile.refill.pending.clear();
+    for _ in 0..np {
+        tile.refill.pending.push(r.take_u32()?);
+    }
+    let no = r.take_u64()? as usize;
+    tile.refill.outbox.clear();
+    for _ in 0..no {
+        tile.refill.outbox.push_back(r.take_u32()?);
+    }
+    tile.refill.in_flight = if r.take_bool()? {
+        Some((r.take_u32()?, r.take_u64()?))
+    } else {
+        None
+    };
+    tile.refill.refills = r.take_u64()?;
+    Ok(())
+}
+
+fn save_net(out: &mut dyn StateSink, net: &Net) {
+    match net {
+        Net::Ideal(n) => save_rr_list(out, &n.rr),
+        Net::Global(n) => {
+            save_rr_list(out, &n.rr_concentrator);
+            for reg in &n.master_req {
+                save_ebuf(out, reg, |o, req| put_req(o, req));
+            }
+            for reg in &n.master_resp {
+                save_ebuf(out, reg, |o, resp| put_resp(o, resp));
+            }
+            for port in &n.mid_req {
+                for reg in port {
+                    save_ebuf(out, reg, |o, req| put_req(o, req));
+                }
+            }
+            for port in &n.mid_resp {
+                for reg in port {
+                    save_ebuf(out, reg, |o, resp| put_resp(o, resp));
+                }
+            }
+            for fabric in n.req_a.iter().chain(&n.req_b).chain(&n.resp_a).chain(&n.resp_b) {
+                save_fabric(out, fabric);
+            }
+        }
+        Net::Hier(n) => {
+            for fabric in &n.port_router {
+                save_fabric(out, fabric);
+            }
+            for reg in &n.master_req {
+                save_ebuf(out, reg, |o, req| put_req(o, req));
+            }
+            for reg in &n.master_resp {
+                save_ebuf(out, reg, |o, resp| put_resp(o, resp));
+            }
+            for reg in &n.boundary_req {
+                save_ebuf(out, reg, |o, req| put_req(o, req));
+            }
+            for reg in &n.boundary_resp {
+                save_ebuf(out, reg, |o, resp| put_resp(o, resp));
+            }
+            for fabric in n
+                .local_req
+                .iter()
+                .chain(&n.local_resp)
+                .chain(&n.inter_req)
+                .chain(&n.inter_resp)
+            {
+                save_fabric(out, fabric);
+            }
+        }
+    }
+}
+
+fn load_net(r: &mut ByteReader<'_>, net: &mut Net) -> Result<(), SnapshotError> {
+    match net {
+        Net::Ideal(n) => load_rr_list(r, &mut n.rr)?,
+        Net::Global(n) => {
+            load_rr_list(r, &mut n.rr_concentrator)?;
+            for reg in &mut n.master_req {
+                load_ebuf(r, reg, take_req)?;
+            }
+            for reg in &mut n.master_resp {
+                load_ebuf(r, reg, take_resp)?;
+            }
+            for port in &mut n.mid_req {
+                for reg in port {
+                    load_ebuf(r, reg, take_req)?;
+                }
+            }
+            for port in &mut n.mid_resp {
+                for reg in port {
+                    load_ebuf(r, reg, take_resp)?;
+                }
+            }
+            for fabric in n
+                .req_a
+                .iter_mut()
+                .chain(&mut n.req_b)
+                .chain(&mut n.resp_a)
+                .chain(&mut n.resp_b)
+            {
+                load_fabric(r, fabric)?;
+            }
+        }
+        Net::Hier(n) => {
+            for fabric in &mut n.port_router {
+                load_fabric(r, fabric)?;
+            }
+            for reg in &mut n.master_req {
+                load_ebuf(r, reg, take_req)?;
+            }
+            for reg in &mut n.master_resp {
+                load_ebuf(r, reg, take_resp)?;
+            }
+            for reg in &mut n.boundary_req {
+                load_ebuf(r, reg, take_req)?;
+            }
+            for reg in &mut n.boundary_resp {
+                load_ebuf(r, reg, take_resp)?;
+            }
+            for fabric in n
+                .local_req
+                .iter_mut()
+                .chain(&mut n.local_resp)
+                .chain(&mut n.inter_req)
+                .chain(&mut n.inter_resp)
+            {
+                load_fabric(r, fabric)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn save_ring(out: &mut dyn StateSink, ring: &RefillRing) {
+    for slot in ring.ring.slots() {
+        match slot {
+            None => out.put_bool(false),
+            Some((dest, pkt)) => {
+                out.put_bool(true);
+                out.put_u64(dest as u64);
+                out.put_u64(pkt.tile as u64);
+                out.put_u32(pkt.line);
+            }
+        }
+    }
+    for stop in 0..ring.ring.stops() {
+        let queued: Vec<&RefillPacket> = ring.ring.output(stop).collect();
+        out.put_u64(queued.len() as u64);
+        for pkt in queued {
+            out.put_u64(pkt.tile as u64);
+            out.put_u32(pkt.line);
+        }
+    }
+    out.put_u64(ring.serving.len() as u64);
+    for &(ready, tile, line) in &ring.serving {
+        out.put_u64(ready);
+        out.put_u64(tile as u64);
+        out.put_u32(line);
+    }
+}
+
+fn load_ring(r: &mut ByteReader<'_>, ring: &mut RefillRing) -> Result<(), SnapshotError> {
+    let stops = ring.ring.stops();
+    let mut slots = Vec::with_capacity(stops);
+    for _ in 0..stops {
+        slots.push(if r.take_bool()? {
+            let dest = r.take_u64()? as usize;
+            if dest >= stops {
+                return Err(SnapshotError::Corrupt("ring destination"));
+            }
+            let tile = r.take_u64()? as usize;
+            let line = r.take_u32()?;
+            Some((dest, RefillPacket { tile, line }))
+        } else {
+            None
+        });
+    }
+    let mut outputs = Vec::with_capacity(stops);
+    for _ in 0..stops {
+        let n = r.take_u64()? as usize;
+        let mut queue = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tile = r.take_u64()? as usize;
+            let line = r.take_u32()?;
+            queue.push(RefillPacket { tile, line });
+        }
+        outputs.push(queue);
+    }
+    ring.ring.load(slots, outputs);
+    let ns = r.take_u64()? as usize;
+    ring.serving.clear();
+    for _ in 0..ns {
+        let ready = r.take_u64()?;
+        let tile = r.take_u64()? as usize;
+        let line = r.take_u32()?;
+        ring.serving.push_back((ready, tile, line));
+    }
+    Ok(())
+}
+
+fn put_fault_event(out: &mut dyn StateSink, event: &FaultEvent) {
+    match *event {
+        FaultEvent::BankFailed {
+            cycle,
+            tile,
+            bank,
+            substitute,
+        } => {
+            out.put_u8(0);
+            out.put_u64(cycle);
+            out.put_u32(tile);
+            out.put_u32(bank);
+            match substitute {
+                None => out.put_bool(false),
+                Some(s) => {
+                    out.put_bool(true);
+                    out.put_u32(s);
+                }
+            }
+        }
+        FaultEvent::RequestAbandoned {
+            cycle,
+            core,
+            addr,
+            retries,
+        } => {
+            out.put_u8(1);
+            out.put_u64(cycle);
+            out.put_u32(core);
+            out.put_u32(addr);
+            out.put_u32(retries);
+        }
+        FaultEvent::CoreLocked { cycle, core, until } => {
+            out.put_u8(2);
+            out.put_u64(cycle);
+            out.put_u32(core);
+            out.put_u64(until);
+        }
+    }
+}
+
+fn take_fault_event(r: &mut ByteReader<'_>) -> Result<FaultEvent, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => FaultEvent::BankFailed {
+            cycle: r.take_u64()?,
+            tile: r.take_u32()?,
+            bank: r.take_u32()?,
+            substitute: if r.take_bool()? { Some(r.take_u32()?) } else { None },
+        },
+        1 => FaultEvent::RequestAbandoned {
+            cycle: r.take_u64()?,
+            core: r.take_u32()?,
+            addr: r.take_u32()?,
+            retries: r.take_u32()?,
+        },
+        2 => FaultEvent::CoreLocked {
+            cycle: r.take_u64()?,
+            core: r.take_u32()?,
+            until: r.take_u64()?,
+        },
+        _ => return Err(SnapshotError::Corrupt("fault event kind")),
+    })
+}
+
+impl<C: CoreState> Cluster<C> {
+    fn encode_globals(&self, out: &mut dyn StateSink) {
+        out.put_u64(self.now);
+        out.put_u64(self.in_flight);
+        out.put_u64(self.next_failure as u64);
+        out.put_u64(self.last_progress);
+        out.put_u64(self.progress_mark);
+    }
+
+    fn encode_core(&self, i: usize, out: &mut dyn StateSink) {
+        self.cores[i].encode_state(out);
+        put_opt_req(out, &self.out_latches[i]);
+        out.put_u64(self.locked_until[i]);
+    }
+
+    fn encode_pending(&self, out: &mut dyn StateSink) {
+        out.put_u64(self.pending.len() as u64);
+        for (&(core, tag), p) in &self.pending {
+            out.put_u32(core);
+            out.put_u8(tag);
+            out.put_u32(p.addr);
+            put_kind(out, p.kind);
+            out.put_u64(p.issued_at);
+            out.put_u64(p.last_sent);
+            out.put_u32(p.retries);
+        }
+    }
+
+    fn encode_quarantine(&self, out: &mut dyn StateSink) {
+        let subst = self.quarantine.subst_table();
+        out.put_u64(subst.len() as u64);
+        for &s in subst {
+            out.put_u32(s);
+        }
+        for &d in self.quarantine.dead_flags() {
+            out.put_bool(d);
+        }
+    }
+
+    fn encode_fault_log(&self, out: &mut dyn StateSink) {
+        out.put_u64(self.fault_log.capacity() as u64);
+        out.put_u64(self.fault_log.dropped());
+        out.put_u64(self.fault_log.len() as u64);
+        for event in self.fault_log.events() {
+            put_fault_event(out, event);
+        }
+    }
+
+    fn encode_stats(&self, out: &mut dyn StateSink) {
+        let s = &self.stats;
+        out.put_u64(s.cycles);
+        out.put_u64(s.requests_issued);
+        out.put_u64(s.bank_accesses);
+        out.put_u64(s.responses_delivered);
+        out.put_u64(s.local_requests);
+        out.put_u64(s.remote_requests);
+        out.put_u64(s.group_local_requests);
+        for &d in &s.direction_requests {
+            out.put_u64(d);
+        }
+        s.latency.save_state(out);
+        out.put_u64(s.icache_refills);
+        out.put_u64(s.memory_faults);
+        out.put_u64(s.net_occupancy_sum);
+        out.put_u64(s.net_register_slots);
+        out.put_u64(s.tile_accesses.len() as u64);
+        for &t in &s.tile_accesses {
+            out.put_u64(t);
+        }
+        let f = &s.faults;
+        for v in [
+            f.bank_stalls,
+            f.banks_failed,
+            f.banks_quarantined,
+            f.quarantine_remaps,
+            f.requests_dropped,
+            f.link_stalls,
+            f.link_drops,
+            f.link_corruptions,
+            f.ring_stalls,
+            f.ring_drops,
+            f.core_lockups,
+            f.spurious_retires,
+            f.request_timeouts,
+            f.request_retries,
+            f.requests_abandoned,
+            f.stale_responses,
+        ] {
+            out.put_u64(v);
+        }
+    }
+
+    /// Streams the digested state section: every component in canonical
+    /// order.
+    fn encode_section_b(&self, out: &mut dyn StateSink) {
+        self.encode_globals(out);
+        for i in 0..self.cores.len() {
+            self.encode_core(i, out);
+        }
+        self.encode_pending(out);
+        for tile in &self.tiles {
+            save_tile(out, tile);
+        }
+        save_net(out, &self.net);
+        match &self.refill_ring {
+            None => out.put_bool(false),
+            Some(ring) => {
+                out.put_bool(true);
+                save_ring(out, ring);
+            }
+        }
+        self.encode_quarantine(out);
+        self.encode_fault_log(out);
+        self.encode_stats(out);
+    }
+
+    /// Streams the input section: fault-plan parameters and the scheduled
+    /// bank-failure list (snapshotted for resumption, excluded from the
+    /// state digest).
+    fn encode_section_a(&self, out: &mut dyn StateSink) {
+        match &self.faults {
+            None => out.put_bool(false),
+            Some(plan) => {
+                out.put_bool(true);
+                out.put_u64(plan.seed());
+                let spec = plan.spec();
+                out.put_u32(spec.bank_fail);
+                for p in [
+                    spec.bank_stall,
+                    spec.link_stall,
+                    spec.link_drop,
+                    spec.link_corrupt,
+                    spec.ring_stall,
+                    spec.ring_drop,
+                    spec.core_lockup,
+                    spec.spurious_retire,
+                ] {
+                    out.put_f64(p);
+                }
+            }
+        }
+        out.put_u64(self.pending_failures.len() as u64);
+        for f in &self.pending_failures {
+            out.put_u64(f.cycle);
+            out.put_u32(f.tile);
+            out.put_u32(f.bank);
+        }
+    }
+
+    /// The canonical FNV-1a digest over the cluster's complete dynamic
+    /// state: cores (registers, PCs, LSU queues), SPM banks, I-caches,
+    /// every interconnect register stage and arbiter pointer, the retry
+    /// layer, quarantine, fault log, and statistics.
+    ///
+    /// Two runs of the same program under the same seeds produce identical
+    /// digests at every cycle; the fault-plan *parameters* are excluded so
+    /// a faulted and a fault-free run compare meaningfully until the first
+    /// injected fault takes effect (see [`bisect_divergence`]).
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.encode_section_b(&mut h);
+        h.finish()
+    }
+
+    /// Per-component digests in canonical order — the per-tile /
+    /// per-structure view a [`DivergenceReport`] diffs.
+    pub fn component_digests(&self) -> Vec<(String, u64)> {
+        let digest_of = |enc: &dyn Fn(&mut dyn StateSink)| {
+            let mut h = Fnv::new();
+            enc(&mut h);
+            h.finish()
+        };
+        let mut components = Vec::with_capacity(self.cores.len() + self.tiles.len() + 6);
+        components.push(("globals".to_owned(), digest_of(&|out| self.encode_globals(out))));
+        for i in 0..self.cores.len() {
+            components.push((format!("core{i}"), digest_of(&|out| self.encode_core(i, out))));
+        }
+        components.push(("pending".to_owned(), digest_of(&|out| self.encode_pending(out))));
+        for (t, tile) in self.tiles.iter().enumerate() {
+            components.push((format!("tile{t}"), digest_of(&|out| save_tile(out, tile))));
+        }
+        components.push(("net".to_owned(), digest_of(&|out| save_net(out, &self.net))));
+        if let Some(ring) = &self.refill_ring {
+            components.push(("refill-ring".to_owned(), digest_of(&|out| save_ring(out, ring))));
+        }
+        components.push((
+            "quarantine".to_owned(),
+            digest_of(&|out| self.encode_quarantine(out)),
+        ));
+        components.push((
+            "fault-log".to_owned(),
+            digest_of(&|out| self.encode_fault_log(out)),
+        ));
+        components.push(("stats".to_owned(), digest_of(&|out| self.encode_stats(out))));
+        components
+    }
+
+    /// Captures a complete checkpoint of the cluster.
+    ///
+    /// The invariant the snapshot tests pin down: restoring this snapshot
+    /// into a same-configured cluster (same program loaded) and continuing
+    /// is cycle-for-cycle bit-identical to never having snapshotted.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let mut a = Vec::new();
+        self.encode_section_a(&mut a);
+        let mut b = Vec::new();
+        self.encode_section_b(&mut b);
+        let mut bytes = Vec::with_capacity(HEADER_LEN + a.len() + b.len());
+        bytes.put_u32(MAGIC);
+        bytes.put_u32(SNAPSHOT_VERSION);
+        bytes.put_u64(config_digest(&self.config));
+        bytes.put_u64(self.image.digest());
+        bytes.put_u64(fnv64(&b));
+        bytes.put_u64(self.now);
+        bytes.put_u64(fnv64(&a));
+        bytes.put_u64(a.len() as u64);
+        bytes.extend_from_slice(&a);
+        bytes.extend_from_slice(&b);
+        ClusterSnapshot { bytes }
+    }
+
+    /// Restores the cluster to the exact state captured in `snap`.
+    ///
+    /// The cluster must have been built with the same configuration and
+    /// have the same program loaded (both are digest-checked); everything
+    /// else — cores, memory, network, fault and retry state, statistics —
+    /// is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] / [`SnapshotError::ImageMismatch`]
+    /// when the snapshot belongs to a different cluster or program, and
+    /// decode errors when the image is inconsistent. On error the cluster
+    /// may be left partially restored; restore again (or discard it).
+    pub fn restore(&mut self, snap: &ClusterSnapshot) -> Result<(), SnapshotError> {
+        if snap.config_digest() != config_digest(&self.config) {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        if snap.image_digest() != self.image.digest() {
+            return Err(SnapshotError::ImageMismatch);
+        }
+
+        let mut ra = ByteReader::new(snap.section_a());
+        self.faults = if ra.take_bool()? {
+            let seed = ra.take_u64()?;
+            let spec = FaultSpec {
+                bank_fail: ra.take_u32()?,
+                bank_stall: ra.take_f64()?,
+                link_stall: ra.take_f64()?,
+                link_drop: ra.take_f64()?,
+                link_corrupt: ra.take_f64()?,
+                ring_stall: ra.take_f64()?,
+                ring_drop: ra.take_f64()?,
+                core_lockup: ra.take_f64()?,
+                spurious_retire: ra.take_f64()?,
+            };
+            Some(FaultPlan::new(seed, spec))
+        } else {
+            None
+        };
+        let nf = ra.take_u64()? as usize;
+        self.pending_failures.clear();
+        for _ in 0..nf {
+            self.pending_failures.push(BankFailure {
+                cycle: ra.take_u64()?,
+                tile: ra.take_u32()?,
+                bank: ra.take_u32()?,
+            });
+        }
+        if !ra.is_empty() {
+            return Err(SnapshotError::Corrupt("trailing input-section bytes"));
+        }
+
+        let r = &mut ByteReader::new(snap.section_b());
+        self.now = r.take_u64()?;
+        self.in_flight = r.take_u64()?;
+        self.next_failure = r.take_u64()? as usize;
+        self.last_progress = r.take_u64()?;
+        self.progress_mark = r.take_u64()?;
+        for i in 0..self.cores.len() {
+            self.cores[i].decode_state(r)?;
+            self.out_latches[i] = take_opt_req(r)?;
+            self.locked_until[i] = r.take_u64()?;
+        }
+        let np = r.take_u64()? as usize;
+        self.pending.clear();
+        for _ in 0..np {
+            let core = r.take_u32()?;
+            let tag = r.take_u8()?;
+            let p = PendingRequest {
+                addr: r.take_u32()?,
+                kind: take_kind(r)?,
+                issued_at: r.take_u64()?,
+                last_sent: r.take_u64()?,
+                retries: r.take_u32()?,
+            };
+            self.pending.insert((core, tag), p);
+        }
+        for tile in &mut self.tiles {
+            load_tile(r, tile)?;
+        }
+        load_net(r, &mut self.net)?;
+        let has_ring = r.take_bool()?;
+        match (&mut self.refill_ring, has_ring) {
+            (Some(ring), true) => load_ring(r, ring)?,
+            (None, false) => {}
+            _ => return Err(SnapshotError::Corrupt("refill transport kind")),
+        }
+        {
+            let ns = r.take_u64()? as usize;
+            if ns != self.quarantine.subst_table().len() {
+                return Err(SnapshotError::Corrupt("quarantine table size"));
+            }
+            let mut subst = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                subst.push(r.take_u32()?);
+            }
+            let mut dead = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                dead.push(r.take_bool()?);
+            }
+            self.quarantine.load(&subst, &dead);
+        }
+        {
+            let capacity = r.take_u64()? as usize;
+            let dropped = r.take_u64()?;
+            let n = r.take_u64()? as usize;
+            if n > capacity {
+                return Err(SnapshotError::Corrupt("fault log length"));
+            }
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(take_fault_event(r)?);
+            }
+            self.fault_log = FaultLog::from_parts(events, capacity, dropped);
+        }
+        {
+            let s = &mut self.stats;
+            s.cycles = r.take_u64()?;
+            s.requests_issued = r.take_u64()?;
+            s.bank_accesses = r.take_u64()?;
+            s.responses_delivered = r.take_u64()?;
+            s.local_requests = r.take_u64()?;
+            s.remote_requests = r.take_u64()?;
+            s.group_local_requests = r.take_u64()?;
+            for d in &mut s.direction_requests {
+                *d = r.take_u64()?;
+            }
+            s.latency.load_state(r)?;
+            s.icache_refills = r.take_u64()?;
+            s.memory_faults = r.take_u64()?;
+            s.net_occupancy_sum = r.take_u64()?;
+            s.net_register_slots = r.take_u64()?;
+            let nt = r.take_u64()? as usize;
+            if nt != s.tile_accesses.len() {
+                return Err(SnapshotError::Corrupt("tile access counter count"));
+            }
+            for t in &mut s.tile_accesses {
+                *t = r.take_u64()?;
+            }
+            let f = &mut s.faults;
+            for field in [
+                &mut f.bank_stalls,
+                &mut f.banks_failed,
+                &mut f.banks_quarantined,
+                &mut f.quarantine_remaps,
+                &mut f.requests_dropped,
+                &mut f.link_stalls,
+                &mut f.link_drops,
+                &mut f.link_corruptions,
+                &mut f.ring_stalls,
+                &mut f.ring_drops,
+                &mut f.core_lockups,
+                &mut f.spurious_retires,
+                &mut f.request_timeouts,
+                &mut f.request_retries,
+                &mut f.requests_abandoned,
+                &mut f.stale_responses,
+            ] {
+                *field = r.take_u64()?;
+            }
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt("trailing state-section bytes"));
+        }
+        // Transient per-cycle scratch (always drained within a cycle).
+        self.deliveries.clear();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence bisection.
+// ---------------------------------------------------------------------------
+
+/// One component whose digests disagree at the first divergent cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentDiff {
+    /// Component name (`core3`, `tile7`, `net`, `stats`, ...).
+    pub component: String,
+    /// Digest in the first cluster.
+    pub left: u64,
+    /// Digest in the second cluster.
+    pub right: u64,
+}
+
+/// The result of [`bisect_divergence`]: where and in what two runs first
+/// disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// First cycle at which the state digests differ.
+    pub cycle: u64,
+    /// The components (tiles, cores, structures) that differ at that cycle,
+    /// in canonical order.
+    pub components: Vec<ComponentDiff>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "first divergence at cycle {}:", self.cycle)?;
+        for c in &self.components {
+            write!(
+                f,
+                "\n  {}: {:#018x} vs {:#018x}",
+                c.component, c.left, c.right
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Binary-searches for the first cycle at which two clusters' state digests
+/// diverge, advancing both in lock-step.
+///
+/// The clusters must share a geometry (so their component lists line up);
+/// they may differ in fault plans — plan *parameters* are excluded from the
+/// digest precisely so a faulted run and a clean run agree until the first
+/// injected fault acts. Both clusters are left **at the divergent cycle**
+/// (or `max_cycles` further along when no divergence was found, returning
+/// `None`).
+///
+/// `stride` is the checkpoint interval of the forward scan: the search runs
+/// both clusters `stride` cycles at a time, and on the first mismatching
+/// window restores from the last agreeing checkpoint and bisects inside it.
+pub fn bisect_divergence<C: Core + CoreState>(
+    a: &mut Cluster<C>,
+    b: &mut Cluster<C>,
+    max_cycles: u64,
+    stride: u64,
+) -> Option<DivergenceReport> {
+    let stride = stride.max(1);
+    let diff = |a: &Cluster<C>, b: &Cluster<C>| -> Vec<ComponentDiff> {
+        a.component_digests()
+            .into_iter()
+            .zip(b.component_digests())
+            .filter(|((_, left), (_, right))| left != right)
+            .map(|((component, left), (_, right))| ComponentDiff {
+                component,
+                left,
+                right,
+            })
+            .collect()
+    };
+    if a.state_digest() != b.state_digest() {
+        return Some(DivergenceReport {
+            cycle: a.now(),
+            components: diff(a, b),
+        });
+    }
+    let mut remaining = max_cycles;
+    while remaining > 0 {
+        let chunk = stride.min(remaining);
+        let snap_a = a.snapshot();
+        let snap_b = b.snapshot();
+        let base = a.now();
+        a.step_cycles(chunk);
+        b.step_cycles(chunk);
+        if a.state_digest() == b.state_digest() {
+            remaining -= chunk;
+            continue;
+        }
+        // Diverged somewhere in (base, base + chunk]: bisect by restoring
+        // to the last agreeing checkpoint and replaying partial windows.
+        let (mut lo, mut hi) = (0u64, chunk);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            a.restore(&snap_a).expect("snapshot of this very cluster");
+            b.restore(&snap_b).expect("snapshot of this very cluster");
+            a.step_cycles(mid);
+            b.step_cycles(mid);
+            if a.state_digest() == b.state_digest() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        a.restore(&snap_a).expect("snapshot of this very cluster");
+        b.restore(&snap_b).expect("snapshot of this very cluster");
+        a.step_cycles(hi);
+        b.step_cycles(hi);
+        return Some(DivergenceReport {
+            cycle: base + hi,
+            components: diff(a, b),
+        });
+    }
+    None
+}

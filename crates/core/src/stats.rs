@@ -86,6 +86,48 @@ impl LatencyStats {
         Some(self.max)
     }
 
+    /// Serializes the distribution into `out` in the canonical checkpoint
+    /// encoding (also the digest encoding).
+    pub fn save_state(&self, out: &mut dyn crate::snapshot::StateSink) {
+        out.put_u64(self.count);
+        out.put_u64(self.sum);
+        out.put_u64(self.min);
+        out.put_u64(self.max);
+        out.put_u64(self.buckets.len() as u64);
+        for &b in &self.buckets {
+            out.put_u64(b);
+        }
+    }
+
+    /// Restores the distribution from its [`save_state`] encoding.
+    ///
+    /// [`save_state`]: LatencyStats::save_state
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](crate::snapshot::SnapshotError) when the
+    /// bytes are truncated or malformed.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::ByteReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.count = r.take_u64()?;
+        self.sum = r.take_u64()?;
+        self.min = r.take_u64()?;
+        self.max = r.take_u64()?;
+        let n = r.take_u64()? as usize;
+        if n != EXACT_BUCKETS + 1 {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "latency histogram bucket count",
+            ));
+        }
+        self.buckets.clear();
+        for _ in 0..n {
+            self.buckets.push(r.take_u64()?);
+        }
+        Ok(())
+    }
+
     /// Merges another distribution into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         if other.count == 0 {

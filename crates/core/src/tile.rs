@@ -55,19 +55,37 @@ impl ProgramImage {
         }
         self.instrs.get(((pc - self.base) / 4) as usize).copied()
     }
+
+    /// FNV-1a digest over the image's base address and decoded
+    /// instructions — lets a checkpoint verify it is restored against the
+    /// same program it was taken from.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(&self.base.to_le_bytes());
+        for instr in &self.instrs {
+            mix(format!("{instr:?}").as_bytes());
+        }
+        hash
+    }
 }
 
 #[derive(Debug, Clone)]
-struct RefillUnit {
+pub(crate) struct RefillUnit {
     /// Missing lines registered but not yet installed (the MSHRs).
-    pending: Vec<u32>,
+    pub(crate) pending: Vec<u32>,
     /// Misses waiting to enter the refill transport.
-    outbox: VecDeque<u32>,
+    pub(crate) outbox: VecDeque<u32>,
     /// Line in flight on the fixed-latency port and its completion cycle
     /// (unused when the cluster routes refills over the ring).
-    in_flight: Option<(u32, u64)>,
-    latency: u32,
-    refills: u64,
+    pub(crate) in_flight: Option<(u32, u64)>,
+    pub(crate) latency: u32,
+    pub(crate) refills: u64,
 }
 
 /// Per-bank fault gate consulted by the tile request crossbar each cycle.
@@ -92,15 +110,15 @@ pub(crate) struct Tile {
     /// Per-bank response register (the SPM output register).
     pub bank_resp: Vec<ElasticBuffer<Response>>,
     /// Tile request crossbar: (cores + K remote slaves) × banks.
-    req_fabric: Fabric,
+    pub(crate) req_fabric: Fabric,
     /// Tile response crossbar: banks × (cores + K remote ports).
-    resp_fabric: Fabric,
+    pub(crate) resp_fabric: Fabric,
     /// Inbound remote requests (wire latches at the K slave ports).
     pub slave_req: Vec<Option<Request>>,
     /// Outbound remote responses (wire latches at the K response ports).
     pub resp_out: Vec<Option<Response>>,
-    icache: ICache,
-    refill: RefillUnit,
+    pub(crate) icache: ICache,
+    pub(crate) refill: RefillUnit,
     cores_per_tile: usize,
 }
 

@@ -387,6 +387,30 @@ impl QuarantineMap {
         }
     }
 
+    /// The substitution table, indexed `tile * banks_per_tile + bank`
+    /// (checkpointing).
+    pub fn subst_table(&self) -> &[u32] {
+        &self.subst
+    }
+
+    /// The per-bank dead flags, same indexing as
+    /// [`subst_table`](QuarantineMap::subst_table) (checkpointing).
+    pub fn dead_flags(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Restores the full quarantine state. The geometry is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length disagrees with the bank count.
+    pub fn load(&mut self, subst: &[u32], dead: &[bool]) {
+        assert_eq!(subst.len(), self.subst.len(), "subst table size mismatch");
+        assert_eq!(dead.len(), self.dead.len(), "dead flag count mismatch");
+        self.subst.copy_from_slice(subst);
+        self.dead.copy_from_slice(dead);
+    }
+
     /// Whether no bank has been quarantined (remap is the identity).
     pub fn is_identity(&self) -> bool {
         !self.dead.iter().any(|&d| d)

@@ -171,6 +171,43 @@ impl ICache {
             }
         }
     }
+
+    /// The LRU tick counter (checkpointing).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Every way as `(tag, valid, lru)`, flattened set-major then way order
+    /// (checkpointing).
+    pub fn ways(&self) -> impl Iterator<Item = (u32, bool, u64)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|w| (w.tag, w.valid, w.lru)))
+    }
+
+    /// Restores the full cache state from [`ways`](ICache::ways)-shaped
+    /// data plus the tick counter and statistics. The geometry is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator's length disagrees with the way count.
+    pub fn load(
+        &mut self,
+        ways: impl IntoIterator<Item = (u32, bool, u64)>,
+        tick: u64,
+        stats: CacheStats,
+    ) {
+        let mut it = ways.into_iter();
+        for set in &mut self.sets {
+            for way in set {
+                let (tag, valid, lru) = it.next().expect("too few ways in checkpoint");
+                *way = Way { tag, valid, lru };
+            }
+        }
+        assert!(it.next().is_none(), "too many ways in checkpoint");
+        self.tick = tick;
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

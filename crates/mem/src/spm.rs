@@ -171,6 +171,30 @@ impl SpmBank {
         Ok(response)
     }
 
+    /// All rows as a word slice (checkpointing and digests).
+    pub fn words(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Active LR reservations as `(hart, row)` pairs, in age order
+    /// (checkpointing).
+    pub fn reservations(&self) -> &[(u32, u32)] {
+        &self.reservations
+    }
+
+    /// Restores the full bank state: row contents and reservations. The row
+    /// count is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` disagrees with the bank's row count.
+    pub fn load(&mut self, words: &[u32], reservations: &[(u32, u32)]) {
+        assert_eq!(words.len(), self.rows.len(), "row count mismatch");
+        self.rows.copy_from_slice(words);
+        self.reservations.clear();
+        self.reservations.extend_from_slice(reservations);
+    }
+
     /// Drops all reservations on `row` except the optional `keep` hart.
     fn invalidate(&mut self, row: u32, keep: Option<u32>) {
         self.reservations

@@ -75,6 +75,21 @@ impl RoundRobin {
         self.advance_past(winner);
         Some(winner)
     }
+
+    /// The current highest-priority line (checkpointing).
+    pub fn pointer(&self) -> usize {
+        self.pointer
+    }
+
+    /// Restores a previously saved pointer position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointer` is out of range.
+    pub fn set_pointer(&mut self, pointer: usize) {
+        assert!(pointer < self.n, "pointer {pointer} out of range");
+        self.pointer = pointer;
+    }
 }
 
 #[cfg(test)]

@@ -148,6 +148,35 @@ impl<T> ElasticBuffer<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.stored.iter()
     }
+
+    /// Iterates over the staged (pushed-but-uncommitted) items, oldest
+    /// first (checkpointing).
+    pub fn iter_arrivals(&self) -> impl Iterator<Item = &T> {
+        self.arrivals.iter()
+    }
+
+    /// Restores the full buffer state from a checkpoint: stored items,
+    /// staged arrivals, and the stall gate. The capacity is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined item count exceeds the capacity.
+    pub fn load(
+        &mut self,
+        stored: impl IntoIterator<Item = T>,
+        arrivals: impl IntoIterator<Item = T>,
+        stalled: bool,
+    ) {
+        self.stored.clear();
+        self.stored.extend(stored);
+        self.arrivals.clear();
+        self.arrivals.extend(arrivals);
+        assert!(
+            self.stored.len() + self.arrivals.len() <= self.capacity,
+            "loaded state exceeds buffer capacity"
+        );
+        self.stalled = stalled;
+    }
 }
 
 #[cfg(test)]

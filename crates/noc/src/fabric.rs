@@ -335,6 +335,33 @@ impl Fabric {
         }
         alive
     }
+
+    /// The round-robin pointer of every arbiter, flattened layer-by-layer
+    /// then output-port order (checkpointing).
+    pub fn arbiter_pointers(&self) -> Vec<usize> {
+        self.arbiters
+            .iter()
+            .flat_map(|layer| layer.iter().map(RoundRobin::pointer))
+            .collect()
+    }
+
+    /// Restores all arbiter pointers from
+    /// [`arbiter_pointers`](Fabric::arbiter_pointers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length disagrees with the arbiter count or any
+    /// pointer is out of range.
+    pub fn set_arbiter_pointers(&mut self, pointers: &[usize]) {
+        let total: usize = self.arbiters.iter().map(Vec::len).sum();
+        assert_eq!(pointers.len(), total, "arbiter pointer count mismatch");
+        let mut it = pointers.iter();
+        for layer in &mut self.arbiters {
+            for arb in layer {
+                arb.set_pointer(*it.next().expect("length checked"));
+            }
+        }
+    }
 }
 
 /// Validates butterfly geometry and returns the layer count `log_radix(ports)`.

@@ -120,6 +120,55 @@ impl<T> Ring<T> {
     pub fn pending(&self, stop: usize) -> usize {
         self.outputs[stop].len()
     }
+
+    /// The packet on each outgoing link as `(dest, payload)`, one entry per
+    /// stop (checkpointing).
+    pub fn slots(&self) -> impl Iterator<Item = Option<(usize, &T)>> {
+        self.slots
+            .iter()
+            .map(|s| s.as_ref().map(|f| (f.dest, &f.payload)))
+    }
+
+    /// The ejected-but-unconsumed packets at `stop`, oldest first
+    /// (checkpointing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop` is out of range.
+    pub fn output(&self, stop: usize) -> impl Iterator<Item = &T> {
+        self.outputs[stop].iter()
+    }
+
+    /// Restores the ring from a checkpoint: one optional `(dest, payload)`
+    /// per link slot and the ejection queue of every stop. The stop count is
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either iterator's length disagrees with the stop count or a
+    /// destination is out of range.
+    pub fn load(
+        &mut self,
+        slots: impl IntoIterator<Item = Option<(usize, T)>>,
+        outputs: impl IntoIterator<Item = Vec<T>>,
+    ) {
+        let stops = self.stops();
+        let slots: Vec<Option<Flit<T>>> = slots
+            .into_iter()
+            .map(|s| {
+                s.map(|(dest, payload)| {
+                    assert!(dest < stops, "dest out of range");
+                    Flit { dest, payload }
+                })
+            })
+            .collect();
+        assert_eq!(slots.len(), stops, "slot count mismatch");
+        let outputs: Vec<VecDeque<T>> =
+            outputs.into_iter().map(VecDeque::from).collect();
+        assert_eq!(outputs.len(), stops, "output count mismatch");
+        self.slots = slots;
+        self.outputs = outputs;
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,16 @@ pub struct StdRng {
 
 const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
+impl StdRng {
+    /// The raw generator state (checkpointing). Feeding it back through
+    /// [`SeedableRng::seed_from_u64`] reproduces the exact stream position,
+    /// because seeding stores the value verbatim.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
 /// The splitmix64 finalizer: bijective, avalanching mix of a 64-bit word.
 #[inline]
 #[must_use]

@@ -131,6 +131,45 @@ struct LsuSlot {
     byte_offset: u32,
 }
 
+/// One in-flight LSU slot in a [`SnitchState`] image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsuSlotState {
+    /// Destination register awaiting the response, if any.
+    pub dest: Option<Reg>,
+    /// The load operation whose sub-word extraction applies on delivery
+    /// (`None` for AMO / SC results, delivered verbatim).
+    pub load: Option<LoadOp>,
+    /// Byte offset within the word for sub-word loads.
+    pub byte_offset: u32,
+}
+
+/// A plain-data image of a core's complete dynamic state, for
+/// checkpoint/restore. Static configuration and the (diagnostic) retirement
+/// trace are not part of the image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnitchState {
+    /// Program counter.
+    pub pc: u32,
+    /// Architectural register file.
+    pub regs: [u32; 32],
+    /// Scoreboard bitmask of registers with outstanding load results.
+    pub scoreboard: u32,
+    /// LSU slots, one per outstanding tag (`None` = free).
+    pub lsu: Vec<Option<LsuSlotState>>,
+    /// Whether the core has halted.
+    pub halted: bool,
+    /// Whether the core halted on a fault.
+    pub faulted: bool,
+    /// Remaining divider / branch-bubble busy cycles.
+    pub exec_busy: u32,
+    /// Whether a `fence` is draining the LSU.
+    pub fencing: bool,
+    /// The `mscratch` CSR.
+    pub mscratch: u32,
+    /// Retirement and stall counters.
+    pub stats: CoreStats,
+}
+
 /// A cycle-accurate Snitch core (RV32IMA).
 ///
 /// The core is externally clocked: the cluster delivers completed memory
@@ -303,6 +342,67 @@ impl SnitchCore {
     /// Retirement/stall counters.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Captures the core's complete dynamic state (checkpointing).
+    pub fn save_state(&self) -> SnitchState {
+        SnitchState {
+            pc: self.pc,
+            regs: self.regs,
+            scoreboard: self.scoreboard,
+            lsu: self
+                .lsu
+                .iter()
+                .map(|slot| {
+                    slot.map(|s| LsuSlotState {
+                        dest: s.dest,
+                        load: s.load,
+                        byte_offset: s.byte_offset,
+                    })
+                })
+                .collect(),
+            halted: self.halted,
+            faulted: self.faulted,
+            exec_busy: self.exec_busy,
+            fencing: self.fencing,
+            mscratch: self.mscratch,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a state image captured by [`save_state`](SnitchCore::save_state)
+    /// onto a core with the same configuration. The retirement trace (a
+    /// diagnostic channel) is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's LSU depth disagrees with this core's
+    /// `outstanding` configuration.
+    pub fn restore_state(&mut self, state: &SnitchState) {
+        assert_eq!(
+            state.lsu.len(),
+            self.lsu.len(),
+            "LSU depth mismatch: state {} vs core {}",
+            state.lsu.len(),
+            self.lsu.len()
+        );
+        self.pc = state.pc;
+        self.regs = state.regs;
+        self.scoreboard = state.scoreboard;
+        for (slot, s) in self.lsu.iter_mut().zip(&state.lsu) {
+            *slot = s.map(|s| LsuSlot {
+                dest: s.dest,
+                load: s.load,
+                byte_offset: s.byte_offset,
+            });
+        }
+        self.lsu_in_flight = self.lsu.iter().filter(|s| s.is_some()).count();
+        self.halted = state.halted;
+        self.faulted = state.faulted;
+        self.exec_busy = state.exec_busy;
+        self.fencing = state.fencing;
+        self.mscratch = state.mscratch;
+        self.stats = state.stats;
     }
 
     /// Delivers a completed memory response (call before

@@ -34,5 +34,7 @@ mod core;
 mod port;
 
 pub use crate::core::semantics;
-pub use crate::core::{CoreStats, SnitchConfig, SnitchCore, StallCause, TraceEntry};
+pub use crate::core::{
+    CoreStats, LsuSlotState, SnitchConfig, SnitchCore, SnitchState, StallCause, TraceEntry,
+};
 pub use port::{DataRequest, DataRequestKind, DataResponse, Fetch};

@@ -10,9 +10,14 @@
 //! `base_seed + trial index`, so a campaign line is replayable.
 
 use crate::{AddressSpace, Pattern, TrafficGen, Windows};
+use mempool::snapshot::fnv64;
 use mempool::{
-    Cluster, ClusterConfig, FaultPlan, FaultSpec, FaultStats, SimError, ValidateConfigError,
+    Cluster, ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, FaultStats, SimError,
+    ValidateConfigError,
 };
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
 
 /// Parameters of one fault-injection campaign.
 #[derive(Debug, Clone, Copy)]
@@ -140,18 +145,22 @@ impl CampaignReport {
     }
 }
 
-/// Runs one fault-injection trial: a traffic-driven cluster with the fault
-/// plan `FaultPlan::new(seed, spec)` installed, warmed up, measured, and
-/// drained.
+/// Builds the traffic-driven cluster one campaign trial runs: Poisson
+/// generators at the campaign's load and pattern on every core, the
+/// standard resilience layer, and `FaultPlan::new(seed, spec)` installed.
+///
+/// Exposed so checkpoint tooling and tests can reconstruct a trial's exact
+/// starting state (e.g. to restore a snapshot into it, or to bisect a
+/// divergent trial).
 ///
 /// # Errors
 ///
 /// Propagates configuration validation errors.
-pub fn run_trial(
+pub fn trial_cluster(
     mut config: ClusterConfig,
     campaign: &CampaignConfig,
     seed: u64,
-) -> Result<Trial, ValidateConfigError> {
+) -> Result<Cluster<TrafficGen>, ValidateConfigError> {
     // Campaigns need the resilience layer: without retries a single dropped
     // flit is a guaranteed hang, and without the watchdog a deadlock burns
     // the whole drain budget.
@@ -187,7 +196,22 @@ pub fn run_trial(
         )
     })?;
     cluster.set_fault_plan(Some(FaultPlan::new(seed, campaign.spec)));
+    Ok(cluster)
+}
 
+/// Runs one fault-injection trial: a traffic-driven cluster with the fault
+/// plan `FaultPlan::new(seed, spec)` installed, warmed up, measured, and
+/// drained.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn run_trial(
+    config: ClusterConfig,
+    campaign: &CampaignConfig,
+    seed: u64,
+) -> Result<Trial, ValidateConfigError> {
+    let mut cluster = trial_cluster(config, campaign, seed)?;
     cluster.step_cycles(campaign.windows.warmup + campaign.windows.measure);
     for gen in cluster.cores_mut() {
         gen.stop();
@@ -226,6 +250,462 @@ pub fn run_campaign(
     Ok(CampaignReport {
         spec: campaign.spec,
         trials,
+    })
+}
+
+/// Error raised by the resumable campaign runner.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The cluster configuration failed validation.
+    Config(ValidateConfigError),
+    /// A manifest or checkpoint file could not be read or written.
+    Io(io::Error),
+    /// The manifest belongs to a different campaign (config, spec, windows,
+    /// load, pattern, or seeds differ).
+    ManifestMismatch,
+    /// The manifest is structurally invalid beyond a truncated final line.
+    ManifestCorrupt(&'static str),
+    /// The trial checkpoint does not belong to the trial being resumed.
+    CheckpointMismatch,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
+            CampaignError::Io(e) => write!(f, "campaign i/o error: {e}"),
+            CampaignError::ManifestMismatch => {
+                write!(f, "manifest belongs to a different campaign")
+            }
+            CampaignError::ManifestCorrupt(what) => write!(f, "corrupt manifest: {what}"),
+            CampaignError::CheckpointMismatch => {
+                write!(f, "checkpoint belongs to a different trial")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ValidateConfigError> for CampaignError {
+    fn from(e: ValidateConfigError) -> Self {
+        CampaignError::Config(e)
+    }
+}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Which window of a trial a checkpoint was taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialPhase {
+    /// Warmup or measurement: generators still producing traffic.
+    Generate,
+    /// Drain: generators stopped, outstanding traffic flushing out.
+    Drain {
+        /// Cycle at which the drain window began.
+        drain_start: u64,
+    },
+}
+
+/// A mid-trial checkpoint: the trial's seed and phase plus a full cluster
+/// snapshot, written atomically so a kill mid-trial loses at most one
+/// checkpoint interval of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialCheckpoint {
+    /// The seed of the trial being checkpointed.
+    pub seed: u64,
+    /// Which trial window the snapshot was taken in.
+    pub phase: TrialPhase,
+    /// The cluster state at the checkpoint.
+    pub snapshot: ClusterSnapshot,
+}
+
+/// Trial checkpoint file magic: `"MPCK"` little-endian.
+const CKPT_MAGIC: u32 = 0x4d50_434b;
+
+impl TrialCheckpoint {
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O error.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        match self.phase {
+            TrialPhase::Generate => {
+                bytes.push(0);
+                bytes.extend_from_slice(&0u64.to_le_bytes());
+            }
+            TrialPhase::Drain { drain_start } => {
+                bytes.push(1);
+                bytes.extend_from_slice(&drain_start.to_le_bytes());
+            }
+        }
+        bytes.extend_from_slice(self.snapshot.as_bytes());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and validates a checkpoint from `path` (the embedded snapshot
+    /// is digest-checked).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; invalid contents map to [`io::ErrorKind::InvalidData`].
+    pub fn read_file(path: &Path) -> io::Result<TrialCheckpoint> {
+        let bytes = std::fs::read(path)?;
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+        if bytes.len() < 21 {
+            return Err(bad("truncated trial checkpoint"));
+        }
+        if u32::from_le_bytes(bytes[0..4].try_into().expect("length 4")) != CKPT_MAGIC {
+            return Err(bad("not a trial checkpoint (bad magic)"));
+        }
+        let seed = u64::from_le_bytes(bytes[4..12].try_into().expect("length 8"));
+        let drain_start = u64::from_le_bytes(bytes[13..21].try_into().expect("length 8"));
+        let phase = match bytes[12] {
+            0 => TrialPhase::Generate,
+            1 => TrialPhase::Drain { drain_start },
+            _ => return Err(bad("unknown trial phase")),
+        };
+        let snapshot = ClusterSnapshot::from_bytes(&bytes[21..])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(TrialCheckpoint {
+            seed,
+            phase,
+            snapshot,
+        })
+    }
+}
+
+/// Runs one trial with periodic checkpoints every `every` cycles, resuming
+/// from `checkpoint` when a valid one for this `seed` is already on disk.
+/// The checkpoint file is deleted once the trial completes, so a file left
+/// behind always marks an interrupted trial. The result is bit-identical to
+/// [`run_trial`] regardless of where (or whether) the trial was interrupted.
+///
+/// `every == 0` disables mid-trial checkpointing (the file is still
+/// consumed if present from an earlier interrupted run).
+///
+/// # Errors
+///
+/// Configuration and I/O errors, and [`CampaignError::CheckpointMismatch`]
+/// when the on-disk checkpoint belongs to a different trial.
+pub fn run_trial_checkpointed(
+    config: ClusterConfig,
+    campaign: &CampaignConfig,
+    seed: u64,
+    checkpoint: &Path,
+    every: u64,
+) -> Result<Trial, CampaignError> {
+    let mut cluster = trial_cluster(config, campaign, seed)?;
+    let mut phase = TrialPhase::Generate;
+    if checkpoint.exists() {
+        let ckpt = TrialCheckpoint::read_file(checkpoint)?;
+        if ckpt.seed != seed {
+            return Err(CampaignError::CheckpointMismatch);
+        }
+        cluster
+            .restore(&ckpt.snapshot)
+            .map_err(|_| CampaignError::CheckpointMismatch)?;
+        phase = ckpt.phase;
+    }
+
+    let save = |cluster: &Cluster<TrafficGen>, phase: TrialPhase| -> Result<(), CampaignError> {
+        if every > 0 {
+            TrialCheckpoint {
+                seed,
+                phase,
+                snapshot: cluster.snapshot(),
+            }
+            .write_file(checkpoint)?;
+        }
+        Ok(())
+    };
+
+    let gen_end = campaign.windows.warmup + campaign.windows.measure;
+    if phase == TrialPhase::Generate {
+        while cluster.now() < gen_end {
+            let chunk = match every {
+                0 => gen_end - cluster.now(),
+                n => n.min(gen_end - cluster.now()),
+            };
+            cluster.step_cycles(chunk);
+            if cluster.now() < gen_end {
+                save(&cluster, TrialPhase::Generate)?;
+            }
+        }
+        for gen in cluster.cores_mut() {
+            gen.stop();
+        }
+        phase = TrialPhase::Drain {
+            drain_start: cluster.now(),
+        };
+        save(&cluster, phase)?;
+    }
+
+    let TrialPhase::Drain { drain_start } = phase else {
+        unreachable!("generate phase always transitions to drain");
+    };
+    let outcome = loop {
+        let spent = cluster.now() - drain_start;
+        if spent >= campaign.windows.drain {
+            break TrialOutcome::Timeout;
+        }
+        let remaining = campaign.windows.drain - spent;
+        let chunk = match every {
+            0 => remaining,
+            n => n.min(remaining),
+        };
+        match cluster.run(chunk) {
+            Ok(_) => {
+                break TrialOutcome::Completed {
+                    drain_cycles: cluster.now() - drain_start,
+                }
+            }
+            Err(SimError::Deadlock(d)) => break TrialOutcome::Deadlock { cycle: d.cycle },
+            Err(SimError::Timeout(_)) if chunk < remaining => {
+                // Only the checkpoint chunk expired, not the drain budget.
+                save(&cluster, phase)?;
+            }
+            Err(SimError::Timeout(_)) => break TrialOutcome::Timeout,
+        }
+    };
+    let trial = Trial {
+        seed,
+        outcome,
+        faults: cluster.stats().faults,
+        quarantined_banks: cluster.quarantined_banks(),
+        delivered: cluster.stats().responses_delivered,
+    };
+    if checkpoint.exists() {
+        std::fs::remove_file(checkpoint)?;
+    }
+    Ok(trial)
+}
+
+/// Progress of a resumable campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignProgress {
+    /// The (complete) campaign report, trials in seed order.
+    pub report: CampaignReport,
+    /// Trials recovered from the manifest rather than re-run.
+    pub resumed_trials: u32,
+    /// Trials executed by this invocation.
+    pub new_trials: u32,
+}
+
+const MANIFEST_HEADER: &str = "mempool-campaign-manifest v1";
+
+/// Digest identifying a campaign: configuration plus every campaign
+/// parameter, so a manifest is only ever resumed against the exact campaign
+/// that produced it.
+fn campaign_digest(config: &ClusterConfig, campaign: &CampaignConfig) -> u64 {
+    fnv64(format!("{config:?}|{campaign:?}").as_bytes())
+}
+
+fn format_trial_line(trial: &Trial) -> String {
+    let (kind, value) = match trial.outcome {
+        TrialOutcome::Completed { drain_cycles } => ("completed", drain_cycles),
+        TrialOutcome::Deadlock { cycle } => ("deadlock", cycle),
+        TrialOutcome::Timeout => ("timeout", 0),
+    };
+    let f = &trial.faults;
+    format!(
+        "trial {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        trial.seed,
+        kind,
+        value,
+        f.bank_stalls,
+        f.banks_failed,
+        f.banks_quarantined,
+        f.quarantine_remaps,
+        f.requests_dropped,
+        f.link_stalls,
+        f.link_drops,
+        f.link_corruptions,
+        f.ring_stalls,
+        f.ring_drops,
+        f.core_lockups,
+        f.spurious_retires,
+        f.request_timeouts,
+        f.request_retries,
+        f.requests_abandoned,
+        f.stale_responses,
+        trial.quarantined_banks,
+        trial.delivered,
+    )
+}
+
+/// Parses one manifest trial line; `None` means the line is unusable (e.g.
+/// the tail of a write cut short by a kill) and parsing should stop there.
+fn parse_trial_line(line: &str) -> Option<Trial> {
+    let mut it = line.split_whitespace();
+    if it.next()? != "trial" {
+        return None;
+    }
+    let seed = it.next()?.parse().ok()?;
+    let kind = it.next()?;
+    let value: u64 = it.next()?.parse().ok()?;
+    let outcome = match kind {
+        "completed" => TrialOutcome::Completed {
+            drain_cycles: value,
+        },
+        "deadlock" => TrialOutcome::Deadlock { cycle: value },
+        "timeout" => TrialOutcome::Timeout,
+        _ => return None,
+    };
+    let mut counters = [0u64; 18];
+    for c in &mut counters {
+        *c = it.next()?.parse().ok()?;
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(Trial {
+        seed,
+        outcome,
+        faults: FaultStats {
+            bank_stalls: counters[0],
+            banks_failed: counters[1],
+            banks_quarantined: counters[2],
+            quarantine_remaps: counters[3],
+            requests_dropped: counters[4],
+            link_stalls: counters[5],
+            link_drops: counters[6],
+            link_corruptions: counters[7],
+            ring_stalls: counters[8],
+            ring_drops: counters[9],
+            core_lockups: counters[10],
+            spurious_retires: counters[11],
+            request_timeouts: counters[12],
+            request_retries: counters[13],
+            requests_abandoned: counters[14],
+            stale_responses: counters[15],
+        },
+        quarantined_banks: counters[16] as usize,
+        delivered: counters[17],
+    })
+}
+
+/// Reads completed trials back from a manifest. A final line cut short by a
+/// kill is dropped (that trial simply re-runs); anything else malformed is
+/// an error.
+fn read_manifest(
+    path: &Path,
+    digest: u64,
+    campaign: &CampaignConfig,
+) -> Result<Vec<Trial>, CampaignError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(CampaignError::ManifestCorrupt("missing header"));
+    }
+    let Some(digest_line) = lines.next() else {
+        return Err(CampaignError::ManifestCorrupt("missing campaign digest"));
+    };
+    if digest_line.strip_prefix("campaign ") != Some(format!("{digest:016x}").as_str()) {
+        return Err(CampaignError::ManifestMismatch);
+    }
+    let mut trials = Vec::new();
+    let mut lines = lines.peekable();
+    while let Some(line) = lines.next() {
+        match parse_trial_line(line) {
+            Some(trial) => trials.push(trial),
+            // Tolerate exactly a truncated *final* line.
+            None if lines.peek().is_none() => break,
+            None => return Err(CampaignError::ManifestCorrupt("malformed trial line")),
+        }
+    }
+    if trials.len() > campaign.trials as usize {
+        return Err(CampaignError::ManifestMismatch);
+    }
+    for (i, trial) in trials.iter().enumerate() {
+        if trial.seed != campaign.base_seed + i as u64 {
+            return Err(CampaignError::ManifestMismatch);
+        }
+    }
+    Ok(trials)
+}
+
+/// Runs a campaign resumably: completed trials are recorded in a text
+/// manifest at `manifest` (one line per trial, flushed as each trial ends),
+/// and the in-progress trial checkpoints to `<manifest>.ckpt` every
+/// `checkpoint_every` cycles. Re-invoking after a kill — even a `SIGKILL`
+/// mid-trial — skips the recorded trials, resumes the interrupted one from
+/// its checkpoint, and produces the identical [`CampaignReport`] an
+/// uninterrupted [`run_campaign`] would have.
+///
+/// `max_new_trials` caps how many trials this invocation executes (useful
+/// for time-boxed batches); `None` runs to campaign completion. The
+/// returned [`CampaignProgress::report`] contains only the trials recorded
+/// so far.
+///
+/// # Errors
+///
+/// Configuration and I/O errors; [`CampaignError::ManifestMismatch`] when
+/// the manifest on disk belongs to a different campaign.
+pub fn run_campaign_resumable(
+    config: ClusterConfig,
+    campaign: &CampaignConfig,
+    manifest: &Path,
+    checkpoint_every: u64,
+    max_new_trials: Option<u32>,
+) -> Result<CampaignProgress, CampaignError> {
+    let digest = campaign_digest(&config, campaign);
+    let mut trials = if manifest.exists() {
+        read_manifest(manifest, digest, campaign)?
+    } else {
+        Vec::new()
+    };
+    let resumed = trials.len() as u32;
+
+    // Rewrite the manifest from the parsed trials (atomically) so a final
+    // line truncated by a kill never collides with the next append.
+    let mut content = format!("{MANIFEST_HEADER}\ncampaign {digest:016x}\n");
+    for trial in &trials {
+        content.push_str(&format_trial_line(trial));
+        content.push('\n');
+    }
+    let mut tmp = manifest.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &content)?;
+    std::fs::rename(&tmp, manifest)?;
+
+    let mut ckpt = manifest.as_os_str().to_owned();
+    ckpt.push(".ckpt");
+    let ckpt = std::path::PathBuf::from(ckpt);
+
+    let mut file = std::fs::OpenOptions::new().append(true).open(manifest)?;
+    let mut new_trials = 0u32;
+    while trials.len() < campaign.trials as usize {
+        if max_new_trials.is_some_and(|cap| new_trials >= cap) {
+            break;
+        }
+        let seed = campaign.base_seed + trials.len() as u64;
+        let trial = run_trial_checkpointed(config, campaign, seed, &ckpt, checkpoint_every)?;
+        writeln!(file, "{}", format_trial_line(&trial))?;
+        file.sync_all()?;
+        trials.push(trial);
+        new_trials += 1;
+    }
+    Ok(CampaignProgress {
+        report: CampaignReport {
+            spec: campaign.spec,
+            trials,
+        },
+        resumed_trials: resumed,
+        new_trials,
     })
 }
 

@@ -243,6 +243,75 @@ impl TrafficGen {
     }
 }
 
+impl mempool::CoreState for TrafficGen {
+    fn encode_state(&self, out: &mut dyn mempool::StateSink) {
+        out.put_u64(self.rng.state());
+        out.put_u64(self.queue.len() as u64);
+        for &(cycle, addr) in &self.queue {
+            out.put_u64(cycle);
+            out.put_u32(addr);
+        }
+        out.put_u64(self.tags.len() as u64);
+        for tag in &self.tags {
+            match tag {
+                None => out.put_bool(false),
+                Some(gen_time) => {
+                    out.put_bool(true);
+                    out.put_u64(*gen_time);
+                }
+            }
+        }
+        out.put_u64(self.in_flight as u64);
+        out.put_u64(self.clock);
+        match self.measure_from {
+            None => out.put_bool(false),
+            Some(from) => {
+                out.put_bool(true);
+                out.put_u64(from);
+            }
+        }
+        out.put_bool(self.stopped);
+        out.put_u64(self.stats.generated);
+        out.put_u64(self.stats.injected);
+        out.put_u64(self.stats.completed);
+        self.stats.latency.save_state(out);
+    }
+
+    fn decode_state(
+        &mut self,
+        r: &mut mempool::ByteReader<'_>,
+    ) -> Result<(), mempool::SnapshotError> {
+        use mempool::SnapshotError;
+        self.rng = StdRng::seed_from_u64(r.take_u64()?);
+        let nq = r.take_u64()? as usize;
+        self.queue.clear();
+        for _ in 0..nq {
+            let cycle = r.take_u64()?;
+            let addr = r.take_u32()?;
+            self.queue.push_back((cycle, addr));
+        }
+        let nt = r.take_u64()? as usize;
+        if nt != self.tags.len() {
+            return Err(SnapshotError::Corrupt("outstanding tag count"));
+        }
+        for tag in &mut self.tags {
+            *tag = if r.take_bool()? { Some(r.take_u64()?) } else { None };
+        }
+        self.in_flight = r.take_u64()? as usize;
+        if self.in_flight != self.tags.iter().filter(|t| t.is_some()).count() {
+            return Err(SnapshotError::Corrupt("in-flight count"));
+        }
+        self.clock = r.take_u64()?;
+        self.measure_from = if r.take_bool()? { Some(r.take_u64()?) } else { None };
+        self.stopped = r.take_bool()?;
+        self.stats.generated = r.take_u64()?;
+        self.stats.injected = r.take_u64()?;
+        self.stats.completed = r.take_u64()?;
+        self.stats.latency.load_state(r)?;
+        Ok(())
+    }
+}
+
 impl Core for TrafficGen {
     fn deliver(&mut self, response: DataResponse) {
         let gen_time = self.tags[response.tag as usize]

@@ -30,7 +30,9 @@ mod gen;
 mod replay;
 
 pub use campaign::{
-    run_campaign, run_trial, CampaignConfig, CampaignReport, Trial, TrialOutcome,
+    run_campaign, run_campaign_resumable, run_trial, run_trial_checkpointed, trial_cluster,
+    CampaignConfig, CampaignError, CampaignProgress, CampaignReport, Trial, TrialCheckpoint,
+    TrialOutcome, TrialPhase,
 };
 pub use experiment::{md1_latency, run_point, run_sweep, saturation_throughput, SweepPoint, Windows};
 pub use gen::{AddressSpace, GenStats, Pattern, Permutation, TrafficGen};

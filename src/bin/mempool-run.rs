@@ -7,10 +7,16 @@
 //! $ mempool-run --no-scramble --dump-mem 0x40000:8 prog.s
 //! ```
 
-use mempool::{Cluster, ClusterConfig, FaultPlan, FaultSpec, ResilienceConfig, Topology};
+use mempool::{
+    Cluster, ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, ResilienceConfig, SimError,
+    Topology,
+};
 use mempool_riscv::{assemble, Reg};
+use std::fmt;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Options {
     topology: Topology,
     small: bool,
@@ -25,6 +31,10 @@ struct Options {
     describe: bool,
     faults: Option<FaultSpec>,
     seed: u64,
+    checkpoint_every: u64,
+    checkpoint_file: Option<String>,
+    resume: Option<String>,
+    json: bool,
     path: String,
 }
 
@@ -45,9 +55,56 @@ options:
   --faults <spec>                    inject faults: key=value pairs, e.g.
                                      bank_fail=2,link_stall=0.01 (see FaultSpec)
   --seed <n>                         fault-injection seed (default 0)
-  --help                             this text";
+  --checkpoint-every <n>             write a checkpoint every n cycles
+  --checkpoint-file <file>           checkpoint path (default <program.s>.ckpt)
+  --resume <file>                    restore a checkpoint and continue the run
+  --json                             machine-readable result (incl. state digest)
+  --help                             this text
 
-fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
+
+/// A typed argument-parsing failure (or the `--help` request, which is not
+/// an error and exits 0).
+#[derive(Debug, PartialEq, Eq)]
+enum ParseArgsError {
+    /// `--help`/`-h`: print usage on stdout and exit successfully.
+    Help,
+    /// An option that requires a value was last on the command line.
+    MissingValue(&'static str),
+    /// An option's value did not parse; `reason` names what was expected.
+    InvalidValue {
+        option: &'static str,
+        reason: String,
+    },
+    /// An option we do not recognize.
+    UnknownOption(String),
+    /// A second positional argument after the program path.
+    UnexpectedArgument(String),
+    /// No program path was given (and no `--describe`).
+    MissingProgram,
+    /// Two options that cannot be combined.
+    Conflict(&'static str),
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::Help => write!(f, "help requested"),
+            ParseArgsError::MissingValue(option) => write!(f, "{option} expects a value"),
+            ParseArgsError::InvalidValue { option, reason } => {
+                write!(f, "invalid {option} value: {reason}")
+            }
+            ParseArgsError::UnknownOption(arg) => write!(f, "unknown option `{arg}`"),
+            ParseArgsError::UnexpectedArgument(arg) => {
+                write!(f, "unexpected argument `{arg}` (program path already given)")
+            }
+            ParseArgsError::MissingProgram => write!(f, "no program path given"),
+            ParseArgsError::Conflict(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseArgsError> {
     let mut opts = Options {
         topology: Topology::TopH,
         small: false,
@@ -62,13 +119,20 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         describe: false,
         faults: None,
         seed: 0,
+        checkpoint_every: 0,
+        checkpoint_file: None,
+        resume: None,
+        json: false,
         path: String::new(),
+    };
+    let invalid = |option: &'static str, reason: &str| ParseArgsError::InvalidValue {
+        option,
+        reason: reason.to_owned(),
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .ok_or_else(|| format!("{name} expects a value"))
+        let mut value = |name: &'static str| {
+            args.next().ok_or(ParseArgsError::MissingValue(name))
         };
         match arg.as_str() {
             "--topology" => {
@@ -77,7 +141,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                     "top4" => Topology::Top4,
                     "topH" | "toph" => Topology::TopH,
                     "ideal" => Topology::Ideal,
-                    other => return Err(format!("unknown topology `{other}`")),
+                    other => {
+                        return Err(invalid(
+                            "--topology",
+                            &format!("unknown topology `{other}`"),
+                        ))
+                    }
                 };
             }
             "--small" => opts.small = true,
@@ -85,29 +154,32 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--max-cycles" => {
                 opts.max_cycles = value("--max-cycles")?
                     .parse()
-                    .map_err(|_| "invalid --max-cycles value".to_owned())?;
+                    .map_err(|_| invalid("--max-cycles", "expected a cycle count"))?;
             }
             "--dump-regs" => {
                 opts.dump_regs = Some(
                     value("--dump-regs")?
                         .parse()
-                        .map_err(|_| "invalid --dump-regs core index".to_owned())?,
+                        .map_err(|_| invalid("--dump-regs", "expected a core index"))?,
                 );
             }
             "--dump-mem" => {
                 let spec = value("--dump-mem")?;
                 let (addr, words) = spec
                     .split_once(':')
-                    .ok_or("expected --dump-mem <addr>:<words>")?;
-                let addr = parse_u32(addr).ok_or("invalid --dump-mem address")?;
-                let words = words.parse().map_err(|_| "invalid --dump-mem word count")?;
+                    .ok_or_else(|| invalid("--dump-mem", "expected <addr>:<words>"))?;
+                let addr =
+                    parse_u32(addr).ok_or_else(|| invalid("--dump-mem", "bad address"))?;
+                let words = words
+                    .parse()
+                    .map_err(|_| invalid("--dump-mem", "bad word count"))?;
                 opts.dump_mem = Some((addr, words));
             }
             "--trace-core" => {
                 opts.trace_core = Some(
                     value("--trace-core")?
                         .parse()
-                        .map_err(|_| "invalid --trace-core core index".to_owned())?,
+                        .map_err(|_| invalid("--trace-core", "expected a core index"))?,
                 );
             }
             "--functional" => opts.functional = true,
@@ -116,21 +188,56 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--describe" => opts.describe = true,
             "--faults" => {
                 opts.faults = Some(value("--faults")?.parse().map_err(
-                    |e: mempool::ParseFaultSpecError| e.to_string(),
+                    |e: mempool::ParseFaultSpecError| invalid("--faults", &e.to_string()),
                 )?);
             }
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
-                    .map_err(|_| "invalid --seed value".to_owned())?;
+                    .map_err(|_| invalid("--seed", "expected an integer"))?;
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
-            _ if arg.starts_with('-') => return Err(format!("unknown option `{arg}`\n{USAGE}")),
-            _ => opts.path = arg,
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| invalid("--checkpoint-every", "expected a cycle count"))?;
+                if opts.checkpoint_every == 0 {
+                    return Err(invalid("--checkpoint-every", "interval must be nonzero"));
+                }
+            }
+            "--checkpoint-file" => opts.checkpoint_file = Some(value("--checkpoint-file")?),
+            "--resume" => opts.resume = Some(value("--resume")?),
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(ParseArgsError::Help),
+            _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
+            _ if opts.path.is_empty() => opts.path = arg,
+            _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
         }
     }
     if opts.path.is_empty() && !opts.describe {
-        return Err(USAGE.to_owned());
+        return Err(ParseArgsError::MissingProgram);
+    }
+    if opts.functional {
+        if opts.faults.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--faults requires the cycle-accurate simulator",
+            ));
+        }
+        if opts.checkpoint_every > 0 || opts.checkpoint_file.is_some() || opts.resume.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "checkpointing requires the cycle-accurate simulator",
+            ));
+        }
+        if opts.json {
+            return Err(ParseArgsError::Conflict(
+                "--json requires the cycle-accurate simulator",
+            ));
+        }
+    }
+    if opts.json && (opts.dump_regs.is_some() || opts.dump_mem.is_some() || opts.trace_core.is_some())
+    {
+        return Err(ParseArgsError::Conflict(
+            "--json cannot be combined with --dump-regs/--dump-mem/--trace-core",
+        ));
     }
     Ok(opts)
 }
@@ -144,9 +251,6 @@ fn run_functional(opts: &Options, program: &mempool_riscv::Program) -> Result<()
     };
     if !opts.scramble {
         config.seq_region_bytes = None;
-    }
-    if opts.faults.is_some() {
-        return Err("--faults requires the cycle-accurate simulator".to_owned());
     }
     let mut sim = FunctionalSim::new(config).map_err(|e| e.to_string())?;
     sim.load_program(program).map_err(|e| e.to_string())?;
@@ -189,9 +293,14 @@ fn parse_u32(s: &str) -> Option<u32> {
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
         Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
+        Err(ParseArgsError::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
         }
     };
     match run(&opts) {
@@ -253,7 +362,9 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
     cluster.load_program(&program).map_err(|e| e.to_string())?;
     if let Some(spec) = opts.faults {
-        println!("fault injection: {spec} (seed {})", opts.seed);
+        if !opts.json {
+            println!("fault injection: {spec} (seed {})", opts.seed);
+        }
         cluster.set_fault_plan(Some(FaultPlan::new(opts.seed, spec)));
     }
     if let Some(core) = opts.trace_core {
@@ -263,8 +374,51 @@ fn run(opts: &Options) -> Result<(), String> {
             .ok_or_else(|| format!("core {core} out of range"))?
             .enable_trace(32);
     }
-    let cycles = cluster.run(opts.max_cycles).map_err(|e| e.to_string())?;
+    if let Some(from) = &opts.resume {
+        let snap = ClusterSnapshot::read_file(std::path::Path::new(from))
+            .map_err(|e| format!("{from}: {e}"))?;
+        cluster.restore(&snap).map_err(|e| format!("{from}: {e}"))?;
+        if !opts.json {
+            println!(
+                "resumed from {from} at cycle {} (state digest {:#018x})",
+                snap.cycle(),
+                snap.state_digest()
+            );
+        }
+    }
 
+    let checkpoint_path: Option<PathBuf> = match (&opts.checkpoint_file, opts.checkpoint_every) {
+        (Some(file), _) => Some(PathBuf::from(file)),
+        (None, every) if every > 0 => Some(PathBuf::from(format!("{}.ckpt", opts.path))),
+        _ => None,
+    };
+    let start = cluster.now();
+    let cycles = if opts.checkpoint_every > 0 {
+        let path = checkpoint_path.as_ref().expect("derived above");
+        loop {
+            let spent = cluster.now() - start;
+            let remaining = opts.max_cycles.saturating_sub(spent);
+            let chunk = opts.checkpoint_every.min(remaining);
+            match cluster.run(chunk) {
+                Ok(_) => break cluster.now() - start,
+                Err(SimError::Timeout(_)) if chunk < remaining => {
+                    // Only the checkpoint interval expired, not the budget.
+                    cluster
+                        .snapshot()
+                        .write_file(path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    } else {
+        cluster.run(opts.max_cycles).map_err(|e| e.to_string())?
+    };
+
+    if opts.json {
+        print_json(&cluster, cycles);
+        return Ok(());
+    }
     let stats = cluster.stats();
     let cores = cluster.core_stats_total();
     println!(
@@ -337,11 +491,42 @@ fn run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Machine-readable result record. `state_digest` is the canonical digest
+/// over the complete architectural state (see DESIGN.md §9) — two runs of
+/// the same program with the same seeds must print the same value.
+fn print_json(cluster: &Cluster<mempool_snitch::SnitchCore>, run_cycles: u64) {
+    let stats = cluster.stats();
+    let cores = cluster.core_stats_total();
+    let f = &stats.faults;
+    let faulted = cluster.cores().iter().filter(|c| c.faulted()).count();
+    println!("{{");
+    println!("  \"cycles\": {},", cluster.now());
+    println!("  \"run_cycles\": {run_cycles},");
+    println!("  \"instret\": {},", cores.instret);
+    println!("  \"state_digest\": \"{:#018x}\",", cluster.state_digest());
+    println!("  \"l1_digest\": \"{:#018x}\",", cluster.l1_digest());
+    println!("  \"requests_issued\": {},", stats.requests_issued);
+    println!("  \"responses_delivered\": {},", stats.responses_delivered);
+    println!("  \"latency_mean\": {:.6},", stats.latency.mean());
+    println!("  \"faulted_cores\": {faulted},");
+    println!("  \"quarantined_banks\": {},", cluster.quarantined_banks());
+    println!("  \"faults\": {{");
+    println!("    \"injected\": {},", f.total_injected());
+    println!("    \"banks_failed\": {},", f.banks_failed);
+    println!("    \"link_drops\": {},", f.link_drops);
+    println!("    \"link_corruptions\": {},", f.link_corruptions);
+    println!("    \"core_lockups\": {},", f.core_lockups);
+    println!("    \"request_retries\": {},", f.request_retries);
+    println!("    \"requests_abandoned\": {}", f.requests_abandoned);
+    println!("  }}");
+    println!("}}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Result<Options, String> {
+    fn args(list: &[&str]) -> Result<Options, ParseArgsError> {
         parse_args(list.iter().map(|s| s.to_string()))
     }
 
@@ -367,14 +552,89 @@ mod tests {
     }
 
     #[test]
-    fn rejections() {
-        assert!(args(&[]).is_err(), "missing path");
-        assert!(args(&["--topology", "mesh", "p.s"]).is_err());
-        assert!(args(&["--dump-mem", "100", "p.s"]).is_err(), "missing :words");
-        assert!(args(&["--max-cycles", "many", "p.s"]).is_err());
-        assert!(args(&["--bogus", "p.s"]).is_err());
-        assert!(args(&["--faults", "warp_core=0.5", "p.s"]).is_err());
-        assert!(args(&["--seed", "abc", "p.s"]).is_err());
+    fn rejections_are_typed() {
+        assert_eq!(args(&[]).unwrap_err(), ParseArgsError::MissingProgram);
+        assert!(matches!(
+            args(&["--topology", "mesh", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--topology", .. })
+        ));
+        assert!(matches!(
+            args(&["--dump-mem", "100", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--dump-mem", .. })
+        ));
+        assert!(matches!(
+            args(&["--max-cycles", "many", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--max-cycles", .. })
+        ));
+        assert_eq!(
+            args(&["--bogus", "p.s"]).unwrap_err(),
+            ParseArgsError::UnknownOption("--bogus".to_owned())
+        );
+        assert!(matches!(
+            args(&["--faults", "warp_core=0.5", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--faults", .. })
+        ));
+        assert!(matches!(
+            args(&["--seed", "abc", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--seed", .. })
+        ));
+        assert_eq!(
+            args(&["--seed"]).unwrap_err(),
+            ParseArgsError::MissingValue("--seed")
+        );
+        assert_eq!(
+            args(&["a.s", "b.s"]).unwrap_err(),
+            ParseArgsError::UnexpectedArgument("b.s".to_owned())
+        );
+    }
+
+    #[test]
+    fn help_is_not_an_error_case() {
+        assert_eq!(args(&["--help"]).unwrap_err(), ParseArgsError::Help);
+        assert_eq!(args(&["-h", "p.s"]).unwrap_err(), ParseArgsError::Help);
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let o = args(&[
+            "--checkpoint-every", "5000", "--checkpoint-file", "run.ckpt", "p.s",
+        ])
+        .unwrap();
+        assert_eq!(o.checkpoint_every, 5000);
+        assert_eq!(o.checkpoint_file.as_deref(), Some("run.ckpt"));
+
+        let o = args(&["--resume", "run.ckpt", "--json", "p.s"]).unwrap();
+        assert_eq!(o.resume.as_deref(), Some("run.ckpt"));
+        assert!(o.json);
+
+        assert!(matches!(
+            args(&["--checkpoint-every", "0", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--checkpoint-every", .. })
+        ));
+    }
+
+    #[test]
+    fn functional_conflicts() {
+        assert!(matches!(
+            args(&["--functional", "--faults", "bank_fail=1", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--functional", "--checkpoint-every", "100", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--functional", "--resume", "x.ckpt", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--functional", "--json", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--json", "--dump-regs", "0", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
     }
 
     #[test]
