@@ -1,0 +1,92 @@
+//! Criterion benchmark of the serial vs. tile-parallel cluster engine
+//! (`Cluster::set_parallel`): host time per simulated cycle on the
+//! 64-core small and 256-core paper configurations, per topology. These
+//! complement the offline `mempool-run --bench-json` harness (which needs
+//! no registry access) with statistically rigorous Criterion runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mempool::{Cluster, ClusterConfig, Topology};
+use mempool_riscv::assemble;
+use mempool_snitch::SnitchCore;
+use std::hint::black_box;
+
+/// Same steady-state workload as `mempool_suite::bench`: every core
+/// hammers its own 16-word slice forever.
+fn workload() -> mempool_riscv::Program {
+    assemble(
+        "csrr t0, mhartid\n\
+         li   t2, 0x10000\n\
+         slli t3, t0, 6\n\
+         add  t3, t3, t2\n\
+         forever:\n\
+         mv   t6, t3\n\
+         li   t4, 16\n\
+         loop:\n\
+         sw   t0, 0(t6)\n\
+         lw   t5, 0(t6)\n\
+         add  t0, t0, t5\n\
+         addi t6, t6, 4\n\
+         addi t4, t4, -1\n\
+         bnez t4, loop\n\
+         csrr t0, mhartid\n\
+         j    forever\n",
+    )
+    .expect("workload assembles")
+}
+
+fn warmed_cluster(config: ClusterConfig, workers: usize) -> Cluster<SnitchCore> {
+    let mut cluster = Cluster::snitch(config).expect("valid config");
+    cluster.load_program(&workload()).expect("program loads");
+    cluster.set_parallel(workers);
+    cluster.step_cycles(200);
+    cluster
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("cluster_step_100");
+    group.sample_size(10);
+    for topology in [Topology::Ideal, Topology::Top4, Topology::TopH] {
+        for (label, config) in [
+            ("64c", ClusterConfig::small(topology)),
+            ("256c", ClusterConfig::paper(topology)),
+        ] {
+            let mut serial = warmed_cluster(config, 0);
+            group.bench_function(BenchmarkId::new(format!("serial_{label}"), topology), |b| {
+                b.iter(|| {
+                    serial.step_cycles(100);
+                    black_box(serial.now())
+                })
+            });
+            let mut parallel = warmed_cluster(config, workers);
+            group.bench_function(
+                BenchmarkId::new(format!("parallel{workers}_{label}"), topology),
+                |b| {
+                    b.iter(|| {
+                        parallel.step_cycles(100);
+                        black_box(parallel.now())
+                    })
+                },
+            );
+            assert_eq!(
+                {
+                    let mut a = warmed_cluster(config, 0);
+                    a.step_cycles(300);
+                    a.state_digest()
+                },
+                {
+                    let mut b = warmed_cluster(config, workers);
+                    b.step_cycles(300);
+                    b.state_digest()
+                },
+                "engines diverged on {topology} {label}"
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

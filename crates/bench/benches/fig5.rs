@@ -31,7 +31,8 @@ fn main() {
     let mut results = Vec::new();
     for topo in topologies {
         let sweep = run_sweep(bench_config(topo), Pattern::Uniform, &loads, windows, 42)
-            .expect("valid configuration");
+            .into_complete()
+            .expect("sweep completes");
         results.push((topo, sweep));
     }
 

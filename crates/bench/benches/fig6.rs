@@ -39,7 +39,8 @@ fn main() {
             windows,
             42,
         )
-        .expect("valid configuration");
+        .into_complete()
+        .expect("sweep completes");
         sweeps.push(sweep);
     }
 

@@ -60,6 +60,7 @@ pub mod faults;
 mod functional;
 mod net;
 mod packet;
+mod par;
 pub mod snapshot;
 mod stats;
 mod tile;
@@ -129,7 +130,11 @@ impl<C: Core> L1Memory for Cluster<C> {
 /// A core model pluggable into the [`Cluster`]: the cycle-accurate
 /// [`SnitchCore`](mempool_snitch::SnitchCore) for program execution, or a
 /// synthetic traffic generator for the network analysis of §V-A/§V-B.
-pub trait Core {
+///
+/// `Send` is a supertrait so the tile-parallel engine
+/// ([`Cluster::set_parallel`]) can step each tile's cores on a worker
+/// thread; core models are plain data, so this costs implementors nothing.
+pub trait Core: Send {
     /// Delivers a completed memory response (called before [`step`] within
     /// the same cycle, so same-cycle wakeups model 1-cycle local loads).
     ///

@@ -1,0 +1,339 @@
+//! A minimal persistent worker pool for the tile-parallel engine.
+//!
+//! The pool executes *fork-join index jobs*: [`WorkerPool::run`] takes an
+//! item count and a closure, every index in `0..items` is executed exactly
+//! once by some participant (the calling thread joins in), and `run`
+//! returns only after every invocation has finished. Between jobs the
+//! workers spin briefly and then sleep on a condvar, so a cluster stepping
+//! three parallel phases per cycle never pays a wakeup syscall on the hot
+//! path.
+//!
+//! Determinism is the caller's contract, not the pool's: the closure must
+//! write only to per-index (per-tile) state, so *which thread* runs an
+//! index can never be observed. The cluster then merges the per-tile
+//! staging buffers in ascending tile order, which is what makes the
+//! parallel engine bit-identical to the serial one (see DESIGN.md §10).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the job closure. Only valid while the
+/// `run` call that published it is still blocked — see the safety
+/// argument on [`WorkerPool::run`].
+#[derive(Clone, Copy)]
+struct Task(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (calling it from several threads is safe)
+// and the pool guarantees no worker dereferences the pointer after the
+// publishing `run` returns (epoch-checked claims + the completion count).
+unsafe impl Send for Task {}
+
+/// The job slot, written under the mutex once per `run`.
+struct Published {
+    task: Option<Task>,
+    items: usize,
+}
+
+struct Shared {
+    job: Mutex<Published>,
+    cv: Condvar,
+    /// Monotonic job generation; workers only execute a task whose epoch
+    /// matches the claim word below. Published under `job`'s lock.
+    epoch: AtomicU64,
+    /// Claim word: `current_epoch << 32 | next_unclaimed_index`. The epoch
+    /// tag makes a stale claim attempt (a worker still holding last job's
+    /// task pointer) fail instead of consuming an index of the new job.
+    next: AtomicU64,
+    /// Invocations finished for the current job.
+    completed: AtomicUsize,
+    /// Workers currently asleep on the condvar (notify only when needed).
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Iterations a worker spins between jobs before sleeping on the condvar.
+const SPIN_LIMIT: u32 = 20_000;
+
+impl Shared {
+    /// Claims and executes indexes of job `epoch` until it is exhausted
+    /// (or a newer job appears, which means this one is exhausted too).
+    fn drain(&self, epoch: u64, items: usize, task: Task) {
+        loop {
+            let cur = self.next.load(Ordering::Acquire);
+            if cur >> 32 != epoch {
+                return; // a newer job was published: ours is complete
+            }
+            let index = (cur & 0xffff_ffff) as usize;
+            if index >= items {
+                return;
+            }
+            if self
+                .next
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: the epoch in the claim word matched `task`'s job, so
+            // the publishing `run` is still blocked (it cannot return until
+            // `completed == items`, and this index has not completed yet)
+            // and the closure behind the pointer is alive.
+            unsafe { (*task.0)(index) };
+            self.completed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A fixed set of worker threads executing fork-join index jobs.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    epoch: u64,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (zero is fine: `run` then executes every
+    /// index on the calling thread, exercising the same staging paths).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            job: Mutex::new(Published { task: None, items: 0 }),
+            cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            next: AtomicU64::new(0),
+            completed: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mempool-tile-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            epoch: 0,
+            handles,
+        }
+    }
+
+    /// Number of pool threads (the calling thread participates on top).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(i)` exactly once for every `i in 0..items`, distributing the
+    /// indexes over the pool threads and the calling thread, and returns
+    /// once every invocation has finished.
+    ///
+    /// The closure only borrows for the duration of this call: the pool
+    /// erases its lifetime internally, and the epoch-tagged claim word plus
+    /// the completion count guarantee no worker can still be inside (or
+    /// later enter) `f` once `run` returns.
+    pub fn run(&mut self, items: usize, f: &(dyn Fn(usize) + Sync)) {
+        if items == 0 {
+            return;
+        }
+        assert!(items < u32::MAX as usize, "job too large for the claim word");
+        // SAFETY: pure lifetime erasure of a fat reference; the pool never
+        // uses the pointer past this call (see the epoch/completion
+        // argument above).
+        let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let task = Task(f_erased);
+        if self.handles.is_empty() {
+            for i in 0..items {
+                f(i);
+            }
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let shared = &*self.shared;
+        shared.completed.store(0, Ordering::Relaxed);
+        shared.next.store(epoch << 32, Ordering::Release);
+        {
+            let mut slot = shared.job.lock().expect("pool mutex never poisoned");
+            slot.task = Some(task);
+            slot.items = items;
+            // The epoch store is what spinning workers watch; doing it (and
+            // the notify) under the lock closes the lost-wakeup window
+            // against workers going to sleep.
+            shared.epoch.store(epoch, Ordering::Release);
+            if shared.sleepers.load(Ordering::Relaxed) > 0 {
+                shared.cv.notify_all();
+            }
+        }
+        shared.drain(epoch, items, task);
+        // Claimed-but-unfinished indexes may still be executing on workers;
+        // the job (and the borrow of `f`) ends when all have finished.
+        let mut spins = 0u32;
+        while shared.completed.load(Ordering::Acquire) != items {
+            spins += 1;
+            if spins < 100 {
+                std::hint::spin_loop();
+            } else {
+                // A straggler holds the last index; on an oversubscribed
+                // machine pure spinning would waste its whole timeslice.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let _slot = self.shared.job.lock().expect("pool mutex never poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for a new epoch: spin first, then sleep.
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if shared.epoch.load(Ordering::Acquire) != seen {
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut slot = shared.job.lock().expect("pool mutex never poisoned");
+            shared.sleepers.fetch_add(1, Ordering::Relaxed);
+            while !shared.shutdown.load(Ordering::Acquire)
+                && shared.epoch.load(Ordering::Acquire) == seen
+            {
+                slot = shared.cv.wait(slot).expect("pool mutex never poisoned");
+            }
+            shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+            break;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let (epoch, task, items) = {
+            let slot = shared.job.lock().expect("pool mutex never poisoned");
+            // Epoch re-read under the lock so task/items/epoch are one
+            // consistent snapshot (a newer job may have landed meanwhile).
+            (
+                shared.epoch.load(Ordering::Acquire),
+                slot.task,
+                slot.items,
+            )
+        };
+        seen = epoch;
+        if let Some(task) = task {
+            shared.drain(epoch, items, task);
+        }
+    }
+}
+
+/// A raw base pointer that asserts cross-thread shareability. Used by the
+/// parallel engine to hand each worker mutable access to *disjoint*
+/// per-tile slices of the cluster's arrays; the caller is responsible for
+/// the disjointness (tile `t` only ever touches index `t` / the lanes of
+/// tile `t`). The field is private so closures capture the whole wrapper
+/// (and with it the `Sync` assertion), not the bare pointer.
+pub(crate) struct SyncPtr<T>(*mut T);
+
+impl<T> SyncPtr<T> {
+    pub(crate) fn new(base: *mut T) -> Self {
+        SyncPtr(base)
+    }
+
+    /// Pointer to element `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds of the allocation `base` points into, and
+    /// no other thread may concurrently touch that element.
+    pub(crate) unsafe fn at(&self, index: usize) -> *mut T {
+        unsafe { self.0.add(index) }
+    }
+}
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+
+// SAFETY: asserted by the parallel engine — every job partitions the
+// pointed-to arrays by tile index, so no two threads alias. The `T: Send`
+// bound keeps the compiler enforcing that whatever the workers get `&mut`
+// access to is actually sendable (e.g. the `Core: Send` supertrait).
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let mut pool = WorkerPool::new(3);
+        let hits: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        for _ in 0..200 {
+            pool.run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 200);
+        }
+    }
+
+    #[test]
+    fn zero_threads_runs_inline() {
+        let mut pool = WorkerPool::new(0);
+        let sum = AtomicU32::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i as u32, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn back_to_back_jobs_do_not_leak_between_epochs() {
+        let mut pool = WorkerPool::new(4);
+        for round in 0..500u32 {
+            let counter = AtomicU32::new(0);
+            let items = 1 + (round as usize % 7);
+            pool.run(items, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), items as u32);
+        }
+    }
+
+    #[test]
+    fn effects_are_visible_after_run() {
+        let mut pool = WorkerPool::new(2);
+        let mut data = vec![0u64; 32];
+        let ptr = SyncPtr::new(data.as_mut_ptr());
+        pool.run(32, &|i| unsafe {
+            *ptr.at(i) = (i * i) as u64;
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+}

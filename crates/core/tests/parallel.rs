@@ -1,0 +1,177 @@
+//! Differential tests for the tile-parallel engine: stepping a cluster
+//! with `set_parallel(n)` must be **bit-identical** to the serial engine —
+//! same `state_digest`, same L1 contents, same statistics — after any
+//! number of cycles, on every topology, with and without an active fault
+//! plan, at any worker count. The snapshot subsystem is the oracle.
+
+use mempool::{
+    Cluster, ClusterConfig, FaultPlan, FaultSpec, ResilienceConfig, Topology,
+};
+use mempool_riscv::assemble;
+
+/// Every core hammers its own 16-word slice of `0x10000..` forever —
+/// loads and stores only (idempotent under injected-fault retries), no
+/// halt, so the memory system stays busy for the whole differential
+/// window.
+fn hammer_program() -> mempool_riscv::Program {
+    assemble(
+        "csrr t0, mhartid\n\
+         li   t2, 0x10000\n\
+         slli t3, t0, 6\n\
+         add  t3, t3, t2\n\
+         forever:\n\
+         mv   t6, t3\n\
+         li   t4, 16\n\
+         loop:\n\
+         sw   t0, 0(t6)\n\
+         lw   t5, 0(t6)\n\
+         add  t0, t0, t5\n\
+         addi t6, t6, 4\n\
+         addi t4, t4, -1\n\
+         bnez t4, loop\n\
+         csrr t0, mhartid\n\
+         j    forever\n",
+    )
+    .expect("test program assembles")
+}
+
+fn resilient(topology: Topology) -> ClusterConfig {
+    let mut config = ClusterConfig::small(topology);
+    config.resilience = ResilienceConfig::standard();
+    config
+}
+
+fn cluster_with(
+    config: ClusterConfig,
+    plan: Option<FaultPlan>,
+    workers: usize,
+) -> Cluster<mempool_snitch::SnitchCore> {
+    let mut cluster = Cluster::snitch(config).expect("valid config");
+    cluster.load_program(&hammer_program()).expect("program loads");
+    cluster.set_fault_plan(plan);
+    cluster.set_parallel(workers);
+    cluster
+}
+
+/// Steps a serial reference and one parallel cluster per worker count for
+/// `cycles`, asserting full architectural equality at the end.
+fn assert_engines_agree(config: ClusterConfig, spec: Option<FaultSpec>, cycles: u64) {
+    let plan = |spec: &Option<FaultSpec>| spec.map(|s| FaultPlan::new(11, s));
+    let mut serial = cluster_with(config, plan(&spec), 0);
+    serial.step_cycles(cycles);
+    for workers in [1, 4, 32] {
+        let mut parallel = cluster_with(config, plan(&spec), workers);
+        assert!(parallel.parallelism() >= 1);
+        parallel.step_cycles(cycles);
+        assert_eq!(
+            parallel.state_digest(),
+            serial.state_digest(),
+            "digest diverged: {:?} spec={spec:?} workers={workers}",
+            config.topology
+        );
+        assert_eq!(parallel.l1_digest(), serial.l1_digest());
+        assert_eq!(parallel.stats(), serial.stats());
+        assert_eq!(parallel.in_flight(), serial.in_flight());
+    }
+}
+
+#[test]
+fn parallel_matches_serial_fault_free_10k() {
+    for topology in Topology::all() {
+        assert_engines_agree(ClusterConfig::small(topology), None, 10_000);
+    }
+}
+
+#[test]
+fn parallel_matches_serial_under_fault_plan_10k() {
+    let spec: FaultSpec = "bank_fail=2,bank_stall=0.01,link_stall=0.01,link_drop=0.002,\
+                           link_corrupt=0.002,core_lockup=0.001,spurious_retire=0.001"
+        .parse()
+        .expect("valid spec");
+    for topology in Topology::all() {
+        let config = resilient(topology);
+        assert_engines_agree(config, Some(spec), 10_000);
+        // Sanity: the plan demonstrably injected faults in this window.
+        let mut probe = cluster_with(config, Some(FaultPlan::new(11, spec)), 2);
+        probe.step_cycles(10_000);
+        assert!(probe.stats().faults.total_injected() > 0);
+    }
+}
+
+/// Switching engines at arbitrary cycle boundaries leaves no trace: a run
+/// that flips serial → parallel → serial matches a pure serial run.
+#[test]
+fn engine_switch_mid_run_is_invisible() {
+    let config = ClusterConfig::small(Topology::TopH);
+    let mut reference = cluster_with(config, None, 0);
+    reference.step_cycles(3_000);
+
+    let mut switching = cluster_with(config, None, 0);
+    switching.step_cycles(700);
+    switching.set_parallel(3);
+    assert_eq!(switching.parallelism(), 3);
+    switching.step_cycles(1_500);
+    switching.set_parallel(0);
+    assert_eq!(switching.parallelism(), 0);
+    switching.step_cycles(800);
+
+    assert_eq!(switching.state_digest(), reference.state_digest());
+    assert_eq!(switching.stats(), reference.stats());
+}
+
+/// Checkpoint/restore under the parallel engine (the PR-2 oracle, crossed
+/// with PR-3): a snapshot taken mid-run from a parallel cluster restores
+/// into a serial cluster (and vice versa) and both continuations land on
+/// the uninterrupted run's digest.
+#[test]
+fn checkpoint_roundtrip_crosses_engines() {
+    let spec: FaultSpec = "bank_fail=1,link_drop=0.002".parse().expect("valid spec");
+    let config = resilient(Topology::TopH);
+    let plan = || Some(FaultPlan::new(11, spec));
+    let (mid, total) = (900, 4_000);
+
+    let mut uninterrupted = cluster_with(config, plan(), 0);
+    uninterrupted.step_cycles(total);
+
+    // Parallel run up to `mid`, snapshot, then restore into a *serial*
+    // cluster and a *parallel* cluster and continue both.
+    let mut original = cluster_with(config, plan(), 4);
+    original.step_cycles(mid);
+    let snap = original.snapshot();
+    assert_eq!(snap.cycle(), mid);
+    assert_eq!(snap.state_digest(), original.state_digest());
+
+    let mut to_serial = cluster_with(config, None, 0);
+    to_serial.restore(&snap).expect("snapshot restores");
+    to_serial.step_cycles(total - mid);
+
+    let mut to_parallel = cluster_with(config, None, 8);
+    to_parallel.restore(&snap).expect("snapshot restores");
+    to_parallel.step_cycles(total - mid);
+
+    assert_eq!(to_serial.state_digest(), uninterrupted.state_digest());
+    assert_eq!(to_parallel.state_digest(), uninterrupted.state_digest());
+    assert_eq!(to_parallel.l1_digest(), uninterrupted.l1_digest());
+    assert_eq!(to_parallel.stats(), uninterrupted.stats());
+}
+
+/// The memory trace recorder sees the identical event stream from either
+/// engine (per-tile staging is merged in canonical order).
+#[test]
+fn traces_are_identical_across_engines() {
+    let run = |workers: usize| {
+        let mut cluster = cluster_with(ClusterConfig::small(Topology::Top4), None, workers);
+        cluster.start_trace();
+        cluster.step_cycles(1_200);
+        cluster.take_trace().expect("trace was started")
+    };
+    let serial = run(0);
+    let parallel = run(6);
+    for core in 0..serial.num_cores() {
+        assert_eq!(
+            serial.core(core),
+            parallel.core(core),
+            "trace diverged on core {core}"
+        );
+    }
+}

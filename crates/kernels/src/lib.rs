@@ -53,7 +53,8 @@ pub use geometry::{Geometry, GeometryMismatchError};
 pub use golden::{conv2d_3x3_i32, dct8x8_q7, dct_coefficients, dotprod_i32, matmul_i32, CONV_KERNEL};
 pub use matmul::{BuildKernelError, Matmul};
 pub use runner::{
-    run_kernel, run_kernel_functional, CheckKernelError, Kernel, KernelRun, RunKernelError,
+    build_program, run_kernel, run_kernel_functional, CheckKernelError, Kernel, KernelRun,
+    ProgramBuildError, RunKernelError,
 };
 pub use runtime::{
     emit_barrier, emit_barrier_with_backoff, emit_epilogue, emit_prologue, emit_tree_barrier,

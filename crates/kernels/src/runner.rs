@@ -51,13 +51,51 @@ impl fmt::Display for CheckKernelError {
 
 impl std::error::Error for CheckKernelError {}
 
-/// Everything that can go wrong running a kernel.
+/// The kernel could not be turned into a runnable program. Returned by
+/// [`build_program`] and wrapped in [`RunKernelError::Build`] by the
+/// runners, so a broken kernel surfaces as a typed error at the call site
+/// instead of a panic inside library code.
 #[derive(Debug)]
-pub enum RunKernelError {
+pub enum ProgramBuildError {
     /// The kernel's layout does not fit the cluster configuration.
     Geometry(crate::GeometryMismatchError),
     /// The generated assembly failed to assemble (kernel bug).
     Assemble(mempool_riscv::AsmError),
+}
+
+impl fmt::Display for ProgramBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramBuildError::Geometry(e) => write!(f, "geometry mismatch: {e}"),
+            ProgramBuildError::Assemble(e) => write!(f, "kernel failed to assemble: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramBuildError {}
+
+/// Checks the kernel's geometry against `config` and assembles its source.
+///
+/// # Errors
+///
+/// [`ProgramBuildError::Geometry`] when the layout does not fit `config`,
+/// [`ProgramBuildError::Assemble`] when the emitted assembly is invalid.
+pub fn build_program(
+    kernel: &dyn Kernel,
+    config: &ClusterConfig,
+) -> Result<mempool_riscv::Program, ProgramBuildError> {
+    kernel
+        .geometry()
+        .check_config(config)
+        .map_err(ProgramBuildError::Geometry)?;
+    mempool_riscv::assemble(&kernel.source()).map_err(ProgramBuildError::Assemble)
+}
+
+/// Everything that can go wrong running a kernel.
+#[derive(Debug)]
+pub enum RunKernelError {
+    /// The kernel could not be built (geometry mismatch or assembler error).
+    Build(ProgramBuildError),
     /// The cluster configuration is invalid.
     Config(mempool::ValidateConfigError),
     /// The program image contains an undecodable word.
@@ -74,8 +112,7 @@ pub enum RunKernelError {
 impl fmt::Display for RunKernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunKernelError::Geometry(e) => write!(f, "geometry mismatch: {e}"),
-            RunKernelError::Assemble(e) => write!(f, "kernel failed to assemble: {e}"),
+            RunKernelError::Build(e) => e.fmt(f),
             RunKernelError::Config(e) => write!(f, "invalid configuration: {e}"),
             RunKernelError::Decode(e) => write!(f, "program image corrupt: {e}"),
             RunKernelError::Timeout(e) => write!(f, "{e}"),
@@ -86,6 +123,12 @@ impl fmt::Display for RunKernelError {
 }
 
 impl std::error::Error for RunKernelError {}
+
+impl From<ProgramBuildError> for RunKernelError {
+    fn from(e: ProgramBuildError) -> Self {
+        RunKernelError::Build(e)
+    }
+}
 
 /// Measured outcome of one kernel run.
 #[derive(Debug, Clone)]
@@ -111,12 +154,7 @@ pub fn run_kernel(
     seed: u64,
     max_cycles: u64,
 ) -> Result<KernelRun, RunKernelError> {
-    kernel
-        .geometry()
-        .check_config(&config)
-        .map_err(RunKernelError::Geometry)?;
-    let program =
-        mempool_riscv::assemble(&kernel.source()).map_err(RunKernelError::Assemble)?;
+    let program = build_program(kernel, &config)?;
     let mut cluster = Cluster::snitch(config).map_err(RunKernelError::Config)?;
     cluster
         .load_program(&program)
@@ -147,12 +185,7 @@ pub fn run_kernel_functional(
     seed: u64,
     max_steps: u64,
 ) -> Result<u64, RunKernelError> {
-    kernel
-        .geometry()
-        .check_config(&config)
-        .map_err(RunKernelError::Geometry)?;
-    let program =
-        mempool_riscv::assemble(&kernel.source()).map_err(RunKernelError::Assemble)?;
+    let program = build_program(kernel, &config)?;
     let mut sim = FunctionalSim::new(config).map_err(RunKernelError::Config)?;
     sim.load_program(&program).map_err(RunKernelError::Decode)?;
     kernel.init(&mut sim, seed);
@@ -161,4 +194,65 @@ pub fn run_kernel_functional(
         .map_err(RunKernelError::FunctionalTimeout)?;
     kernel.check(&sim, seed).map_err(RunKernelError::Check)?;
     Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Geometry;
+    use mempool::Topology;
+
+    /// A kernel whose generated assembly is broken — the former library
+    /// panic path ("prologue assembles" / `unwrap_or_else(|e| panic!(..))`).
+    struct BadAsmKernel {
+        geometry: Geometry,
+    }
+
+    impl Kernel for BadAsmKernel {
+        fn name(&self) -> &'static str {
+            "bad-asm"
+        }
+        fn geometry(&self) -> &Geometry {
+            &self.geometry
+        }
+        fn source(&self) -> String {
+            "addi t0, t0, 1\nfrobnicate t1, t2\necall\n".to_string()
+        }
+        fn init(&self, _mem: &mut dyn L1Memory, _seed: u64) {}
+        fn check(&self, _mem: &dyn L1Memory, _seed: u64) -> Result<(), CheckKernelError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn bad_assembly_is_a_typed_error_not_a_panic() {
+        let config = ClusterConfig::small(Topology::TopH);
+        let kernel = BadAsmKernel {
+            geometry: Geometry::from_config(&config, 4096),
+        };
+        let err = build_program(&kernel, &config).expect_err("broken asm must not build");
+        assert!(matches!(err, ProgramBuildError::Assemble(_)));
+        assert!(err.to_string().contains("failed to assemble"), "{err}");
+
+        // Both runners surface the same error instead of aborting.
+        let err = run_kernel(&kernel, config, 1, 1_000).expect_err("must not run");
+        assert!(matches!(
+            err,
+            RunKernelError::Build(ProgramBuildError::Assemble(_))
+        ));
+        let err = run_kernel_functional(&kernel, config, 1, 1_000).expect_err("must not run");
+        assert!(matches!(err, RunKernelError::Build(_)));
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let laid_out_for = ClusterConfig::paper(Topology::TopH);
+        let run_on = ClusterConfig::small(Topology::TopH);
+        let kernel = BadAsmKernel {
+            geometry: Geometry::from_config(&laid_out_for, 4096),
+        };
+        let err = build_program(&kernel, &run_on).expect_err("wrong geometry must not build");
+        assert!(matches!(err, ProgramBuildError::Geometry(_)));
+        assert!(err.to_string().contains("geometry mismatch"), "{err}");
+    }
 }

@@ -77,6 +77,43 @@ pub struct Activity {
     pub refills: u64,
 }
 
+/// A by-name lookup named a counter (or instruction class) that does not
+/// exist. Carries the full available set so a stats-schema drift surfaces
+/// as a legible report error instead of a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingCounterError {
+    /// The name that was requested.
+    pub name: String,
+    /// The names that do exist.
+    pub available: Vec<&'static str>,
+}
+
+impl std::fmt::Display for MissingCounterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no counter named `{}`; available: {}",
+            self.name,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for MissingCounterError {}
+
+/// The activity-counter names accepted by [`Activity::counter`], in
+/// declaration order.
+pub const ACTIVITY_COUNTERS: [&str; 8] = [
+    "instructions",
+    "muls",
+    "divs",
+    "memory_ops",
+    "local_accesses",
+    "remote_accesses",
+    "ifetches",
+    "refills",
+];
+
 impl Activity {
     /// Builds the activity record from the three statistics blocks a
     /// kernel run produces.
@@ -101,6 +138,30 @@ impl Activity {
             remote_accesses: stats.remote_requests,
             ifetches: icache.hits + icache.misses,
             refills: stats.icache_refills,
+        }
+    }
+
+    /// Looks up an event counter by name (for report generators driven by
+    /// a counter-name schema).
+    ///
+    /// # Errors
+    ///
+    /// [`MissingCounterError`] naming the unknown counter and the
+    /// [`ACTIVITY_COUNTERS`] that do exist.
+    pub fn counter(&self, name: &str) -> Result<u64, MissingCounterError> {
+        match name {
+            "instructions" => Ok(self.instructions),
+            "muls" => Ok(self.muls),
+            "divs" => Ok(self.divs),
+            "memory_ops" => Ok(self.memory_ops),
+            "local_accesses" => Ok(self.local_accesses),
+            "remote_accesses" => Ok(self.remote_accesses),
+            "ifetches" => Ok(self.ifetches),
+            "refills" => Ok(self.refills),
+            _ => Err(MissingCounterError {
+                name: name.to_string(),
+                available: ACTIVITY_COUNTERS.to_vec(),
+            }),
         }
     }
 }
@@ -223,20 +284,31 @@ pub fn instruction_energy_table() -> Vec<InstructionEnergy> {
     ]
 }
 
+/// Looks up one row of the Fig. 10 table by instruction-class name.
+///
+/// # Errors
+///
+/// [`MissingCounterError`] naming the unknown class and the classes that
+/// exist — report code matching on names gets an error, not a panic.
+pub fn instruction_energy(name: &str) -> Result<InstructionEnergy, MissingCounterError> {
+    let table = instruction_energy_table();
+    table
+        .iter()
+        .find(|e| e.name == name)
+        .copied()
+        .ok_or_else(|| MissingCounterError {
+            name: name.to_string(),
+            available: table.iter().map(|e| e.name).collect(),
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn fig10_ratios_match_paper() {
-        let table = instruction_energy_table();
-        let get = |name: &str| {
-            table
-                .iter()
-                .find(|e| e.name == name)
-                .copied()
-                .unwrap_or_else(|| panic!("{name} missing"))
-        };
+        let get = |name: &str| instruction_energy(name).expect("table row exists");
         let add = get("add");
         let mul = get("mul");
         let ll = get("local load");
@@ -305,6 +377,31 @@ mod tests {
         let p = cluster_power_w(&idle, 500.0);
         let busy = cluster_power_w(&matmul_like(), 500.0);
         assert!(p < 0.35 * busy, "idle {p} W vs busy {busy} W");
+    }
+
+    #[test]
+    fn missing_instruction_class_is_a_typed_error() {
+        let err = instruction_energy("remote amoadd").expect_err("no such row");
+        assert_eq!(err.name, "remote amoadd");
+        assert!(err.available.contains(&"remote load"));
+        let msg = err.to_string();
+        assert!(msg.contains("`remote amoadd`"), "{msg}");
+        assert!(msg.contains("remote load"), "{msg}");
+    }
+
+    #[test]
+    fn missing_activity_counter_is_a_typed_error() {
+        let a = matmul_like();
+        assert_eq!(a.counter("muls"), Ok(a.muls));
+        assert_eq!(a.counter("refills"), Ok(a.refills));
+        let err = a.counter("fp_ops").expect_err("no such counter");
+        assert_eq!(err.name, "fp_ops");
+        assert_eq!(err.available, ACTIVITY_COUNTERS.to_vec());
+        assert!(err.to_string().contains("fp_ops"));
+        // Every advertised name resolves.
+        for name in ACTIVITY_COUNTERS {
+            assert!(a.counter(name).is_ok(), "{name} must resolve");
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod timing;
 
 pub use area::{cluster_area, interconnect_area, tile_area, ClusterArea, InterconnectArea, TileArea};
 pub use energy::{
-    cluster_power_w, energy, instruction_energy_table, tile_power_mw, Activity, EnergyBreakdown,
-    InstructionEnergy,
+    cluster_power_w, energy, instruction_energy, instruction_energy_table, tile_power_mw,
+    Activity, EnergyBreakdown, InstructionEnergy, MissingCounterError, ACTIVITY_COUNTERS,
 };
 pub use floorplan::{congestion_summary, floorplan, Floorplan};
 pub use timing::{

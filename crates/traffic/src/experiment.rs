@@ -121,25 +121,86 @@ pub fn run_point(
     })
 }
 
+/// Why one sweep point produced no [`SweepPoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepPointError {
+    /// The cluster configuration failed validation.
+    Config(ValidateConfigError),
+    /// The worker evaluating this point panicked; carries the panic
+    /// message. The other points are unaffected.
+    Panicked(String),
+}
+
+impl std::fmt::Display for SweepPointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepPointError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SweepPointError::Panicked(msg) => write!(f, "sweep worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepPointError {}
+
+/// The outcome of [`run_sweep`]: one slot per requested load, in input
+/// order. A panicking or failing point occupies its slot as a typed error
+/// instead of unwinding the whole sweep, so the surviving points remain
+/// usable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// `(offered_load, outcome)` per requested load, in input order.
+    pub points: Vec<(f64, Result<SweepPoint, SweepPointError>)>,
+}
+
+impl SweepReport {
+    /// The successful points, in load order.
+    pub fn successes(&self) -> Vec<&SweepPoint> {
+        self.points
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .collect()
+    }
+
+    /// The loads that produced no point, with the reason for each.
+    pub fn failures(&self) -> Vec<(f64, &SweepPointError)> {
+        self.points
+            .iter()
+            .filter_map(|(load, r)| r.as_ref().err().map(|e| (*load, e)))
+            .collect()
+    }
+
+    /// Unwraps a fully-successful sweep into its points (load order).
+    ///
+    /// # Errors
+    ///
+    /// The first failing load and its error, when any point failed.
+    pub fn into_complete(self) -> Result<Vec<SweepPoint>, (f64, SweepPointError)> {
+        self.points
+            .into_iter()
+            .map(|(load, r)| r.map_err(|e| (load, e)))
+            .collect()
+    }
+}
+
 /// Runs a full load sweep (one [`run_point`] per load), spreading the
 /// points over worker threads — each point is an independent cluster.
 ///
-/// # Errors
-///
-/// Propagates configuration validation errors.
+/// A point that panics (or fails validation) fills its slot in the
+/// returned [`SweepReport`] with a typed [`SweepPointError`]; the
+/// remaining points still run to completion and are returned.
 pub fn run_sweep(
     config: ClusterConfig,
     pattern: Pattern,
     loads: &[f64],
     windows: Windows,
     seed: u64,
-) -> Result<Vec<SweepPoint>, ValidateConfigError> {
+) -> SweepReport {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(loads.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<SweepPoint, ValidateConfigError>>> =
+    let mut results: Vec<Option<Result<SweepPoint, SweepPointError>>> =
         (0..loads.len()).map(|_| None).collect();
     let slots = std::sync::Mutex::new(&mut results);
     std::thread::scope(|scope| {
@@ -147,15 +208,52 @@ pub fn run_sweep(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&load) = loads.get(i) else { break };
-                let point = run_point(config, pattern, load, windows, seed);
-                slots.lock().expect("no panics while holding the lock")[i] = Some(point);
+                // The catch_unwind boundary keeps one bad point from
+                // killing the worker (and poisoning the slot mutex for
+                // everyone else). `run_point` takes everything by value
+                // or shared reference, so no observable state survives an
+                // unwind torn — AssertUnwindSafe is sound.
+                let point = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_point(config, pattern, load, windows, seed)
+                }))
+                .map_err(|payload| SweepPointError::Panicked(panic_message(&*payload)))
+                .and_then(|r| r.map_err(SweepPointError::Config));
+                // Lock despite poison: a slot write is a plain assignment,
+                // so a poisoned mutex only means some *other* slot is
+                // still `None`, which its own error entry reports.
+                let mut guard = match slots.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard[i] = Some(point);
             });
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
+    SweepReport {
+        points: loads
+            .iter()
+            .zip(results)
+            .map(|(&load, slot)| {
+                let outcome = slot.unwrap_or_else(|| {
+                    Err(SweepPointError::Panicked(
+                        "worker exited without reporting".to_string(),
+                    ))
+                });
+                (load, outcome)
+            })
+            .collect(),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Mean waiting-plus-service time of an M/D/1 queue with unit service time
@@ -187,4 +285,81 @@ pub fn saturation_throughput(
     seed: u64,
 ) -> Result<f64, ValidateConfigError> {
     Ok(run_point(config, pattern, 1.0, windows, seed)?.throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempool::Topology;
+
+    fn quick_windows() -> Windows {
+        Windows {
+            warmup: 50,
+            measure: 200,
+            drain: 5_000,
+        }
+    }
+
+    #[test]
+    fn a_panicking_point_yields_partial_results() {
+        // A negative load trips `TrafficGen::new`'s rate assertion inside
+        // the worker — formerly this poisoned the slot mutex and unwound
+        // the whole sweep through `expect("every index filled")`.
+        let loads = [0.02, -1.0, 0.05];
+        let report = run_sweep(
+            ClusterConfig::small(Topology::Ideal),
+            Pattern::Uniform,
+            &loads,
+            quick_windows(),
+            7,
+        );
+        assert_eq!(report.points.len(), loads.len());
+        let successes = report.successes();
+        assert_eq!(successes.len(), 2);
+        assert_eq!(successes[0].offered_load, 0.02);
+        assert_eq!(successes[1].offered_load, 0.05);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        let (load, err) = failures[0];
+        assert_eq!(load, -1.0);
+        match err {
+            SweepPointError::Panicked(msg) => {
+                assert!(msg.contains("rate must be non-negative"), "{msg}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The aligned slots keep load order; `into_complete` names the
+        // failing load.
+        let (bad_load, _) = report.into_complete().expect_err("one point failed");
+        assert_eq!(bad_load, -1.0);
+    }
+
+    #[test]
+    fn an_invalid_config_is_a_typed_error_per_point() {
+        let mut config = ClusterConfig::small(Topology::Top4);
+        config.num_tiles = 3; // not a power of two: validation fails
+        let report = run_sweep(config, Pattern::Uniform, &[0.1], quick_windows(), 7);
+        assert!(report.successes().is_empty());
+        assert!(matches!(
+            report.points[0].1,
+            Err(SweepPointError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn a_clean_sweep_is_complete_and_ordered() {
+        let loads = [0.01, 0.04];
+        let report = run_sweep(
+            ClusterConfig::small(Topology::Ideal),
+            Pattern::Uniform,
+            &loads,
+            quick_windows(),
+            7,
+        );
+        assert!(report.failures().is_empty());
+        let points = report.into_complete().expect("no failures");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].offered_load, 0.01);
+        assert_eq!(points[1].offered_load, 0.04);
+    }
 }

@@ -34,6 +34,9 @@ pub use campaign::{
     CampaignConfig, CampaignError, CampaignProgress, CampaignReport, Trial, TrialCheckpoint,
     TrialOutcome, TrialPhase,
 };
-pub use experiment::{md1_latency, run_point, run_sweep, saturation_throughput, SweepPoint, Windows};
+pub use experiment::{
+    md1_latency, run_point, run_sweep, saturation_throughput, SweepPoint, SweepPointError,
+    SweepReport, Windows,
+};
 pub use gen::{AddressSpace, GenStats, Pattern, Permutation, TrafficGen};
 pub use replay::{replay_trace, ReplayCore, ReplayTiming};

@@ -1,0 +1,325 @@
+//! The simulator benchmark harness behind `mempool-run --bench-json`.
+//!
+//! Measures *simulator throughput* — how many simulated cluster cycles
+//! (and core·cycles) one wall-clock second buys — for the serial and the
+//! tile-parallel engine on the ideal/Top4/TopH topologies at 16 and 256
+//! cores, and cross-checks that both engines land on the identical
+//! `state_digest` (the same oracle the differential tests pin). The
+//! resulting `BENCH_*.json` gives every future PR a perf trajectory to
+//! move; see DESIGN.md §10 for the schema.
+
+use mempool::{Cluster, ClusterConfig, Topology};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag stamped into every report.
+pub const BENCH_SCHEMA: &str = "mempool-bench-v1";
+
+/// The workload: every core hammers its own 16-word slice of the
+/// interleaved region forever — steady mixed local/remote traffic with no
+/// halt, so a measurement window of any length is representative.
+fn workload() -> mempool_riscv::Program {
+    mempool_riscv::assemble(
+        "csrr t0, mhartid\n\
+         li   t2, 0x10000\n\
+         slli t3, t0, 6\n\
+         add  t3, t3, t2\n\
+         forever:\n\
+         mv   t6, t3\n\
+         li   t4, 16\n\
+         loop:\n\
+         sw   t0, 0(t6)\n\
+         lw   t5, 0(t6)\n\
+         add  t0, t0, t5\n\
+         addi t6, t6, 4\n\
+         addi t4, t4, -1\n\
+         bnez t4, loop\n\
+         csrr t0, mhartid\n\
+         j    forever\n",
+    )
+    .expect("benchmark workload assembles")
+}
+
+/// Benchmark run parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Measured cycles per point.
+    pub cycles: u64,
+    /// Warm-up cycles before the timed window (fills the I-caches and the
+    /// network).
+    pub warmup: u64,
+    /// Worker count for the parallel-engine points (`0` = one worker per
+    /// available hardware thread).
+    pub workers: usize,
+    /// Cluster sizes to measure (subset of {16, 64, 256} cores).
+    pub core_counts: Vec<usize>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            cycles: 2_000,
+            warmup: 200,
+            workers: 0,
+            core_counts: vec![16, 256],
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The effective parallel worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One measured (topology, size, engine) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Total cores of the measured cluster.
+    pub cores: usize,
+    /// `"serial"` or `"parallel"`.
+    pub engine: &'static str,
+    /// Worker threads used (0 for the serial engine).
+    pub workers: usize,
+    /// Measured simulated cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds for the measured window.
+    pub wall_seconds: f64,
+    /// Simulated cluster cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+    /// Simulated core·cycles per wall-clock second.
+    pub core_cycles_per_sec: f64,
+    /// `state_digest` at the end of the window (cross-checked below).
+    pub state_digest: u64,
+}
+
+/// The serial/parallel digest cross-check of one (topology, size) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestCheck {
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Total cores.
+    pub cores: usize,
+    /// Cycles both engines simulated (warmup + measured window).
+    pub cycles: u64,
+    /// Final digest of the serial engine.
+    pub serial_digest: u64,
+    /// Final digest of the parallel engine.
+    pub parallel_digest: u64,
+}
+
+impl DigestCheck {
+    /// Whether both engines agree.
+    pub fn matches(&self) -> bool {
+        self.serial_digest == self.parallel_digest
+    }
+}
+
+/// A full benchmark report: the measured points plus the digest
+/// cross-checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Every measured point.
+    pub points: Vec<BenchPoint>,
+    /// One serial-vs-parallel check per (topology, size).
+    pub digest_checks: Vec<DigestCheck>,
+}
+
+impl BenchReport {
+    /// Whether every digest cross-check passed.
+    pub fn digests_match(&self) -> bool {
+        self.digest_checks.iter().all(DigestCheck::matches)
+    }
+
+    /// Renders the report as the `BENCH_*.json` document (schema in
+    /// DESIGN.md §10).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BENCH_SCHEMA}\",");
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"topology\": \"{}\", \"cores\": {}, \"engine\": \"{}\", \
+                 \"workers\": {}, \"cycles\": {}, \"wall_seconds\": {:.6}, \
+                 \"sim_cycles_per_sec\": {:.1}, \"core_cycles_per_sec\": {:.1}, \
+                 \"state_digest\": \"{:#018x}\"}}",
+                p.topology,
+                p.cores,
+                p.engine,
+                p.workers,
+                p.cycles,
+                p.wall_seconds,
+                p.sim_cycles_per_sec,
+                p.core_cycles_per_sec,
+                p.state_digest,
+            );
+            out.push_str(if i + 1 < self.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"digest_checks\": [\n");
+        for (i, c) in self.digest_checks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"topology\": \"{}\", \"cores\": {}, \"cycles\": {}, \
+                 \"serial_digest\": \"{:#018x}\", \"parallel_digest\": \"{:#018x}\", \
+                 \"match\": {}}}",
+                c.topology,
+                c.cores,
+                c.cycles,
+                c.serial_digest,
+                c.parallel_digest,
+                c.matches(),
+            );
+            out.push_str(if i + 1 < self.digest_checks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The cluster configuration of one benchmark size: 16 cores is the
+/// 4-tile small cluster (the CI smoke size), 64 the paper's small
+/// configuration, 256 the full paper cluster.
+///
+/// # Errors
+///
+/// An unsupported core count.
+pub fn bench_cluster_config(topology: Topology, cores: usize) -> Result<ClusterConfig, String> {
+    match cores {
+        16 => {
+            // Keep the small cluster's 16-tile fabric (TopH needs 4 tiles
+            // per group for its inter-group butterflies) and thin each
+            // tile to one core.
+            let mut config = ClusterConfig::small(topology);
+            config.cores_per_tile = 1;
+            Ok(config)
+        }
+        64 => Ok(ClusterConfig::small(topology)),
+        256 => Ok(ClusterConfig::paper(topology)),
+        other => Err(format!("unsupported bench size: {other} cores (16/64/256)")),
+    }
+}
+
+fn bench_cluster(
+    topology: Topology,
+    cores: usize,
+    workers: usize,
+) -> Result<Cluster<mempool_snitch::SnitchCore>, String> {
+    let config = bench_cluster_config(topology, cores)?;
+    let mut cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
+    cluster
+        .load_program(&workload())
+        .map_err(|e| e.to_string())?;
+    cluster.set_parallel(workers);
+    Ok(cluster)
+}
+
+/// Runs the full benchmark matrix: {serial, parallel} × `core_counts` ×
+/// {ideal, Top4, TopH}, one digest cross-check per cell.
+///
+/// # Errors
+///
+/// Configuration errors (unsupported size) only; measurement itself is
+/// infallible.
+pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
+    let workers = config.effective_workers();
+    let topologies = [Topology::Ideal, Topology::Top4, Topology::TopH];
+    let mut report = BenchReport {
+        points: Vec::new(),
+        digest_checks: Vec::new(),
+    };
+    for &cores in &config.core_counts {
+        for topology in topologies {
+            let mut digests = [0u64; 2];
+            for (slot, engine_workers) in [(0, 0usize), (1, workers)] {
+                let engine = if engine_workers == 0 { "serial" } else { "parallel" };
+                let mut cluster = bench_cluster(topology, cores, engine_workers)?;
+                cluster.step_cycles(config.warmup);
+                let start = Instant::now();
+                cluster.step_cycles(config.cycles);
+                let wall = start.elapsed().as_secs_f64().max(1e-9);
+                digests[slot] = cluster.state_digest();
+                report.points.push(BenchPoint {
+                    topology,
+                    cores,
+                    engine,
+                    workers: engine_workers,
+                    cycles: config.cycles,
+                    wall_seconds: wall,
+                    sim_cycles_per_sec: config.cycles as f64 / wall,
+                    core_cycles_per_sec: (config.cycles * cores as u64) as f64 / wall,
+                    state_digest: digests[slot],
+                });
+            }
+            report.digest_checks.push(DigestCheck {
+                topology,
+                cores,
+                cycles: config.warmup + config.cycles,
+                serial_digest: digests[0],
+                parallel_digest: digests[1],
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_consistent_and_digests_match() {
+        let config = BenchConfig {
+            cycles: 300,
+            warmup: 50,
+            workers: 2,
+            core_counts: vec![16],
+        };
+        let report = run_bench(&config).expect("bench runs");
+        assert_eq!(report.points.len(), 6); // 3 topologies × 2 engines
+        assert_eq!(report.digest_checks.len(), 3);
+        assert!(report.digests_match(), "{:#?}", report.digest_checks);
+        for p in &report.points {
+            assert!(p.wall_seconds > 0.0);
+            assert!(p.sim_cycles_per_sec > 0.0);
+            assert_eq!(
+                p.core_cycles_per_sec,
+                p.sim_cycles_per_sec * p.cores as f64
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mempool-bench-v1\""));
+        assert!(json.contains("\"match\": true"));
+        assert!(!json.contains("\"match\": false"));
+        // Crude structural sanity: balanced braces/brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count()
+        );
+    }
+
+    #[test]
+    fn unsupported_size_is_a_typed_error() {
+        let err = bench_cluster_config(Topology::TopH, 12).expect_err("12 cores unsupported");
+        assert!(err.contains("12"), "{err}");
+    }
+}

@@ -35,6 +35,10 @@ struct Options {
     checkpoint_file: Option<String>,
     resume: Option<String>,
     json: bool,
+    parallel: usize,
+    bench_json: Option<String>,
+    bench_cores: Vec<usize>,
+    bench_cycles: u64,
     path: String,
 }
 
@@ -59,6 +63,12 @@ options:
   --checkpoint-file <file>           checkpoint path (default <program.s>.ckpt)
   --resume <file>                    restore a checkpoint and continue the run
   --json                             machine-readable result (incl. state digest)
+  --parallel <n>                     step tiles on n worker threads (0 = serial,
+                                     bit-identical results either way)
+  --bench-json <file>                run the simulator benchmark matrix instead of
+                                     a program and write the report to <file>
+  --bench-cores <16|256|all>         bench cluster sizes (default all)
+  --bench-cycles <n>                 measured cycles per bench point (default 2000)
   --help                             this text
 
 exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
@@ -123,6 +133,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
         checkpoint_file: None,
         resume: None,
         json: false,
+        parallel: 0,
+        bench_json: None,
+        bench_cores: vec![16, 256],
+        bench_cycles: 2_000,
         path: String::new(),
     };
     let invalid = |option: &'static str, reason: &str| ParseArgsError::InvalidValue {
@@ -207,14 +221,73 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
             "--checkpoint-file" => opts.checkpoint_file = Some(value("--checkpoint-file")?),
             "--resume" => opts.resume = Some(value("--resume")?),
             "--json" => opts.json = true,
+            "--parallel" => {
+                opts.parallel = value("--parallel")?
+                    .parse()
+                    .map_err(|_| invalid("--parallel", "expected a worker count"))?;
+            }
+            "--bench-json" => opts.bench_json = Some(value("--bench-json")?),
+            "--bench-cores" => {
+                opts.bench_cores = match value("--bench-cores")?.as_str() {
+                    "16" => vec![16],
+                    "256" => vec![256],
+                    "all" => vec![16, 256],
+                    other => {
+                        return Err(invalid(
+                            "--bench-cores",
+                            &format!("expected 16, 256 or all, got `{other}`"),
+                        ))
+                    }
+                };
+            }
+            "--bench-cycles" => {
+                opts.bench_cycles = value("--bench-cycles")?
+                    .parse()
+                    .map_err(|_| invalid("--bench-cycles", "expected a cycle count"))?;
+                if opts.bench_cycles == 0 {
+                    return Err(invalid("--bench-cycles", "must be nonzero"));
+                }
+            }
             "--help" | "-h" => return Err(ParseArgsError::Help),
             _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
             _ if opts.path.is_empty() => opts.path = arg,
             _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
         }
     }
-    if opts.path.is_empty() && !opts.describe {
+    if opts.path.is_empty() && !opts.describe && opts.bench_json.is_none() {
         return Err(ParseArgsError::MissingProgram);
+    }
+    if opts.bench_json.is_some() {
+        if !opts.path.is_empty() {
+            return Err(ParseArgsError::Conflict(
+                "--bench-json runs its own workload; drop the program path",
+            ));
+        }
+        if opts.functional {
+            return Err(ParseArgsError::Conflict(
+                "--bench-json requires the cycle-accurate simulator",
+            ));
+        }
+        if opts.faults.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--bench-json measures the fault-free engines",
+            ));
+        }
+        if opts.json {
+            return Err(ParseArgsError::Conflict(
+                "--bench-json already writes a JSON report",
+            ));
+        }
+        if opts.checkpoint_every > 0 || opts.checkpoint_file.is_some() || opts.resume.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--bench-json cannot be combined with checkpointing",
+            ));
+        }
+    }
+    if opts.functional && opts.parallel > 0 {
+        return Err(ParseArgsError::Conflict(
+            "--parallel requires the cycle-accurate simulator",
+        ));
     }
     if opts.functional {
         if opts.faults.is_some() {
@@ -312,7 +385,49 @@ fn main() -> ExitCode {
     }
 }
 
+/// Runs the benchmark matrix and writes the report; a digest divergence
+/// between the serial and parallel engines is a hard error (exit 1).
+fn run_bench_mode(opts: &Options, out: &str) -> Result<(), String> {
+    use mempool_suite::bench::{run_bench, BenchConfig};
+    let config = BenchConfig {
+        cycles: opts.bench_cycles,
+        workers: opts.parallel,
+        core_counts: opts.bench_cores.clone(),
+        ..BenchConfig::default()
+    };
+    let report = run_bench(&config)?;
+    std::fs::write(out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "bench: {} points, {} digest checks -> {out}",
+        report.points.len(),
+        report.digest_checks.len()
+    );
+    for p in &report.points {
+        println!(
+            "  {:>5} {:>3} cores {:>8}: {:>12.0} sim-cycles/s ({:.2e} core-cycles/s)",
+            p.topology.to_string(),
+            p.cores,
+            p.engine,
+            p.sim_cycles_per_sec,
+            p.core_cycles_per_sec
+        );
+    }
+    if !report.digests_match() {
+        for c in report.digest_checks.iter().filter(|c| !c.matches()) {
+            eprintln!(
+                "digest divergence: {} at {} cores after {} cycles: serial {:#018x} != parallel {:#018x}",
+                c.topology, c.cores, c.cycles, c.serial_digest, c.parallel_digest
+            );
+        }
+        return Err("serial and parallel engines diverged".to_string());
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    if let Some(out) = &opts.bench_json {
+        return run_bench_mode(opts, out);
+    }
     if opts.describe {
         let mut config = if opts.small {
             ClusterConfig::small(opts.topology)
@@ -361,6 +476,7 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     let mut cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
     cluster.load_program(&program).map_err(|e| e.to_string())?;
+    cluster.set_parallel(opts.parallel);
     if let Some(spec) = opts.faults {
         if !opts.json {
             println!("fault injection: {spec} (seed {})", opts.seed);
@@ -549,6 +665,60 @@ mod tests {
         assert_eq!(o.dump_regs, Some(7));
         assert_eq!(o.dump_mem, Some((0x100, 8)));
         assert_eq!(o.trace_core, Some(3));
+    }
+
+    #[test]
+    fn parallel_and_bench_flags() {
+        let o = args(&["--parallel", "8", "p.s"]).unwrap();
+        assert_eq!(o.parallel, 8);
+        assert!(o.bench_json.is_none());
+
+        // Bench mode needs no program path and carries its own knobs.
+        let o = args(&[
+            "--bench-json", "out.json", "--bench-cores", "16", "--bench-cycles", "500",
+            "--parallel", "4",
+        ])
+        .unwrap();
+        assert_eq!(o.bench_json.as_deref(), Some("out.json"));
+        assert_eq!(o.bench_cores, vec![16]);
+        assert_eq!(o.bench_cycles, 500);
+        assert_eq!(o.parallel, 4);
+        let o = args(&["--bench-json", "out.json", "--bench-cores", "all"]).unwrap();
+        assert_eq!(o.bench_cores, vec![16, 256]);
+
+        assert!(matches!(
+            args(&["--parallel", "lots", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--parallel", .. })
+        ));
+        assert!(matches!(
+            args(&["--bench-cores", "12", "--bench-json", "o.json"]),
+            Err(ParseArgsError::InvalidValue { option: "--bench-cores", .. })
+        ));
+        assert!(matches!(
+            args(&["--bench-cycles", "0", "--bench-json", "o.json"]),
+            Err(ParseArgsError::InvalidValue { option: "--bench-cycles", .. })
+        ));
+        // Conflicts are typed, not silently ignored.
+        assert!(matches!(
+            args(&["--bench-json", "o.json", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--bench-json", "o.json", "--functional"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--bench-json", "o.json", "--json"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--bench-json", "o.json", "--faults", "bank_fail=1"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--functional", "--parallel", "2", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
     }
 
     #[test]

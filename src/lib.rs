@@ -7,6 +7,8 @@
 //! Start from [`mempool`] (the cluster simulator) or the repository
 //! README.
 
+pub mod bench;
+
 pub use mempool;
 pub use mempool_kernels;
 pub use mempool_mem;
