@@ -1,5 +1,5 @@
 //! Criterion benchmark of the serial vs. tile-parallel cluster engine
-//! (`Cluster::set_parallel`): host time per simulated cycle on the
+//! (`Cluster::set_workers`): host time per simulated cycle on the
 //! 64-core small and 256-core paper configurations, per topology. These
 //! complement the offline `mempool-run --bench-json` harness (which needs
 //! no registry access) with statistically rigorous Criterion runs.
@@ -37,7 +37,7 @@ fn workload() -> mempool_riscv::Program {
 fn warmed_cluster(config: ClusterConfig, workers: usize) -> Cluster<SnitchCore> {
     let mut cluster = Cluster::snitch(config).expect("valid config");
     cluster.load_program(&workload()).expect("program loads");
-    cluster.set_parallel(workers);
+    cluster.set_workers(workers);
     cluster.step_cycles(200);
     cluster
 }

@@ -238,6 +238,10 @@ pub struct Cluster<C> {
     pub(crate) deliveries: Vec<Response>,
     pub(crate) refill_ring: Option<RefillRing>,
     pub(crate) trace: Option<crate::MemoryTrace>,
+    /// Observability recorder (`None` = disabled, the zero-cost default).
+    /// Architectural state once enabled: snapshotted and digested, so
+    /// metrics survive checkpoint/restore bit-identically.
+    pub(crate) obs: Option<Box<crate::obs::Obs>>,
     // --- fault injection and resilience ---
     pub(crate) faults: Option<FaultPlan>,
     pub(crate) quarantine: QuarantineMap,
@@ -301,6 +305,7 @@ impl<C: Core> Cluster<C> {
                 }
             },
             trace: None,
+            obs: None,
             faults: None,
             quarantine: QuarantineMap::new(map),
             pending: BTreeMap::new(),
@@ -366,7 +371,7 @@ impl<C: Core> Cluster<C> {
     /// Scheduled bank failures are re-derived from the plan and land within
     /// the first [`FaultPlan::bank_failures`] window of cycles after this
     /// call; quarantine state and the fault log restart.
-    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+    pub fn install_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.quarantine = QuarantineMap::new(self.map);
         self.fault_log.clear();
         self.pending_failures.clear();
@@ -388,6 +393,12 @@ impl<C: Core> Cluster<C> {
             self.pending_failures = failures;
         }
         self.faults = plan;
+    }
+
+    /// Deprecated alias of [`install_fault_plan`](Cluster::install_fault_plan).
+    #[deprecated(since = "0.4.0", note = "use `install_fault_plan` (or `SimSession::builder`)")]
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.install_fault_plan(plan);
     }
 
     /// The active fault plan, if any.
@@ -416,9 +427,9 @@ impl<C: Core> Cluster<C> {
     /// [`state_digest`](Cluster::state_digest) after any number of cycles,
     /// any topology, any fault plan, any worker count), it is excluded
     /// from snapshots, and it can be switched at any cycle boundary.
-    /// `set_parallel(1)` exercises the full staging/merge machinery on the
+    /// `set_workers(1)` exercises the full staging/merge machinery on the
     /// calling thread alone — useful for debugging the staged path.
-    pub fn set_parallel(&mut self, workers: usize) {
+    pub fn set_workers(&mut self, workers: usize) {
         if workers == 0 {
             self.engine = None;
             return;
@@ -431,6 +442,12 @@ impl<C: Core> Cluster<C> {
             resp_stages: vec![Vec::new(); num_tiles],
             accept_stages: vec![(0, 0); num_tiles],
         });
+    }
+
+    /// Deprecated alias of [`set_workers`](Cluster::set_workers).
+    #[deprecated(since = "0.4.0", note = "use `set_workers` (or `SimSession::builder`)")]
+    pub fn set_parallel(&mut self, workers: usize) {
+        self.set_workers(workers);
     }
 
     /// The effective parallelism: `0` when stepping serially, otherwise
@@ -513,14 +530,139 @@ impl<C: Core> Cluster<C> {
 
     /// Starts recording every core's memory requests (cycle, pre-scramble
     /// address, read/write) into a [`MemoryTrace`](crate::MemoryTrace).
-    pub fn start_trace(&mut self) {
+    pub fn begin_trace(&mut self) {
         self.trace = Some(crate::MemoryTrace::new(self.config.num_cores()));
+    }
+
+    /// Deprecated alias of [`begin_trace`](Cluster::begin_trace).
+    #[deprecated(since = "0.4.0", note = "use `begin_trace` (or `SimSession::builder`)")]
+    pub fn start_trace(&mut self) {
+        self.begin_trace();
     }
 
     /// Stops recording and returns the captured trace (`None` when tracing
     /// was never started).
     pub fn take_trace(&mut self) -> Option<crate::MemoryTrace> {
         self.trace.take()
+    }
+
+    /// Turns on the observability recorder: per-tile latency histograms
+    /// and (when `config` enables sampling) a bounded timeline of request
+    /// spans. Until this is called the recorder is absent and the hot path
+    /// pays nothing for it.
+    ///
+    /// Once enabled, the recorder's contents are architectural state:
+    /// included in snapshots and the [`state_digest`](Cluster::state_digest),
+    /// and bit-identical between the serial and tile-parallel engines.
+    pub fn enable_observability(&mut self, config: crate::obs::ObsConfig) {
+        self.obs = Some(Box::new(crate::obs::Obs::new(
+            config,
+            self.config.num_tiles,
+        )));
+    }
+
+    /// Whether the observability recorder is currently attached.
+    pub fn observability_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The sampled request timeline recorded so far (`None` when
+    /// observability is disabled). Non-destructive: the recorder keeps
+    /// accumulating after the call.
+    pub fn timeline(&self) -> Option<crate::obs::TimelineTrace> {
+        self.obs.as_ref().map(|o| o.timeline())
+    }
+
+    /// Builds a [`MetricsRegistry`](crate::MetricsRegistry) snapshot of
+    /// every counter and histogram in the cluster, organised by scope path
+    /// (`cluster`, `cluster/tile{t}`, `cluster/tile{t}/core{c}`,
+    /// `cluster/tile{t}/bank{b}`, `cluster/link{id}`, `cluster/ring`).
+    ///
+    /// Always available; the per-tile latency histograms additionally
+    /// require [`enable_observability`](Cluster::enable_observability).
+    /// The registry is a pure function of architectural state, so two
+    /// clusters with equal [`state_digest`](Cluster::state_digest)s export
+    /// byte-identical [`MetricsRegistry::to_json`](crate::MetricsRegistry::to_json).
+    pub fn metrics_registry(&self) -> crate::MetricsRegistry {
+        use crate::obs::MetricScope;
+        let c = &self.config;
+        let mut reg = crate::MetricsRegistry::new(
+            c.topology.to_string(),
+            c.num_tiles,
+            c.num_cores(),
+            c.banks_per_tile,
+        );
+
+        let s = &self.stats;
+        let (net_occupancy, net_register_slots) = self.net.occupancy();
+        let mut cluster_scope = MetricScope::new("cluster".to_owned());
+        cluster_scope
+            .counter_entry("cycles", s.cycles)
+            .counter_entry("requests_issued", s.requests_issued)
+            .counter_entry("responses_delivered", s.responses_delivered)
+            .counter_entry("bank_accesses", s.bank_accesses)
+            .counter_entry("local_requests", s.local_requests)
+            .counter_entry("remote_requests", s.remote_requests)
+            .counter_entry("group_local_requests", s.group_local_requests)
+            .counter_entry("icache_refills", s.icache_refills)
+            .counter_entry("memory_faults", s.memory_faults)
+            .counter_entry("in_flight", self.in_flight)
+            .counter_entry("net_occupancy", net_occupancy)
+            .counter_entry("net_register_slots", net_register_slots)
+            .histogram_entry("latency", (&s.latency).into());
+        reg.push_scope(cluster_scope);
+
+        for (t, tile) in self.tiles.iter().enumerate() {
+            let ic = tile.icache_stats();
+            let mut ts = MetricScope::new(format!("cluster/tile{t}"));
+            ts.counter_entry("bank_accesses", s.tile_accesses[t])
+                .counter_entry("icache_hits", ic.hits)
+                .counter_entry("icache_misses", ic.misses)
+                .counter_entry("icache_refills", tile.refills())
+                .counter_entry("req_fabric_grants", tile.req_fabric.total_grants())
+                .counter_entry("resp_fabric_grants", tile.resp_fabric.total_grants());
+            if let Some(obs) = &self.obs {
+                ts.histogram_entry("latency", (&obs.tile_latency[t]).into());
+            }
+            reg.push_scope(ts);
+
+            for lane in 0..c.cores_per_tile {
+                let core = t * c.cores_per_tile + lane;
+                let counters = self.cores[core].metric_counters();
+                if counters.is_empty() {
+                    continue;
+                }
+                let mut cs = MetricScope::new(format!("cluster/tile{t}/core{core}"));
+                for (name, value) in counters {
+                    cs.counter_entry(name, value);
+                }
+                reg.push_scope(cs);
+            }
+
+            for (b, bank) in tile.banks.iter().enumerate() {
+                let mut bs = MetricScope::new(format!("cluster/tile{t}/bank{b}"));
+                bs.counter_entry("accesses", bank.accesses());
+                reg.push_scope(bs);
+            }
+        }
+
+        self.net.for_each_link_stats(&mut |id, link| {
+            let mut ls = MetricScope::new(format!("cluster/link{id}"));
+            ls.counter_entry("pushes", link.pushes)
+                .counter_entry("occupancy", link.occupancy)
+                .counter_entry("is_req", u64::from(link.is_req));
+            reg.push_scope(ls);
+        });
+
+        if let Some(rr) = &self.refill_ring {
+            let mut rs = MetricScope::new("cluster/ring".to_owned());
+            rs.counter_entry("injected", rr.ring.injected())
+                .counter_entry("ejected", rr.ring.ejected())
+                .counter_entry("in_flight", rr.ring.in_flight() as u64);
+            reg.push_scope(rs);
+        }
+
+        reg
     }
 
     /// FNV-1a digest over the entire L1 contents (physical order) — a
@@ -755,7 +897,7 @@ impl<C: Core> Cluster<C> {
 
     /// Advances the whole cluster by one clock cycle.
     ///
-    /// With [`set_parallel`](Cluster::set_parallel) active, the tile-local
+    /// With [`set_workers`](Cluster::set_workers) active, the tile-local
     /// phases (I-cache refill ports, tile response crossbars, the core
     /// phase, tile request crossbars + bank accesses) fan out over the
     /// worker pool into per-tile staging buffers and are merged back in
@@ -998,6 +1140,10 @@ impl<C: Core> Cluster<C> {
                 self.pending.remove(&(resp.core, resp.tag));
             }
             self.stats.latency.record(now - resp.issued_at);
+            if let Some(obs) = &mut self.obs {
+                let tile = resp.core / self.config.cores_per_tile as u32;
+                obs.on_delivery(resp.core, tile, resp.issued_at, now - resp.issued_at);
+            }
             self.stats.responses_delivered += 1;
             self.in_flight -= 1;
             self.cores[resp.core as usize].deliver(DataResponse {
@@ -1414,6 +1560,10 @@ impl<C: Core> Cluster<C> {
         self.out_latches.iter_mut().for_each(|l| *l = None);
         self.in_flight = 0;
         self.stats = ClusterStats::with_tiles(self.config.num_tiles);
+        // The recorder restarts empty but stays enabled with its config.
+        if let Some(obs) = &mut self.obs {
+            **obs = crate::obs::Obs::new(obs.config, self.config.num_tiles);
+        }
         if let Some(ring) = &mut self.refill_ring {
             *ring = RefillRing::new(self.config.num_tiles, ring.l2_latency);
         }

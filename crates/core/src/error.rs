@@ -1,0 +1,130 @@
+//! The unified simulator error type.
+//!
+//! Every fallible operation in this crate reports one of a small set of
+//! typed errors (configuration validation, program decoding, simulation
+//! faults, snapshot decoding, metrics lookups, I/O). [`Error`] is the
+//! top-level sum of all of them, with [`std::error::Error::source`] chains
+//! preserved so callers can both `match` on the category and walk the
+//! underlying cause. The [`SimSession`](crate::SimSession) API returns
+//! `Error` throughout; the narrow per-subsystem error types remain
+//! available for code that wants them.
+
+use crate::faults::{BusError, SimError};
+use crate::obs::MetricsError;
+use crate::snapshot::SnapshotError;
+use crate::ValidateConfigError;
+use std::fmt;
+use std::io;
+
+/// Any error the simulator can raise, by subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The cluster configuration is geometrically inconsistent.
+    Config(ValidateConfigError),
+    /// A program image failed to decode.
+    Decode(mempool_riscv::DecodeError),
+    /// The simulation stopped abnormally (timeout or deadlock).
+    Sim(SimError),
+    /// A host-side memory access fell outside L1.
+    Bus(BusError),
+    /// A snapshot failed to load or restore.
+    Snapshot(SnapshotError),
+    /// A metrics registry lookup failed.
+    Metrics(MetricsError),
+    /// An underlying I/O operation failed (checkpoint files, exports).
+    Io(io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(_) => write!(f, "invalid cluster configuration"),
+            Error::Decode(_) => write!(f, "program decode failed"),
+            Error::Sim(_) => write!(f, "simulation stopped abnormally"),
+            Error::Bus(_) => write!(f, "host memory access outside L1"),
+            Error::Snapshot(_) => write!(f, "snapshot rejected"),
+            Error::Metrics(_) => write!(f, "metrics lookup failed"),
+            Error::Io(_) => write!(f, "i/o error"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Decode(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Bus(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
+            Error::Metrics(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidateConfigError> for Error {
+    fn from(e: ValidateConfigError) -> Error {
+        Error::Config(e)
+    }
+}
+
+impl From<mempool_riscv::DecodeError> for Error {
+    fn from(e: mempool_riscv::DecodeError) -> Error {
+        Error::Decode(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Error {
+        Error::Sim(e)
+    }
+}
+
+impl From<BusError> for Error {
+    fn from(e: BusError) -> Error {
+        Error::Bus(e)
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Error {
+        Error::Snapshot(e)
+    }
+}
+
+impl From<MetricsError> for Error {
+    fn from(e: MetricsError) -> Error {
+        Error::Metrics(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chain_reaches_the_underlying_error() {
+        let e = Error::from(MetricsError::UnknownScope {
+            path: "cluster/tile99".to_owned(),
+        });
+        let src = e.source().expect("wrapped error has a source");
+        assert!(src.to_string().contains("cluster/tile99"));
+        assert!(e.to_string().contains("metrics"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.source().is_some());
+    }
+}

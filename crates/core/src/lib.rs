@@ -56,16 +56,20 @@
 
 mod cluster;
 mod config;
+mod error;
 pub mod faults;
 mod functional;
 mod net;
+pub mod obs;
 mod packet;
 mod par;
+mod session;
 pub mod snapshot;
 mod stats;
 mod tile;
 
 pub use cluster::{Cluster, CoreLocation, RunTimeoutError};
+pub use error::Error;
 pub use faults::{
     BankFailure, BusError, DeadlockDiagnostic, FaultEvent, FaultLog, FaultPlan, FaultSpec,
     LinkFaultKind, ParseFaultSpecError, PendingDump, SimError, TileDiagnostic,
@@ -74,7 +78,12 @@ pub use functional::{FunctionalSim, FunctionalTimeoutError};
 pub use config::{
     ClusterConfig, IcacheConfig, RefillNetwork, ResilienceConfig, Topology, ValidateConfigError,
 };
+pub use obs::{
+    HistogramSnapshot, MetricScope, MetricsError, MetricsRegistry, ObsConfig, TimelineTrace,
+    TraceSpan, METRICS_SCHEMA,
+};
 pub use packet::{MemoryTrace, Request, Response, TraceEvent};
+pub use session::{SimSession, SimSessionBuilder};
 pub use snapshot::{
     bisect_divergence, ByteReader, ClusterSnapshot, ComponentDiff, CoreState, DivergenceReport,
     Fnv, SnapshotError, StateSink,
@@ -132,7 +141,7 @@ impl<C: Core> L1Memory for Cluster<C> {
 /// synthetic traffic generator for the network analysis of §V-A/§V-B.
 ///
 /// `Send` is a supertrait so the tile-parallel engine
-/// ([`Cluster::set_parallel`]) can step each tile's cores on a worker
+/// ([`Cluster::set_workers`]) can step each tile's cores on a worker
 /// thread; core models are plain data, so this costs implementors nothing.
 pub trait Core: Send {
     /// Delivers a completed memory response (called before [`step`] within
@@ -165,6 +174,14 @@ pub trait Core: Send {
     /// executing it (a spurious retire). The default does nothing; traffic
     /// generators have no program counter to skip.
     fn spurious_retire(&mut self) {}
+
+    /// The core's observability counters as `(name, value)` pairs — the
+    /// `cluster/tile{t}/core{c}` scope of the metrics registry. The default
+    /// reports nothing; core models with performance counters should
+    /// return them in a stable declaration order.
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl Core for mempool_snitch::SnitchCore {
@@ -195,5 +212,9 @@ impl Core for mempool_snitch::SnitchCore {
 
     fn spurious_retire(&mut self) {
         self.skip_instruction();
+    }
+
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        self.stats().counters().to_vec()
     }
 }

@@ -35,6 +35,17 @@ pub(crate) enum LinkRef<'a> {
     Resp(&'a mut ElasticBuffer<Response>),
 }
 
+/// Observability counters of one interconnect register stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LinkStatView {
+    /// Items currently held (stored + staged).
+    pub occupancy: u64,
+    /// Lifetime accepted pushes.
+    pub pushes: u64,
+    /// Whether this stage carries requests (`false`: responses).
+    pub is_req: bool,
+}
+
 pub(crate) enum Net {
     Ideal(IdealNet),
     Global(GlobalNet),
@@ -152,6 +163,71 @@ impl Net {
                 }
                 for reg in &mut n.boundary_resp {
                     f(id, LinkRef::Resp(reg));
+                    id += 1;
+                }
+            }
+        }
+    }
+
+    /// Visits every register stage immutably with its stable link id (the
+    /// same ids as [`for_each_link`](Net::for_each_link)) and the
+    /// observability counters of that stage. Used to build the
+    /// `cluster/link{id}` scopes of the metrics registry.
+    pub fn for_each_link_stats(&self, f: &mut dyn FnMut(u64, LinkStatView)) {
+        fn req<T>(b: &ElasticBuffer<T>) -> LinkStatView {
+            LinkStatView {
+                occupancy: b.len() as u64,
+                pushes: b.pushes(),
+                is_req: true,
+            }
+        }
+        fn resp<T>(b: &ElasticBuffer<T>) -> LinkStatView {
+            LinkStatView {
+                occupancy: b.len() as u64,
+                pushes: b.pushes(),
+                is_req: false,
+            }
+        }
+        let mut id = 0u64;
+        match self {
+            Net::Ideal(_) => {}
+            Net::Global(n) => {
+                for reg in &n.master_req {
+                    f(id, req(reg));
+                    id += 1;
+                }
+                for reg in &n.master_resp {
+                    f(id, resp(reg));
+                    id += 1;
+                }
+                for port in &n.mid_req {
+                    for reg in port {
+                        f(id, req(reg));
+                        id += 1;
+                    }
+                }
+                for port in &n.mid_resp {
+                    for reg in port {
+                        f(id, resp(reg));
+                        id += 1;
+                    }
+                }
+            }
+            Net::Hier(n) => {
+                for reg in &n.master_req {
+                    f(id, req(reg));
+                    id += 1;
+                }
+                for reg in &n.master_resp {
+                    f(id, resp(reg));
+                    id += 1;
+                }
+                for reg in &n.boundary_req {
+                    f(id, req(reg));
+                    id += 1;
+                }
+                for reg in &n.boundary_resp {
+                    f(id, resp(reg));
                     id += 1;
                 }
             }

@@ -16,7 +16,7 @@ pub struct TraceEvent {
 }
 
 /// A per-core memory trace captured by
-/// [`Cluster::start_trace`](crate::Cluster::start_trace) — the raw material
+/// [`Cluster::begin_trace`](crate::Cluster::begin_trace) — the raw material
 /// for trace-driven network studies (replay the same memory schedule on a
 /// different topology without re-executing the program).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -1,0 +1,320 @@
+//! The [`SimSession`] front door: one builder that owns every run-scoped
+//! concern — topology, fault plan, parallelism, checkpointing, and
+//! observability — so callers configure a simulation in one place instead
+//! of mutating a freshly built [`Cluster`] through a zoo of setters.
+//!
+//! ```
+//! use mempool::{ClusterConfig, ObsConfig, SimSession, Topology};
+//! use mempool_riscv::assemble;
+//!
+//! let program = assemble("csrr a0, mhartid\necall\n")?;
+//! let mut session = SimSession::builder(ClusterConfig::small(Topology::TopH))
+//!     .workers(2)
+//!     .observability(ObsConfig::histograms())
+//!     .build_snitch()?;
+//! session.load_program(&program)?;
+//! session.run(10_000)?;
+//! let metrics = session.metrics_registry();
+//! assert!(metrics.counter("cluster", "cycles")? > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The pre-existing [`Cluster`] mutators (`set_fault_plan`, `set_parallel`,
+//! `start_trace`) remain as deprecated shims; new code should either use
+//! this builder or the canonical `install_fault_plan` / `set_workers` /
+//! `begin_trace` names.
+
+use crate::faults::FaultPlan;
+use crate::obs::ObsConfig;
+use crate::snapshot::{ClusterSnapshot, CoreState};
+use crate::{Cluster, ClusterConfig, Core, CoreLocation, Error, SimError};
+use std::path::PathBuf;
+
+/// Builder for a [`SimSession`]: collects every run-scoped option, then
+/// constructs the cluster in one validated step.
+#[derive(Debug)]
+pub struct SimSessionBuilder {
+    config: ClusterConfig,
+    fault_plan: Option<FaultPlan>,
+    workers: usize,
+    observability: Option<ObsConfig>,
+    memory_trace: bool,
+    checkpoint: Option<(u64, PathBuf)>,
+}
+
+impl SimSessionBuilder {
+    /// Installs a fault-injection plan, active from cycle 0.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Selects the execution engine: `0` (the default) is the serial
+    /// engine, `n >= 1` the tile-parallel engine with `n` participating
+    /// threads. Bit-identical either way.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Attaches the observability recorder (per-tile latency histograms,
+    /// and a sampled timeline when `config` enables it).
+    #[must_use]
+    pub fn observability(mut self, config: ObsConfig) -> Self {
+        self.observability = Some(config);
+        self
+    }
+
+    /// Records every core's memory requests into a
+    /// [`MemoryTrace`](crate::MemoryTrace) from the start of the run.
+    #[must_use]
+    pub fn memory_trace(mut self) -> Self {
+        self.memory_trace = true;
+        self
+    }
+
+    /// Writes a checkpoint to `path` every `every` cycles during
+    /// [`SimSession::run`] (atomically; the previous image is replaced).
+    /// Requires a checkpointable core model — sessions over cores without
+    /// [`CoreState`] ignore this setting.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: u64, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some((every.max(1), path.into()));
+        self
+    }
+
+    /// Builds the session with a Snitch core in every lane.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when the configuration is inconsistent.
+    pub fn build_snitch(self) -> Result<SimSession<mempool_snitch::SnitchCore>, Error> {
+        let template = self.config.core;
+        self.build_with(|loc| {
+            mempool_snitch::SnitchCore::new(mempool_snitch::SnitchConfig {
+                hartid: loc.core as u32,
+                ..template
+            })
+        })
+    }
+
+    /// Builds the session, constructing each core through `factory`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when the configuration is inconsistent.
+    pub fn build_with<C: Core>(
+        self,
+        factory: impl FnMut(CoreLocation) -> C,
+    ) -> Result<SimSession<C>, Error> {
+        let mut cluster = Cluster::new(self.config, factory)?;
+        cluster.install_fault_plan(self.fault_plan);
+        cluster.set_workers(self.workers);
+        if let Some(obs) = self.observability {
+            cluster.enable_observability(obs);
+        }
+        if self.memory_trace {
+            cluster.begin_trace();
+        }
+        Ok(SimSession {
+            cluster,
+            checkpoint: self.checkpoint,
+        })
+    }
+}
+
+/// A configured simulation: a [`Cluster`] plus the session-scoped policy
+/// (periodic checkpointing) the builder collected. Dereference-style access
+/// to the cluster is explicit — [`cluster`](SimSession::cluster) /
+/// [`cluster_mut`](SimSession::cluster_mut) — so it stays obvious which
+/// calls touch architectural state.
+pub struct SimSession<C> {
+    cluster: Cluster<C>,
+    checkpoint: Option<(u64, PathBuf)>,
+}
+
+impl SimSession<mempool_snitch::SnitchCore> {
+    /// Starts a builder over `config`.
+    pub fn builder(config: ClusterConfig) -> SimSessionBuilder {
+        SimSessionBuilder {
+            config,
+            fault_plan: None,
+            workers: 0,
+            observability: None,
+            memory_trace: false,
+            checkpoint: None,
+        }
+    }
+}
+
+impl<C: Core> SimSession<C> {
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster<C> {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut Cluster<C> {
+        &mut self.cluster
+    }
+
+    /// Unwraps the session into its cluster.
+    pub fn into_cluster(self) -> Cluster<C> {
+        self.cluster
+    }
+
+    /// Loads (pre-decodes) a program into the shared instruction memory.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Decode`] on the first malformed instruction word.
+    pub fn load_program(&mut self, program: &mempool_riscv::Program) -> Result<(), Error> {
+        self.cluster.load_program(program)?;
+        Ok(())
+    }
+
+    /// The metrics registry snapshot (see
+    /// [`Cluster::metrics_registry`]).
+    pub fn metrics_registry(&self) -> crate::MetricsRegistry {
+        self.cluster.metrics_registry()
+    }
+
+    /// The sampled timeline, when observability tracing is enabled.
+    pub fn timeline(&self) -> Option<crate::obs::TimelineTrace> {
+        self.cluster.timeline()
+    }
+}
+
+impl<C: Core + CoreState> SimSession<C> {
+    /// Runs to completion within `max_cycles`, writing periodic
+    /// checkpoints when the builder configured them.
+    ///
+    /// Returns the number of cycles executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sim`] on timeout or deadlock, [`Error::Io`] when a
+    /// checkpoint fails to write.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, Error> {
+        let Some((every, path)) = self.checkpoint.clone() else {
+            return Ok(self.cluster.run(max_cycles)?);
+        };
+        let start = self.cluster.now();
+        let mut remaining = max_cycles;
+        loop {
+            let chunk = every.min(remaining);
+            match self.cluster.run(chunk) {
+                Ok(_) => {
+                    self.cluster.snapshot().write_file(&path)?;
+                    return Ok(self.cluster.now() - start);
+                }
+                Err(SimError::Timeout(_)) if remaining > chunk => {
+                    remaining -= chunk;
+                    self.cluster.snapshot().write_file(&path)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Captures a checkpoint of the current state.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        self.cluster.snapshot()
+    }
+
+    /// Restores a previously captured checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Snapshot`] when the snapshot belongs to a different
+    /// configuration or program, or is structurally invalid.
+    pub fn restore(&mut self, snap: &ClusterSnapshot) -> Result<(), Error> {
+        self.cluster.restore(snap)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, Topology};
+
+    fn program() -> mempool_riscv::Program {
+        mempool_riscv::assemble(
+            "li a0, 0x8000\n\
+             li a1, 1\n\
+             amoadd.w a2, a1, (a0)\n\
+             fence\n\
+             ecall\n",
+        )
+        .expect("valid program")
+    }
+
+    #[test]
+    fn builder_matches_manual_cluster_setup() {
+        let config = ClusterConfig::small(Topology::TopH);
+        let mut session = SimSession::builder(config)
+            .workers(2)
+            .observability(ObsConfig::histograms())
+            .build_snitch()
+            .expect("valid config");
+        session.load_program(&program()).expect("loads");
+        session.run(100_000).expect("finishes");
+
+        let mut manual = Cluster::snitch(config).expect("valid config");
+        manual.enable_observability(ObsConfig::histograms());
+        manual.load_program(&program()).expect("loads");
+        manual.run(100_000).expect("finishes");
+
+        assert_eq!(session.cluster().parallelism(), 2);
+        assert_eq!(
+            session.cluster().state_digest(),
+            manual.state_digest(),
+            "builder-configured parallel run must be bit-identical to a \
+             manually configured serial run"
+        );
+        assert_eq!(
+            session.metrics_registry().to_json(),
+            manual.metrics_registry().to_json()
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "mempool-session-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ckpt.mpsn");
+
+        let config = ClusterConfig::small(Topology::Top4);
+        let mut session = SimSession::builder(config)
+            .observability(ObsConfig::with_trace(4))
+            .checkpoint_every(50, &path)
+            .build_snitch()
+            .expect("valid config");
+        session.load_program(&program()).expect("loads");
+        session.run(100_000).expect("finishes");
+        let final_digest = session.cluster().state_digest();
+
+        // The final checkpoint written by run() restores to the end state.
+        let snap = ClusterSnapshot::read_file(&path).expect("checkpoint written");
+        let mut resumed = SimSession::builder(config)
+            .build_snitch()
+            .expect("valid config");
+        resumed.load_program(&program()).expect("loads");
+        resumed.restore(&snap).expect("restores");
+        assert_eq!(resumed.cluster().state_digest(), final_digest);
+        assert_eq!(
+            resumed.metrics_registry().to_json(),
+            session.metrics_registry().to_json(),
+            "metrics survive checkpoint/restore byte-identically"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,8 +34,10 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Snapshot file magic: `"MPSN"` little-endian.
 const MAGIC: u32 = 0x4d50_534e;
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the observability
+/// section and the cumulative NoC/memory activity counters (elastic-buffer
+/// pushes, arbiter grants, ring injections/ejections, per-bank accesses).
+pub const SNAPSHOT_VERSION: u32 = 2;
 /// Fixed header length in bytes.
 const HEADER_LEN: usize = 56;
 
@@ -457,6 +459,7 @@ fn save_ebuf<T>(
         enc(out, item);
     }
     out.put_bool(buf.is_stalled());
+    out.put_u64(buf.pushes());
 }
 
 fn load_ebuf<T>(
@@ -475,10 +478,12 @@ fn load_ebuf<T>(
         arrivals.push(dec(r)?);
     }
     let stalled = r.take_bool()?;
+    let pushes = r.take_u64()?;
     if stored.len() + arrivals.len() > buf.capacity() {
         return Err(SnapshotError::Corrupt("elastic buffer occupancy"));
     }
     buf.load(stored, arrivals, stalled);
+    buf.set_pushes(pushes);
     Ok(())
 }
 
@@ -487,6 +492,9 @@ fn save_fabric(out: &mut dyn StateSink, fabric: &Fabric) {
     out.put_u64(pointers.len() as u64);
     for p in pointers {
         out.put_u64(p as u64);
+    }
+    for g in fabric.arbiter_grants() {
+        out.put_u64(g);
     }
 }
 
@@ -500,6 +508,11 @@ fn load_fabric(r: &mut ByteReader<'_>, fabric: &mut Fabric) -> Result<(), Snapsh
         pointers.push(r.take_u64()? as usize);
     }
     fabric.set_arbiter_pointers(&pointers);
+    let mut grants = Vec::with_capacity(n);
+    for _ in 0..n {
+        grants.push(r.take_u64()?);
+    }
+    fabric.set_arbiter_grants(&grants);
     Ok(())
 }
 
@@ -507,6 +520,7 @@ fn save_rr_list(out: &mut dyn StateSink, rrs: &[RoundRobin]) {
     out.put_u64(rrs.len() as u64);
     for rr in rrs {
         out.put_u64(rr.pointer() as u64);
+        out.put_u64(rr.grants());
     }
 }
 
@@ -517,6 +531,7 @@ fn load_rr_list(r: &mut ByteReader<'_>, rrs: &mut [RoundRobin]) -> Result<(), Sn
     }
     for rr in rrs {
         rr.set_pointer(r.take_u64()? as usize);
+        rr.set_grants(r.take_u64()?);
     }
     Ok(())
 }
@@ -790,6 +805,7 @@ fn save_tile(out: &mut dyn StateSink, tile: &Tile) {
             out.put_u32(hart);
             out.put_u32(row);
         }
+        out.put_u64(bank.accesses());
     }
     for reg in &tile.bank_resp {
         save_ebuf(out, reg, |o, resp| put_resp(o, resp));
@@ -849,6 +865,7 @@ fn load_tile(r: &mut ByteReader<'_>, tile: &mut Tile) -> Result<(), SnapshotErro
             reservations.push((r.take_u32()?, r.take_u32()?));
         }
         bank.load(&words, &reservations);
+        bank.set_accesses(r.take_u64()?);
     }
     for reg in &mut tile.bank_resp {
         load_ebuf(r, reg, take_resp)?;
@@ -1039,6 +1056,8 @@ fn save_ring(out: &mut dyn StateSink, ring: &RefillRing) {
         out.put_u64(tile as u64);
         out.put_u32(line);
     }
+    out.put_u64(ring.ring.injected());
+    out.put_u64(ring.ring.ejected());
 }
 
 fn load_ring(r: &mut ByteReader<'_>, ring: &mut RefillRing) -> Result<(), SnapshotError> {
@@ -1077,6 +1096,9 @@ fn load_ring(r: &mut ByteReader<'_>, ring: &mut RefillRing) -> Result<(), Snapsh
         let line = r.take_u32()?;
         ring.serving.push_back((ready, tile, line));
     }
+    let injected = r.take_u64()?;
+    let ejected = r.take_u64()?;
+    ring.ring.set_counters(injected, ejected);
     Ok(())
 }
 
@@ -1236,6 +1258,29 @@ impl<C: CoreState> Cluster<C> {
         }
     }
 
+    fn encode_obs(&self, out: &mut dyn StateSink) {
+        match &self.obs {
+            None => out.put_bool(false),
+            Some(obs) => {
+                out.put_bool(true);
+                out.put_u64(obs.config.trace_sample_every);
+                out.put_u64(obs.config.trace_capacity as u64);
+                for h in &obs.tile_latency {
+                    h.save_state(out);
+                }
+                out.put_u64(obs.spans.len() as u64);
+                for s in &obs.spans {
+                    out.put_u32(s.core);
+                    out.put_u32(s.tile);
+                    out.put_u64(s.issued_at);
+                    out.put_u64(s.latency);
+                }
+                out.put_u64(obs.deliveries_seen);
+                out.put_u64(obs.dropped_spans);
+            }
+        }
+    }
+
     /// Streams the digested state section: every component in canonical
     /// order.
     fn encode_section_b(&self, out: &mut dyn StateSink) {
@@ -1258,6 +1303,7 @@ impl<C: CoreState> Cluster<C> {
         self.encode_quarantine(out);
         self.encode_fault_log(out);
         self.encode_stats(out);
+        self.encode_obs(out);
     }
 
     /// Streams the input section: fault-plan parameters and the scheduled
@@ -1338,6 +1384,7 @@ impl<C: CoreState> Cluster<C> {
             digest_of(&|out| self.encode_fault_log(out)),
         ));
         components.push(("stats".to_owned(), digest_of(&|out| self.encode_stats(out))));
+        components.push(("obs".to_owned(), digest_of(&|out| self.encode_obs(out))));
         components
     }
 
@@ -1526,6 +1573,32 @@ impl<C: CoreState> Cluster<C> {
                 *field = r.take_u64()?;
             }
         }
+        // The restore is authoritative for observability: a snapshot taken
+        // without the recorder detaches any recorder on this cluster.
+        self.obs = if r.take_bool()? {
+            let config = crate::obs::ObsConfig {
+                trace_sample_every: r.take_u64()?,
+                trace_capacity: r.take_u64()? as usize,
+            };
+            let mut obs = crate::obs::Obs::new(config, self.config.num_tiles);
+            for h in &mut obs.tile_latency {
+                h.load_state(r)?;
+            }
+            let ns = r.take_u64()? as usize;
+            for _ in 0..ns {
+                obs.spans.push(crate::obs::TraceSpan {
+                    core: r.take_u32()?,
+                    tile: r.take_u32()?,
+                    issued_at: r.take_u64()?,
+                    latency: r.take_u64()?,
+                });
+            }
+            obs.deliveries_seen = r.take_u64()?;
+            obs.dropped_spans = r.take_u64()?;
+            Some(Box::new(obs))
+        } else {
+            None
+        };
         if !r.is_empty() {
             return Err(SnapshotError::Corrupt("trailing state-section bytes"));
         }

@@ -50,6 +50,17 @@ impl LatencyStats {
         self.count
     }
 
+    /// Sum of all samples (for exact mean reconstruction in exports).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw histogram: `bucket_counts()[i]` counts samples with
+    /// `latency == i` for `i < 64`; the last bucket is the `>= 64` tail.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Arithmetic mean, or 0.0 with no samples.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

@@ -72,7 +72,7 @@ fn arbitrary_fault_plans_never_panic() {
             let mut cluster =
                 Cluster::snitch(resilient(topology)).expect("valid config");
             cluster.load_program(&program).expect("program loads");
-            cluster.set_fault_plan(Some(FaultPlan::new(seed, spec)));
+            cluster.install_fault_plan(Some(FaultPlan::new(seed, spec)));
             match cluster.run(300_000) {
                 Ok(_) | Err(SimError::Timeout(_)) | Err(SimError::Deadlock(_)) => {}
             }
@@ -98,7 +98,7 @@ fn same_seed_replays_identically() {
     let run = |seed: u64| {
         let mut cluster = Cluster::snitch(resilient(Topology::Top1)).expect("valid config");
         cluster.load_program(&program).expect("program loads");
-        cluster.set_fault_plan(Some(FaultPlan::new(seed, spec)));
+        cluster.install_fault_plan(Some(FaultPlan::new(seed, spec)));
         let outcome = cluster.run(300_000);
         let kind = match outcome {
             Ok(cycles) => format!("ok:{cycles}"),
@@ -137,7 +137,7 @@ fn watchdog_reports_deadlock_with_diagnostic() {
     cluster
         .load_program(&single_store_program())
         .expect("program loads");
-    cluster.set_fault_plan(Some(FaultPlan::new(1, "link_stall=1".parse().expect("valid"))));
+    cluster.install_fault_plan(Some(FaultPlan::new(1, "link_stall=1".parse().expect("valid"))));
     let err = cluster.run(50_000).expect_err("must not complete");
     let SimError::Deadlock(diag) = err else {
         panic!("expected a deadlock, got {err}");
@@ -158,7 +158,7 @@ fn retries_recover_from_link_drops() {
     let program = store_load_program();
     let mut cluster = Cluster::snitch(resilient(Topology::Top1)).expect("valid config");
     cluster.load_program(&program).expect("program loads");
-    cluster.set_fault_plan(Some(FaultPlan::new(
+    cluster.install_fault_plan(Some(FaultPlan::new(
         9,
         "link_drop=0.01".parse().expect("valid"),
     )));
@@ -183,7 +183,7 @@ fn bank_failures_quarantine_and_complete() {
     let program = store_load_program();
     let mut cluster = Cluster::snitch(resilient(Topology::TopH)).expect("valid config");
     cluster.load_program(&program).expect("program loads");
-    cluster.set_fault_plan(Some(FaultPlan::new(
+    cluster.install_fault_plan(Some(FaultPlan::new(
         5,
         "bank_fail=3".parse().expect("valid"),
     )));
@@ -211,7 +211,7 @@ fn empty_plan_is_transparent() {
         let mut cluster = Cluster::snitch(ClusterConfig::small(Topology::TopH))
             .expect("valid config");
         cluster.load_program(&program).expect("program loads");
-        cluster.set_fault_plan(plan);
+        cluster.install_fault_plan(plan);
         let cycles = cluster.run(300_000).expect("completes");
         (cycles, cluster.l1_digest())
     };

@@ -1,5 +1,5 @@
 //! Differential tests for the tile-parallel engine: stepping a cluster
-//! with `set_parallel(n)` must be **bit-identical** to the serial engine —
+//! with `set_workers(n)` must be **bit-identical** to the serial engine —
 //! same `state_digest`, same L1 contents, same statistics — after any
 //! number of cycles, on every topology, with and without an active fault
 //! plan, at any worker count. The snapshot subsystem is the oracle.
@@ -48,8 +48,8 @@ fn cluster_with(
 ) -> Cluster<mempool_snitch::SnitchCore> {
     let mut cluster = Cluster::snitch(config).expect("valid config");
     cluster.load_program(&hammer_program()).expect("program loads");
-    cluster.set_fault_plan(plan);
-    cluster.set_parallel(workers);
+    cluster.install_fault_plan(plan);
+    cluster.set_workers(workers);
     cluster
 }
 
@@ -108,10 +108,10 @@ fn engine_switch_mid_run_is_invisible() {
 
     let mut switching = cluster_with(config, None, 0);
     switching.step_cycles(700);
-    switching.set_parallel(3);
+    switching.set_workers(3);
     assert_eq!(switching.parallelism(), 3);
     switching.step_cycles(1_500);
-    switching.set_parallel(0);
+    switching.set_workers(0);
     assert_eq!(switching.parallelism(), 0);
     switching.step_cycles(800);
 
@@ -161,7 +161,7 @@ fn checkpoint_roundtrip_crosses_engines() {
 fn traces_are_identical_across_engines() {
     let run = |workers: usize| {
         let mut cluster = cluster_with(ClusterConfig::small(Topology::Top4), None, workers);
-        cluster.start_trace();
+        cluster.begin_trace();
         cluster.step_cycles(1_200);
         cluster.take_trace().expect("trace was started")
     };

@@ -48,7 +48,7 @@ fn snitch_cluster(
 ) -> Cluster<mempool_snitch::SnitchCore> {
     let mut cluster = Cluster::snitch(config).expect("valid config");
     cluster.load_program(&store_load_program()).expect("program loads");
-    cluster.set_fault_plan(plan);
+    cluster.install_fault_plan(plan);
     cluster
 }
 

@@ -90,6 +90,9 @@ pub struct SpmBank {
     /// Active LR reservations: `(hart, row)`. MemPool-scale banks see very
     /// few concurrent reservations, so a small vector beats a map.
     reservations: Vec<(u32, u32)>,
+    /// Lifetime count of serviced accesses (observability counter; part of
+    /// the checkpointed state).
+    accesses: u64,
 }
 
 impl SpmBank {
@@ -98,6 +101,7 @@ impl SpmBank {
         SpmBank {
             rows: vec![0; rows as usize],
             reservations: Vec::new(),
+            accesses: 0,
         }
     }
 
@@ -134,6 +138,7 @@ impl SpmBank {
             .rows
             .get_mut(row as usize)
             .ok_or(BankRowError { row, rows })?;
+        self.accesses += 1;
         let response = match op {
             BankOp::Load => *cell,
             BankOp::Store { data, strobe } => {
@@ -180,6 +185,16 @@ impl SpmBank {
     /// (checkpointing).
     pub fn reservations(&self) -> &[(u32, u32)] {
         &self.reservations
+    }
+
+    /// Lifetime count of serviced accesses (observability counter).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Restores the access counter from a checkpoint.
+    pub fn set_accesses(&mut self, accesses: u64) {
+        self.accesses = accesses;
     }
 
     /// Restores the full bank state: row contents and reservations. The row

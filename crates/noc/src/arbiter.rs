@@ -21,6 +21,10 @@
 pub struct RoundRobin {
     pointer: usize,
     n: usize,
+    /// Lifetime count of committed grants (pointer advances) — the
+    /// observability layer's per-arbiter utilization counter. Part of the
+    /// checkpointed state.
+    grants: u64,
 }
 
 impl RoundRobin {
@@ -31,7 +35,11 @@ impl RoundRobin {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "arbiter needs at least one request line");
-        RoundRobin { pointer: 0, n }
+        RoundRobin {
+            pointer: 0,
+            n,
+            grants: 0,
+        }
     }
 
     /// Number of request lines.
@@ -67,6 +75,17 @@ impl RoundRobin {
     pub fn advance_past(&mut self, winner: usize) {
         assert!(winner < self.n, "winner line {winner} out of range");
         self.pointer = (winner + 1) % self.n;
+        self.grants += 1;
+    }
+
+    /// Lifetime count of committed grants (observability counter).
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Restores the grant counter from a checkpoint.
+    pub fn set_grants(&mut self, grants: u64) {
+        self.grants = grants;
     }
 
     /// Combined [`peek`](RoundRobin::peek) + pointer advance.
@@ -137,6 +156,19 @@ mod tests {
         }
         assert_eq!(wins[0], 50);
         assert_eq!(wins[1], 50);
+    }
+
+    #[test]
+    fn grants_count_committed_transfers() {
+        let mut arb = RoundRobin::new(4);
+        assert_eq!(arb.grants(), 0);
+        let _ = arb.peek(&[0, 1]); // peeking commits nothing
+        assert_eq!(arb.grants(), 0);
+        arb.grant(&[0, 1]);
+        arb.advance_past(2);
+        assert_eq!(arb.grants(), 2);
+        arb.set_grants(9);
+        assert_eq!(arb.grants(), 9);
     }
 
     #[test]

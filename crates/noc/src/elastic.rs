@@ -39,6 +39,10 @@ pub struct ElasticBuffer<T> {
     /// head nor accepts pushes (valid/ready forced low), modeling a
     /// transient link stall. Contents are preserved.
     stalled: bool,
+    /// Lifetime count of accepted pushes — the per-link traffic counter of
+    /// the observability layer. Deterministic (one increment per accepted
+    /// push) and part of the checkpointed state.
+    pushes: u64,
 }
 
 impl<T> ElasticBuffer<T> {
@@ -54,6 +58,7 @@ impl<T> ElasticBuffer<T> {
             arrivals: VecDeque::with_capacity(capacity),
             capacity,
             stalled: false,
+            pushes: 0,
         }
     }
 
@@ -89,7 +94,19 @@ impl<T> ElasticBuffer<T> {
     /// [`can_push`]: ElasticBuffer::can_push
     pub fn push(&mut self, item: T) {
         assert!(self.can_push(), "push into full elastic buffer");
+        self.pushes += 1;
         self.arrivals.push_back(item);
+    }
+
+    /// Lifetime count of accepted pushes (the observability layer's
+    /// per-link traffic counter). Survives [`clear`](ElasticBuffer::clear).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Restores the push counter from a checkpoint.
+    pub fn set_pushes(&mut self, pushes: u64) {
+        self.pushes = pushes;
     }
 
     /// The oldest *visible* item, if any (`None` while stalled).
@@ -247,6 +264,21 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_rejected() {
         let _ = ElasticBuffer::<u32>::new(0);
+    }
+
+    #[test]
+    fn push_counter_is_cumulative() {
+        let mut b = ElasticBuffer::new(2);
+        assert_eq!(b.pushes(), 0);
+        b.push(1);
+        b.commit();
+        b.pop();
+        b.push(2);
+        b.clear();
+        b.push(3);
+        assert_eq!(b.pushes(), 3, "clear must not reset the traffic counter");
+        b.set_pushes(7);
+        assert_eq!(b.pushes(), 7);
     }
 
     #[test]

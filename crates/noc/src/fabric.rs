@@ -362,6 +362,42 @@ impl Fabric {
             }
         }
     }
+
+    /// The grant counter of every arbiter, in
+    /// [`arbiter_pointers`](Fabric::arbiter_pointers) order (checkpointing
+    /// and observability).
+    pub fn arbiter_grants(&self) -> Vec<u64> {
+        self.arbiters
+            .iter()
+            .flat_map(|layer| layer.iter().map(RoundRobin::grants))
+            .collect()
+    }
+
+    /// Restores all arbiter grant counters from
+    /// [`arbiter_grants`](Fabric::arbiter_grants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length disagrees with the arbiter count.
+    pub fn set_arbiter_grants(&mut self, grants: &[u64]) {
+        let total: usize = self.arbiters.iter().map(Vec::len).sum();
+        assert_eq!(grants.len(), total, "arbiter grant count mismatch");
+        let mut it = grants.iter();
+        for layer in &mut self.arbiters {
+            for arb in layer {
+                arb.set_grants(*it.next().expect("length checked"));
+            }
+        }
+    }
+
+    /// Total committed switch-output traversals across all arbiters — the
+    /// fabric-utilization counter of the observability layer.
+    pub fn total_grants(&self) -> u64 {
+        self.arbiters
+            .iter()
+            .flat_map(|layer| layer.iter().map(RoundRobin::grants))
+            .sum()
+    }
 }
 
 /// Validates butterfly geometry and returns the layer count `log_radix(ports)`.

@@ -35,6 +35,11 @@ pub struct Ring<T> {
     slots: Vec<Option<Flit<T>>>,
     /// Ejected packets waiting to be consumed at each stop.
     outputs: Vec<VecDeque<T>>,
+    /// Lifetime count of accepted injections (observability counter; part
+    /// of the checkpointed state).
+    injected: u64,
+    /// Lifetime count of ejections into a stop's output queue.
+    ejected: u64,
 }
 
 impl<T> Ring<T> {
@@ -48,6 +53,8 @@ impl<T> Ring<T> {
         Ring {
             slots: (0..stops).map(|_| None).collect(),
             outputs: (0..stops).map(|_| VecDeque::new()).collect(),
+            injected: 0,
+            ejected: 0,
         }
     }
 
@@ -73,12 +80,15 @@ impl<T> Ring<T> {
         assert!(stop < self.stops(), "stop out of range");
         assert!(dest < self.stops(), "dest out of range");
         if dest == stop {
+            self.injected += 1;
+            self.ejected += 1;
             self.outputs[stop].push_back(payload);
             return true;
         }
         if self.slots[stop].is_some() {
             return false;
         }
+        self.injected += 1;
         self.slots[stop] = Some(Flit { dest, payload });
         true
     }
@@ -91,6 +101,7 @@ impl<T> Ring<T> {
         for i in 0..self.stops() {
             if self.slots[i].as_ref().is_some_and(|f| f.dest == i) {
                 let flit = self.slots[i].take().expect("checked above");
+                self.ejected += 1;
                 self.outputs[i].push_back(flit.payload);
             }
         }
@@ -119,6 +130,22 @@ impl<T> Ring<T> {
     /// Number of ejected packets waiting at `stop`.
     pub fn pending(&self, stop: usize) -> usize {
         self.outputs[stop].len()
+    }
+
+    /// Lifetime count of accepted injections (observability counter).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Lifetime count of ejections into a stop's output queue.
+    pub fn ejected(&self) -> u64 {
+        self.ejected
+    }
+
+    /// Restores the injection/ejection counters from a checkpoint.
+    pub fn set_counters(&mut self, injected: u64, ejected: u64) {
+        self.injected = injected;
+        self.ejected = ejected;
     }
 
     /// The packet on each outgoing link as `(dest, payload)`, one entry per
@@ -248,6 +275,20 @@ mod tests {
             }
         }
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_track_injections_and_ejections() {
+        let mut ring = Ring::new(4);
+        assert!(ring.try_inject(0, 2, 1u32));
+        assert!(!ring.try_inject(0, 3, 2u32)); // refused: not counted
+        assert!(ring.try_inject(1, 1, 3u32)); // self-destined: both counted
+        ring.advance();
+        ring.advance();
+        assert_eq!(ring.injected(), 2);
+        assert_eq!(ring.ejected(), 2);
+        ring.set_counters(5, 4);
+        assert_eq!((ring.injected(), ring.ejected()), (5, 4));
     }
 
     #[test]

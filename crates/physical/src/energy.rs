@@ -141,6 +141,42 @@ impl Activity {
         }
     }
 
+    /// Builds the activity record from a `mempool-metrics-v1`
+    /// [`MetricsRegistry`](mempool::MetricsRegistry) export — the
+    /// observability-layer equivalent of [`Activity::from_run`], usable on
+    /// a registry alone (no live cluster required).
+    ///
+    /// Per-core instruction-class counters are summed over every
+    /// `cluster/tile*/core*` scope; locality and refill counters come from
+    /// the `cluster` and per-tile scopes.
+    ///
+    /// # Errors
+    ///
+    /// [`mempool::MetricsError`] when the registry lacks the `cluster`
+    /// scope counters this model needs (e.g. a registry produced by a
+    /// different schema).
+    pub fn from_registry(
+        registry: &mempool::MetricsRegistry,
+    ) -> Result<Activity, mempool::MetricsError> {
+        let core = |name| registry.sum_counter("cluster/tile", name);
+        let icache_hits = registry.sum_counter("cluster/tile", "icache_hits");
+        let icache_misses = registry.sum_counter("cluster/tile", "icache_misses");
+        Ok(Activity {
+            cycles: registry.counter("cluster", "cycles")?,
+            num_tiles: registry.num_tiles(),
+            num_cores: registry.num_cores(),
+            banks_per_tile: registry.banks_per_tile(),
+            instructions: core("instret"),
+            muls: core("muls"),
+            divs: core("divs"),
+            memory_ops: core("loads") + core("stores") + core("amos"),
+            local_accesses: registry.counter("cluster", "local_requests")?,
+            remote_accesses: registry.counter("cluster", "remote_requests")?,
+            ifetches: icache_hits + icache_misses,
+            refills: registry.counter("cluster", "icache_refills")?,
+        })
+    }
+
     /// Looks up an event counter by name (for report generators driven by
     /// a counter-name schema).
     ///
@@ -348,6 +384,34 @@ mod tests {
             ifetches: (0.9 * 256.0 * cycles as f64) as u64,
             refills: 64 * 8,
         }
+    }
+
+    #[test]
+    fn from_registry_matches_from_run() {
+        let program = mempool_riscv::assemble(
+            "li a0, 0x8000\n\
+             li a1, 1\n\
+             amoadd.w a2, a1, (a0)\n\
+             fence\n\
+             ecall\n",
+        )
+        .expect("valid program");
+        let config = mempool::ClusterConfig::small(mempool::Topology::TopH);
+        let mut cluster = mempool::Cluster::snitch(config).expect("valid config");
+        cluster.load_program(&program).expect("loads");
+        cluster.run(100_000).expect("finishes");
+
+        let from_run = Activity::from_run(
+            cluster.stats(),
+            &cluster.core_stats_total(),
+            &cluster.icache_stats(),
+            cluster.config().num_tiles,
+            cluster.config().num_cores(),
+            cluster.config().banks_per_tile,
+        );
+        let from_registry =
+            Activity::from_registry(&cluster.metrics_registry()).expect("schema matches");
+        assert_eq!(from_registry, from_run);
     }
 
     #[test]

@@ -101,6 +101,27 @@ impl CoreStats {
             + self.stall_exec
     }
 
+    /// Every counter as `(name, value)`, in declaration order — the
+    /// per-core scope of the observability metrics registry.
+    pub fn counters(&self) -> [(&'static str, u64); 14] {
+        [
+            ("instret", self.instret),
+            ("cycles", self.cycles),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("amos", self.amos),
+            ("muls", self.muls),
+            ("divs", self.divs),
+            ("taken_branches", self.taken_branches),
+            ("stall_scoreboard", self.stall_scoreboard),
+            ("stall_lsu_full", self.stall_lsu_full),
+            ("stall_port", self.stall_port),
+            ("stall_fetch", self.stall_fetch),
+            ("stall_fence", self.stall_fence),
+            ("stall_exec", self.stall_exec),
+        ]
+    }
+
     fn count(&mut self, cause: StallCause) {
         match cause {
             StallCause::Scoreboard => self.stall_scoreboard += 1,

@@ -195,7 +195,7 @@ pub fn trial_cluster(
             seed.wrapping_mul(0x9e37_79b9).wrapping_add(loc.core as u64),
         )
     })?;
-    cluster.set_fault_plan(Some(FaultPlan::new(seed, campaign.spec)));
+    cluster.install_fault_plan(Some(FaultPlan::new(seed, campaign.spec)));
     Ok(cluster)
 }
 

@@ -62,6 +62,60 @@ pub fn run_point(
     windows: Windows,
     seed: u64,
 ) -> Result<SweepPoint, ValidateConfigError> {
+    run_point_inner(config, pattern, load, windows, seed, None).map(|(point, _)| point)
+}
+
+/// A [`SweepPoint`] together with the observability artifacts captured
+/// during its run: the full per-scope metrics registry and the sampled
+/// timeline (empty unless the [`ObsConfig`](mempool::ObsConfig) enabled
+/// trace sampling).
+#[derive(Debug, Clone)]
+pub struct MeteredPoint {
+    /// The aggregate sweep measurements.
+    pub point: SweepPoint,
+    /// Per-scope counters and latency histograms after the drain phase.
+    pub metrics: mempool::MetricsRegistry,
+    /// Sampled request spans (Chrome-trace exportable).
+    pub timeline: mempool::TimelineTrace,
+}
+
+/// [`run_point`] with the cluster's observability recorder attached:
+/// additionally returns the full [`MetricsRegistry`](mempool::MetricsRegistry)
+/// snapshot taken after the drain phase and the sampled timeline, so
+/// sweeps can export per-scope latency histograms, NoC activity counters
+/// and Chrome traces alongside the aggregate sweep point.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn run_point_with_metrics(
+    config: ClusterConfig,
+    pattern: Pattern,
+    load: f64,
+    windows: Windows,
+    seed: u64,
+    obs: mempool::ObsConfig,
+) -> Result<MeteredPoint, ValidateConfigError> {
+    run_point_inner(config, pattern, load, windows, seed, Some(obs)).map(|(point, extras)| {
+        let (metrics, timeline) = extras.expect("observability was enabled");
+        MeteredPoint { point, metrics, timeline }
+    })
+}
+
+fn run_point_inner(
+    config: ClusterConfig,
+    pattern: Pattern,
+    load: f64,
+    windows: Windows,
+    seed: u64,
+    obs: Option<mempool::ObsConfig>,
+) -> Result<
+    (
+        SweepPoint,
+        Option<(mempool::MetricsRegistry, mempool::TimelineTrace)>,
+    ),
+    ValidateConfigError,
+> {
     let map = config.address_map()?;
     let scrambler = config.scrambler()?;
     let l1_bytes = map.size_bytes() as u32;
@@ -92,6 +146,9 @@ pub fn run_point(
             seed.wrapping_mul(0x9e37_79b9).wrapping_add(loc.core as u64),
         )
     })?;
+    if let Some(obs) = obs {
+        cluster.enable_observability(obs);
+    }
 
     cluster.step_cycles(windows.warmup);
     for gen in cluster.cores_mut() {
@@ -112,13 +169,18 @@ pub fn run_point(
         latency.merge(&gen.stats().latency);
     }
     let num_cores = cluster.config().num_cores();
-    Ok(SweepPoint {
+    let point = SweepPoint {
         offered_load: load,
         throughput: delivered as f64 / (windows.measure as f64 * num_cores as f64),
         latency,
         locality: cluster.stats().locality(),
         net_occupancy: cluster.stats().net_occupancy(),
-    })
+    };
+    let extras = cluster.observability_enabled().then(|| {
+        let timeline = cluster.timeline().expect("recorder is enabled");
+        (cluster.metrics_registry(), timeline)
+    });
+    Ok((point, extras))
 }
 
 /// Why one sweep point produced no [`SweepPoint`].

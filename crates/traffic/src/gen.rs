@@ -357,6 +357,15 @@ impl Core for TrafficGen {
     fn done(&self) -> bool {
         self.stopped && self.queue.is_empty() && self.in_flight == 0
     }
+
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("generated", self.stats.generated),
+            ("injected", self.stats.injected),
+            ("completed", self.stats.completed),
+            ("queue_len", self.queue.len() as u64),
+        ]
+    }
 }
 
 #[cfg(test)]

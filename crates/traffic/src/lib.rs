@@ -35,8 +35,8 @@ pub use campaign::{
     TrialOutcome, TrialPhase,
 };
 pub use experiment::{
-    md1_latency, run_point, run_sweep, saturation_throughput, SweepPoint, SweepPointError,
-    SweepReport, Windows,
+    md1_latency, run_point, run_point_with_metrics, run_sweep, saturation_throughput,
+    MeteredPoint, SweepPoint, SweepPointError, SweepReport, Windows,
 };
 pub use gen::{AddressSpace, GenStats, Pattern, Permutation, TrafficGen};
 pub use replay::{replay_trace, ReplayCore, ReplayTiming};

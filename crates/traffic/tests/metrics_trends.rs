@@ -1,0 +1,129 @@
+//! Paper-trend assertions (Fig. 5 topology comparison, Fig. 6 hybrid
+//! addressing) expressed against the observability layer's latency
+//! histograms instead of the sweep aggregates, plus the determinism
+//! contract of the metered sweep entry point.
+
+use mempool::{ClusterConfig, ObsConfig, Topology};
+use mempool_traffic::{run_point_with_metrics, MeteredPoint, Pattern, Windows};
+
+fn windows() -> Windows {
+    Windows {
+        warmup: 500,
+        measure: 3_000,
+        drain: 60_000,
+    }
+}
+
+fn metered(topo: Topology, pattern: Pattern, load: f64, seed: u64) -> MeteredPoint {
+    run_point_with_metrics(
+        ClusterConfig::small(topo),
+        pattern,
+        load,
+        windows(),
+        seed,
+        ObsConfig::with_trace(16),
+    )
+    .expect("valid config")
+}
+
+/// Mean of a registry latency histogram, in cycles.
+fn hist_mean(m: &MeteredPoint, path: &str) -> f64 {
+    let h = m.metrics.histogram(path, "latency").expect("histogram exists");
+    assert!(h.count > 0, "{path}: empty histogram");
+    h.sum as f64 / h.count as f64
+}
+
+#[test]
+fn registry_reproduces_fig5_toph_vs_top4_latency() {
+    // §V-A: at low uniform load TopH's three-cycle local-group path gives
+    // it a lower latency than Top4 — visible in the cluster-scope
+    // histogram's mean and p99, not just the sweep aggregate.
+    let toph = metered(Topology::TopH, Pattern::Uniform, 0.05, 4);
+    let top4 = metered(Topology::Top4, Pattern::Uniform, 0.05, 4);
+    assert!(
+        hist_mean(&toph, "cluster") < hist_mean(&top4, "cluster"),
+        "TopH mean {} not below Top4 {}",
+        hist_mean(&toph, "cluster"),
+        hist_mean(&top4, "cluster")
+    );
+    let (h, f) = (
+        toph.metrics.histogram("cluster", "latency").unwrap(),
+        top4.metrics.histogram("cluster", "latency").unwrap(),
+    );
+    assert!(
+        h.p99 <= f.p99,
+        "TopH p99 {} above Top4 p99 {}",
+        h.p99,
+        f.p99
+    );
+}
+
+#[test]
+fn registry_reproduces_fig6_locality_latency_drop() {
+    // §V-B: fully tile-local traffic completes in the tile's local
+    // interconnect — p50 and mean collapse relative to uniform traffic.
+    let local = metered(Topology::TopH, Pattern::PLocal { p_local: 1.0 }, 0.10, 6);
+    let uniform = metered(Topology::TopH, Pattern::Uniform, 0.10, 6);
+    let (l, u) = (
+        local.metrics.histogram("cluster", "latency").unwrap(),
+        uniform.metrics.histogram("cluster", "latency").unwrap(),
+    );
+    assert!(
+        l.p50 < u.p50,
+        "local p50 {} not below uniform p50 {}",
+        l.p50,
+        u.p50
+    );
+    assert!(
+        hist_mean(&local, "cluster") < hist_mean(&uniform, "cluster"),
+        "local mean not below uniform mean"
+    );
+    // Cross-check against the always-on cluster counters: fully local
+    // traffic must be counted as local there too.
+    let local_reqs = local.metrics.counter("cluster", "local_requests").unwrap();
+    let remote_reqs = local.metrics.counter("cluster", "remote_requests").unwrap();
+    assert!(
+        local_reqs > 99 * remote_reqs.max(1) / 100,
+        "locality counters disagree: {local_reqs} local vs {remote_reqs} remote"
+    );
+}
+
+#[test]
+fn per_tile_histograms_cover_every_tile_under_uniform_load() {
+    let m = metered(Topology::TopH, Pattern::Uniform, 0.10, 8);
+    let tiles = m.metrics.num_tiles();
+    for t in 0..tiles {
+        let h = m
+            .metrics
+            .histogram(&format!("cluster/tile{t}"), "latency")
+            .expect("per-tile histogram exists");
+        assert!(h.count > 0, "tile {t} recorded no deliveries");
+    }
+    // The per-tile histograms partition the cluster-wide one.
+    let cluster = m.metrics.histogram("cluster", "latency").unwrap();
+    let tile_sum: u64 = (0..tiles)
+        .map(|t| {
+            m.metrics
+                .histogram(&format!("cluster/tile{t}"), "latency")
+                .unwrap()
+                .count
+        })
+        .sum();
+    assert_eq!(tile_sum, cluster.count, "per-tile counts do not partition");
+}
+
+#[test]
+fn metered_sweep_is_deterministic() {
+    let a = metered(Topology::Top4, Pattern::Uniform, 0.10, 42);
+    let b = metered(Topology::Top4, Pattern::Uniform, 0.10, 42);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    assert_eq!(a.timeline, b.timeline);
+    assert_eq!(a.point.throughput, b.point.throughput);
+    // A different seed must actually change something.
+    let c = metered(Topology::Top4, Pattern::Uniform, 0.10, 43);
+    assert_ne!(
+        a.metrics.to_json(),
+        c.metrics.to_json(),
+        "seed does not reach the traffic generators"
+    );
+}

@@ -279,7 +279,7 @@ fn trace_replay_reproduces_topology_ordering() {
     let mut cluster = mempool::Cluster::snitch(cfg).unwrap();
     cluster.load_program(&program).unwrap();
     kernel.init(&mut cluster, 2021);
-    cluster.start_trace();
+    cluster.begin_trace();
     let original = cluster.run(50_000_000).unwrap();
     let trace = cluster.take_trace().expect("trace recorded");
     assert!(trace.len() > 10_000, "trace too small: {}", trace.len());

@@ -225,7 +225,7 @@ fn bench_cluster(
     cluster
         .load_program(&workload())
         .map_err(|e| e.to_string())?;
-    cluster.set_parallel(workers);
+    cluster.set_workers(workers);
     Ok(cluster)
 }
 

@@ -2,18 +2,26 @@
 //! cycle-accurate MemPool cluster.
 //!
 //! ```console
-//! $ mempool-run program.s                        # 256 cores, TopH
-//! $ mempool-run --topology top1 --small prog.s  # 64 cores, Top1
-//! $ mempool-run --no-scramble --dump-mem 0x40000:8 prog.s
+//! $ mempool-run run program.s                        # 256 cores, TopH
+//! $ mempool-run run --topology top1 --small prog.s  # 64 cores, Top1
+//! $ mempool-run run --metrics-json m.json --trace-out t.json prog.s
+//! $ mempool-run bench --out bench.json --cores 16
+//! $ mempool-run campaign --small --loads 0.02,0.10 --metrics-json sweep.json
 //! ```
+//!
+//! The pre-subcommand flat form (`mempool-run [OPTIONS] <program.s>`) still
+//! parses — it behaves exactly like `run` — but prints a one-line
+//! deprecation note on stderr.
 
 use mempool::{
-    Cluster, ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, ResilienceConfig, SimError,
+    ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, ObsConfig, ResilienceConfig, SimSession,
     Topology,
 };
 use mempool_riscv::{assemble, Reg};
+use mempool_suite::error::Error;
+use mempool_traffic::{run_point_with_metrics, MeteredPoint, Pattern, Windows};
 use std::fmt;
-use std::path::PathBuf;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -36,15 +44,59 @@ struct Options {
     resume: Option<String>,
     json: bool,
     parallel: usize,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
+    trace_sample: u64,
     bench_json: Option<String>,
     bench_cores: Vec<usize>,
     bench_cycles: u64,
     path: String,
 }
 
-const USAGE: &str = "usage: mempool-run [OPTIONS] <program.s>
+/// Options of the `bench` subcommand (also assembled from the legacy
+/// `--bench-json` flat flags).
+#[derive(Debug, PartialEq, Eq)]
+struct BenchOptions {
+    out: String,
+    cores: Vec<usize>,
+    cycles: u64,
+    parallel: usize,
+}
 
-options:
+/// Options of the `campaign` subcommand: a synthetic-traffic load sweep
+/// with full observability exports.
+#[derive(Debug, PartialEq)]
+struct CampaignOptions {
+    topology: Topology,
+    small: bool,
+    scramble: bool,
+    pattern: Pattern,
+    pattern_label: String,
+    loads: Vec<f64>,
+    windows: Windows,
+    seed: u64,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
+    trace_sample: u64,
+}
+
+/// A parsed command line: which subcommand runs, with its options.
+#[derive(Debug)]
+enum Command {
+    Run { opts: Box<Options>, legacy: bool },
+    Bench(BenchOptions),
+    Campaign(CampaignOptions),
+}
+
+const USAGE: &str = "usage: mempool-run <run|bench|campaign> [OPTIONS]
+       mempool-run [OPTIONS] <program.s>   (deprecated; same as `run`)
+
+subcommands:
+  run        assemble and execute a program (default; see `run --help`)
+  bench      the simulator benchmark matrix (see `bench --help`)
+  campaign   a synthetic-traffic load sweep with metrics (see `campaign --help`)
+
+run options:
   --topology <top1|top4|topH|ideal>  interconnect topology (default topH)
   --small                            64-core cluster instead of 256
   --no-scramble                      disable the hybrid addressing scheme
@@ -65,10 +117,47 @@ options:
   --json                             machine-readable result (incl. state digest)
   --parallel <n>                     step tiles on n worker threads (0 = serial,
                                      bit-identical results either way)
-  --bench-json <file>                run the simulator benchmark matrix instead of
-                                     a program and write the report to <file>
+  --metrics-json <file>              export the mempool-metrics-v1 registry
+                                     (per-scope counters + latency histograms)
+  --trace-out <file>                 export a Chrome trace_event timeline
+  --trace-sample <n>                 sample every n-th delivery (default 64)
+  --bench-json <file>                deprecated; use `mempool-run bench --out`
   --bench-cores <16|256|all>         bench cluster sizes (default all)
   --bench-cycles <n>                 measured cycles per bench point (default 2000)
+  --help                             this text
+
+exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
+
+const BENCH_USAGE: &str = "usage: mempool-run bench --out <file> [OPTIONS]
+
+options:
+  --out <file>            write the mempool-bench-v1 report here (required;
+                          --metrics-json is accepted as an alias)
+  --cores <16|256|all>    bench cluster sizes (default all)
+  --cycles <n>            measured cycles per bench point (default 2000)
+  --parallel <n>          worker threads for the parallel-engine points
+  --help                  this text
+
+exit status: 0 on success (all digests match), 1 on runtime errors or a
+serial/parallel digest divergence, 2 on usage errors";
+
+const CAMPAIGN_USAGE: &str = "usage: mempool-run campaign [OPTIONS]
+
+options:
+  --topology <top1|top4|topH|ideal>  interconnect topology (default topH)
+  --small                            64-core cluster instead of 256
+  --no-scramble                      disable the hybrid addressing scheme
+  --pattern <uniform|plocal=<p>>     traffic pattern (default uniform)
+  --loads <l1,l2,...>                offered loads in requests/core/cycle
+                                     (default 0.02,0.05,0.10,0.20)
+  --warmup <n>                       warm-up cycles (default 1000)
+  --measure <n>                      measured cycles (default 8000)
+  --drain <n>                        drain-phase cycle cap (default 50000)
+  --seed <n>                         traffic seed (default 0)
+  --metrics-json <file>              write the sweep + per-point
+                                     mempool-metrics-v1 registries here
+  --trace-out <file>                 Chrome trace of the last point's run
+  --trace-sample <n>                 sample every n-th delivery (default 64)
   --help                             this text
 
 exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
@@ -92,6 +181,8 @@ enum ParseArgsError {
     UnexpectedArgument(String),
     /// No program path was given (and no `--describe`).
     MissingProgram,
+    /// A required option was not given.
+    MissingOption(&'static str),
     /// Two options that cannot be combined.
     Conflict(&'static str),
 }
@@ -109,8 +200,56 @@ impl fmt::Display for ParseArgsError {
                 write!(f, "unexpected argument `{arg}` (program path already given)")
             }
             ParseArgsError::MissingProgram => write!(f, "no program path given"),
+            ParseArgsError::MissingOption(option) => write!(f, "{option} is required"),
             ParseArgsError::Conflict(what) => write!(f, "{what}"),
         }
+    }
+}
+
+fn invalid(option: &'static str, reason: &str) -> ParseArgsError {
+    ParseArgsError::InvalidValue {
+        option,
+        reason: reason.to_owned(),
+    }
+}
+
+fn parse_topology(value: &str) -> Result<Topology, ParseArgsError> {
+    match value {
+        "top1" => Ok(Topology::Top1),
+        "top4" => Ok(Topology::Top4),
+        "topH" | "toph" => Ok(Topology::TopH),
+        "ideal" => Ok(Topology::Ideal),
+        other => Err(invalid(
+            "--topology",
+            &format!("unknown topology `{other}`"),
+        )),
+    }
+}
+
+/// Splits the command line into a subcommand and its options. An argument
+/// list that does not start with a subcommand name falls back to the
+/// legacy flat `run` form (reported via `legacy: true` so the caller can
+/// print a deprecation note).
+fn parse_command(args: Vec<String>) -> Result<Command, (ParseArgsError, &'static str)> {
+    match args.first().map(String::as_str) {
+        Some("run") => parse_args(args.into_iter().skip(1))
+            .map(|o| Command::Run {
+                opts: Box::new(o),
+                legacy: false,
+            })
+            .map_err(|e| (e, USAGE)),
+        Some("bench") => parse_bench_args(args.into_iter().skip(1))
+            .map(Command::Bench)
+            .map_err(|e| (e, BENCH_USAGE)),
+        Some("campaign") => parse_campaign_args(args.into_iter().skip(1))
+            .map(Command::Campaign)
+            .map_err(|e| (e, CAMPAIGN_USAGE)),
+        _ => parse_args(args)
+            .map(|o| Command::Run {
+                opts: Box::new(o),
+                legacy: true,
+            })
+            .map_err(|e| (e, USAGE)),
     }
 }
 
@@ -134,14 +273,13 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
         resume: None,
         json: false,
         parallel: 0,
+        metrics_json: None,
+        trace_out: None,
+        trace_sample: 64,
         bench_json: None,
         bench_cores: vec![16, 256],
         bench_cycles: 2_000,
         path: String::new(),
-    };
-    let invalid = |option: &'static str, reason: &str| ParseArgsError::InvalidValue {
-        option,
-        reason: reason.to_owned(),
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -149,20 +287,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
             args.next().ok_or(ParseArgsError::MissingValue(name))
         };
         match arg.as_str() {
-            "--topology" => {
-                opts.topology = match value("--topology")?.as_str() {
-                    "top1" => Topology::Top1,
-                    "top4" => Topology::Top4,
-                    "topH" | "toph" => Topology::TopH,
-                    "ideal" => Topology::Ideal,
-                    other => {
-                        return Err(invalid(
-                            "--topology",
-                            &format!("unknown topology `{other}`"),
-                        ))
-                    }
-                };
-            }
+            "--topology" => opts.topology = parse_topology(&value("--topology")?)?,
             "--small" => opts.small = true,
             "--no-scramble" => opts.scramble = false,
             "--max-cycles" => {
@@ -226,19 +351,19 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
                     .parse()
                     .map_err(|_| invalid("--parallel", "expected a worker count"))?;
             }
+            "--metrics-json" => opts.metrics_json = Some(value("--metrics-json")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-sample" => {
+                opts.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| invalid("--trace-sample", "expected a sampling interval"))?;
+                if opts.trace_sample == 0 {
+                    return Err(invalid("--trace-sample", "interval must be nonzero"));
+                }
+            }
             "--bench-json" => opts.bench_json = Some(value("--bench-json")?),
             "--bench-cores" => {
-                opts.bench_cores = match value("--bench-cores")?.as_str() {
-                    "16" => vec![16],
-                    "256" => vec![256],
-                    "all" => vec![16, 256],
-                    other => {
-                        return Err(invalid(
-                            "--bench-cores",
-                            &format!("expected 16, 256 or all, got `{other}`"),
-                        ))
-                    }
-                };
+                opts.bench_cores = parse_bench_cores("--bench-cores", &value("--bench-cores")?)?;
             }
             "--bench-cycles" => {
                 opts.bench_cycles = value("--bench-cycles")?
@@ -278,6 +403,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
                 "--bench-json already writes a JSON report",
             ));
         }
+        if opts.metrics_json.is_some() || opts.trace_out.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--bench-json writes its own report; use `mempool-run bench`",
+            ));
+        }
         if opts.checkpoint_every > 0 || opts.checkpoint_file.is_some() || opts.resume.is_some() {
             return Err(ParseArgsError::Conflict(
                 "--bench-json cannot be combined with checkpointing",
@@ -305,12 +435,185 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
                 "--json requires the cycle-accurate simulator",
             ));
         }
+        if opts.metrics_json.is_some() || opts.trace_out.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--metrics-json/--trace-out require the cycle-accurate simulator",
+            ));
+        }
     }
     if opts.json && (opts.dump_regs.is_some() || opts.dump_mem.is_some() || opts.trace_core.is_some())
     {
         return Err(ParseArgsError::Conflict(
             "--json cannot be combined with --dump-regs/--dump-mem/--trace-core",
         ));
+    }
+    Ok(opts)
+}
+
+fn parse_bench_cores(option: &'static str, value: &str) -> Result<Vec<usize>, ParseArgsError> {
+    match value {
+        "16" => Ok(vec![16]),
+        "256" => Ok(vec![256]),
+        "all" => Ok(vec![16, 256]),
+        other => Err(invalid(
+            option,
+            &format!("expected 16, 256 or all, got `{other}`"),
+        )),
+    }
+}
+
+fn parse_bench_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<BenchOptions, ParseArgsError> {
+    let mut out = None;
+    let mut cores = vec![16, 256];
+    let mut cycles = 2_000;
+    let mut parallel = 0;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &'static str| {
+            args.next().ok_or(ParseArgsError::MissingValue(name))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")?),
+            // Shared output flag across subcommands; for bench the metrics
+            // document *is* the report.
+            "--metrics-json" => out = Some(value("--metrics-json")?),
+            "--cores" => cores = parse_bench_cores("--cores", &value("--cores")?)?,
+            "--cycles" => {
+                cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|_| invalid("--cycles", "expected a cycle count"))?;
+                if cycles == 0 {
+                    return Err(invalid("--cycles", "must be nonzero"));
+                }
+            }
+            "--parallel" => {
+                parallel = value("--parallel")?
+                    .parse()
+                    .map_err(|_| invalid("--parallel", "expected a worker count"))?;
+            }
+            "--help" | "-h" => return Err(ParseArgsError::Help),
+            _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
+            _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
+        }
+    }
+    let out = out.ok_or(ParseArgsError::MissingOption("--out"))?;
+    Ok(BenchOptions {
+        out,
+        cores,
+        cycles,
+        parallel,
+    })
+}
+
+fn parse_campaign_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<CampaignOptions, ParseArgsError> {
+    let mut opts = CampaignOptions {
+        topology: Topology::TopH,
+        small: false,
+        scramble: true,
+        pattern: Pattern::Uniform,
+        pattern_label: "uniform".to_owned(),
+        loads: vec![0.02, 0.05, 0.10, 0.20],
+        windows: Windows::default(),
+        seed: 0,
+        metrics_json: None,
+        trace_out: None,
+        trace_sample: 64,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &'static str| {
+            args.next().ok_or(ParseArgsError::MissingValue(name))
+        };
+        match arg.as_str() {
+            "--topology" => opts.topology = parse_topology(&value("--topology")?)?,
+            "--small" => opts.small = true,
+            "--no-scramble" => opts.scramble = false,
+            "--pattern" => {
+                let spec = value("--pattern")?;
+                opts.pattern = match spec.as_str() {
+                    "uniform" => Pattern::Uniform,
+                    other => match other.strip_prefix("plocal=") {
+                        Some(p) => {
+                            let p_local: f64 = p.parse().map_err(|_| {
+                                invalid("--pattern", "expected plocal=<probability>")
+                            })?;
+                            if !(0.0..=1.0).contains(&p_local) {
+                                return Err(invalid(
+                                    "--pattern",
+                                    "plocal probability must be in [0, 1]",
+                                ));
+                            }
+                            Pattern::PLocal { p_local }
+                        }
+                        None => {
+                            return Err(invalid(
+                                "--pattern",
+                                &format!("unknown pattern `{other}`"),
+                            ))
+                        }
+                    },
+                };
+                opts.pattern_label = spec;
+            }
+            "--loads" => {
+                let list = value("--loads")?;
+                let mut loads = Vec::new();
+                for part in list.split(',') {
+                    let load: f64 = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid("--loads", "expected comma-separated loads"))?;
+                    if !(load > 0.0 && load <= 1.0) {
+                        return Err(invalid("--loads", "loads must be in (0, 1]"));
+                    }
+                    loads.push(load);
+                }
+                if loads.is_empty() {
+                    return Err(invalid("--loads", "at least one load is required"));
+                }
+                opts.loads = loads;
+            }
+            "--warmup" => {
+                opts.windows.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| invalid("--warmup", "expected a cycle count"))?;
+            }
+            "--measure" => {
+                opts.windows.measure = value("--measure")?
+                    .parse()
+                    .map_err(|_| invalid("--measure", "expected a cycle count"))?;
+                if opts.windows.measure == 0 {
+                    return Err(invalid("--measure", "must be nonzero"));
+                }
+            }
+            "--drain" => {
+                opts.windows.drain = value("--drain")?
+                    .parse()
+                    .map_err(|_| invalid("--drain", "expected a cycle count"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| invalid("--seed", "expected an integer"))?;
+            }
+            "--metrics-json" => opts.metrics_json = Some(value("--metrics-json")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-sample" => {
+                opts.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| invalid("--trace-sample", "expected a sampling interval"))?;
+                if opts.trace_sample == 0 {
+                    return Err(invalid("--trace-sample", "interval must be nonzero"));
+                }
+            }
+            "--help" | "-h" => return Err(ParseArgsError::Help),
+            _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
+            _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
+        }
     }
     Ok(opts)
 }
@@ -364,43 +667,57 @@ fn parse_u32(s: &str) -> Option<u32> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(ParseArgsError::Help) => {
-            println!("{USAGE}");
+    let cmd = match parse_command(std::env::args().skip(1).collect()) {
+        Ok(c) => c,
+        Err((ParseArgsError::Help, usage)) => {
+            println!("{usage}");
             return ExitCode::SUCCESS;
         }
-        Err(e) => {
+        Err((e, usage)) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+            eprintln!("{usage}");
+            return ExitCode::from(Error::Usage(e.to_string()).exit_code());
         }
     };
-    match run(&opts) {
+    let result = match cmd {
+        Command::Run { opts, legacy } => {
+            if legacy {
+                eprintln!(
+                    "note: flat flags are deprecated; use `mempool-run run [OPTIONS] \
+                     <program.s>` (or the `bench`/`campaign` subcommands)"
+                );
+            }
+            run(&opts)
+        }
+        Command::Bench(opts) => run_bench_mode(&opts),
+        Command::Campaign(opts) => run_campaign_mode(&opts),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
 /// Runs the benchmark matrix and writes the report; a digest divergence
 /// between the serial and parallel engines is a hard error (exit 1).
-fn run_bench_mode(opts: &Options, out: &str) -> Result<(), String> {
+fn run_bench_mode(opts: &BenchOptions) -> Result<(), Error> {
     use mempool_suite::bench::{run_bench, BenchConfig};
     let config = BenchConfig {
-        cycles: opts.bench_cycles,
+        cycles: opts.cycles,
         workers: opts.parallel,
-        core_counts: opts.bench_cores.clone(),
+        core_counts: opts.cores.clone(),
         ..BenchConfig::default()
     };
-    let report = run_bench(&config)?;
-    std::fs::write(out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    let report = run_bench(&config).map_err(Error::Other)?;
+    std::fs::write(&opts.out, report.to_json()).map_err(|e| Error::io(&opts.out, e))?;
     println!(
-        "bench: {} points, {} digest checks -> {out}",
+        "bench: {} points, {} digest checks -> {}",
         report.points.len(),
-        report.digest_checks.len()
+        report.digest_checks.len(),
+        opts.out
     );
     for p in &report.points {
         println!(
@@ -419,31 +736,140 @@ fn run_bench_mode(opts: &Options, out: &str) -> Result<(), String> {
                 c.topology, c.cores, c.cycles, c.serial_digest, c.parallel_digest
             );
         }
-        return Err("serial and parallel engines diverged".to_string());
+        return Err(Error::Other(
+            "serial and parallel engines diverged".to_string(),
+        ));
     }
     Ok(())
 }
 
-fn run(opts: &Options) -> Result<(), String> {
+/// Runs a synthetic-traffic load sweep with the observability recorder
+/// attached and exports the per-point metrics registries (and optionally
+/// the last point's Chrome trace).
+fn run_campaign_mode(opts: &CampaignOptions) -> Result<(), Error> {
+    let mut config = if opts.small {
+        ClusterConfig::small(opts.topology)
+    } else {
+        ClusterConfig::paper(opts.topology)
+    };
+    if !opts.scramble {
+        config.seq_region_bytes = None;
+    }
+    let obs = if opts.trace_out.is_some() {
+        ObsConfig::with_trace(opts.trace_sample)
+    } else {
+        ObsConfig::histograms()
+    };
+    println!(
+        "campaign: {} load point(s) on {} ({} cores, pattern {}, seed {})",
+        opts.loads.len(),
+        opts.topology,
+        config.num_cores(),
+        opts.pattern_label,
+        opts.seed
+    );
+    let mut points: Vec<MeteredPoint> = Vec::with_capacity(opts.loads.len());
+    for &load in &opts.loads {
+        let metered = run_point_with_metrics(
+            config,
+            opts.pattern,
+            load,
+            opts.windows,
+            opts.seed,
+            obs,
+        )?;
+        let latency = metered.metrics.histogram("cluster", "latency")?;
+        println!(
+            "  load {:>6.3}: throughput {:>6.4}, latency mean {:>7.2} (p50 {}, p99 {}), \
+             locality {:.2}",
+            metered.point.offered_load,
+            metered.point.throughput,
+            metered.point.avg_latency(),
+            latency.p50,
+            latency.p99,
+            metered.point.locality
+        );
+        points.push(metered);
+    }
+    if let Some(out) = &opts.metrics_json {
+        let doc = campaign_json(opts, &points);
+        std::fs::write(out, doc).map_err(|e| Error::io(out, e))?;
+        println!("wrote campaign metrics to {out}");
+    }
+    if let Some(out) = &opts.trace_out {
+        let trace = &points.last().expect("at least one load").timeline;
+        std::fs::write(out, trace.to_chrome_json()).map_err(|e| Error::io(out, e))?;
+        println!(
+            "wrote timeline trace of the last point to {out} ({} spans, {} dropped)",
+            trace.spans.len(),
+            trace.dropped_spans
+        );
+    }
+    Ok(())
+}
+
+/// Renders the campaign report: sweep aggregates per point plus the full
+/// embedded `mempool-metrics-v1` registry of each run.
+fn campaign_json(opts: &CampaignOptions, points: &[MeteredPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"mempool-campaign-metrics-v1\",");
+    let _ = writeln!(out, "  \"topology\": \"{}\",", opts.topology);
+    let _ = writeln!(out, "  \"pattern\": \"{}\",", opts.pattern_label);
+    let _ = writeln!(out, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(
+        out,
+        "  \"windows\": {{ \"warmup\": {}, \"measure\": {}, \"drain\": {} }},",
+        opts.windows.warmup, opts.windows.measure, opts.windows.drain
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, m) in points.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"offered_load\": {:.6},", m.point.offered_load);
+        let _ = writeln!(out, "      \"throughput\": {:.6},", m.point.throughput);
+        let _ = writeln!(out, "      \"latency_mean\": {:.6},", m.point.avg_latency());
+        let _ = writeln!(out, "      \"locality\": {:.6},", m.point.locality);
+        let _ = writeln!(out, "      \"net_occupancy\": {:.6},", m.point.net_occupancy);
+        // The metrics registry renders itself as a complete JSON object;
+        // embed it verbatim (indentation differs, validity does not).
+        let _ = writeln!(out, "      \"metrics\": {}", m.metrics.to_json().trim_end());
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run(opts: &Options) -> Result<(), Error> {
     if let Some(out) = &opts.bench_json {
-        return run_bench_mode(opts, out);
+        return run_bench_mode(&BenchOptions {
+            out: out.clone(),
+            cores: opts.bench_cores.clone(),
+            cycles: opts.bench_cycles,
+            parallel: opts.parallel,
+        });
+    }
+    let mut config = if opts.small {
+        ClusterConfig::small(opts.topology)
+    } else {
+        ClusterConfig::paper(opts.topology)
+    };
+    if !opts.scramble {
+        config.seq_region_bytes = None;
     }
     if opts.describe {
-        let mut config = if opts.small {
-            ClusterConfig::small(opts.topology)
-        } else {
-            ClusterConfig::paper(opts.topology)
-        };
-        if !opts.scramble {
-            config.seq_region_bytes = None;
-        }
-        let cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
-        print!("{}", cluster.describe());
+        let session = SimSession::builder(config).build_snitch()?;
+        print!("{}", session.cluster().describe());
         return Ok(());
     }
-    let source =
-        std::fs::read_to_string(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
-    let program = assemble(&source).map_err(|e| format!("{}: {e}", opts.path))?;
+    let source = std::fs::read_to_string(&opts.path).map_err(|e| Error::io(&opts.path, e))?;
+    let program = assemble(&source).map_err(|e| Error::Asm {
+        path: opts.path.clone(),
+        source: e,
+    })?;
 
     if opts.listing {
         print!("{}", program.listing());
@@ -455,45 +881,55 @@ fn run(opts: &Options) -> Result<(), String> {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+        std::fs::write(out, &bytes).map_err(|e| Error::io(out, e))?;
         println!("wrote {} bytes to {out}", bytes.len());
         return Ok(());
     }
 
     if opts.functional {
-        return run_functional(opts, &program);
-    }
-    let mut config = if opts.small {
-        ClusterConfig::small(opts.topology)
-    } else {
-        ClusterConfig::paper(opts.topology)
-    };
-    if !opts.scramble {
-        config.seq_region_bytes = None;
+        run_functional(opts, &program)?;
+        return Ok(());
     }
     if opts.faults.is_some() {
         config.resilience = ResilienceConfig::standard();
     }
-    let mut cluster = Cluster::snitch(config).map_err(|e| e.to_string())?;
-    cluster.load_program(&program).map_err(|e| e.to_string())?;
-    cluster.set_parallel(opts.parallel);
+    let mut builder = SimSession::builder(config).workers(opts.parallel);
     if let Some(spec) = opts.faults {
         if !opts.json {
             println!("fault injection: {spec} (seed {})", opts.seed);
         }
-        cluster.set_fault_plan(Some(FaultPlan::new(opts.seed, spec)));
+        builder = builder.fault_plan(FaultPlan::new(opts.seed, spec));
     }
+    if opts.metrics_json.is_some() || opts.trace_out.is_some() {
+        builder = builder.observability(if opts.trace_out.is_some() {
+            ObsConfig::with_trace(opts.trace_sample)
+        } else {
+            ObsConfig::histograms()
+        });
+    }
+    if opts.checkpoint_every > 0 {
+        let path = opts
+            .checkpoint_file
+            .clone()
+            .unwrap_or_else(|| format!("{}.ckpt", opts.path));
+        builder = builder.checkpoint_every(opts.checkpoint_every, path);
+    }
+    let mut session = builder.build_snitch()?;
+    session.load_program(&program)?;
     if let Some(core) = opts.trace_core {
-        cluster
+        session
+            .cluster_mut()
             .cores_mut()
             .get_mut(core)
-            .ok_or_else(|| format!("core {core} out of range"))?
+            .ok_or_else(|| Error::Other(format!("core {core} out of range")))?
             .enable_trace(32);
     }
     if let Some(from) = &opts.resume {
         let snap = ClusterSnapshot::read_file(std::path::Path::new(from))
-            .map_err(|e| format!("{from}: {e}"))?;
-        cluster.restore(&snap).map_err(|e| format!("{from}: {e}"))?;
+            .map_err(|e| Error::Other(format!("{from}: {e}")))?;
+        session
+            .restore(&snap)
+            .map_err(|e| Error::Other(format!("{from}: {e}")))?;
         if !opts.json {
             println!(
                 "resumed from {from} at cycle {} (state digest {:#018x})",
@@ -503,36 +939,30 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     }
 
-    let checkpoint_path: Option<PathBuf> = match (&opts.checkpoint_file, opts.checkpoint_every) {
-        (Some(file), _) => Some(PathBuf::from(file)),
-        (None, every) if every > 0 => Some(PathBuf::from(format!("{}.ckpt", opts.path))),
-        _ => None,
-    };
-    let start = cluster.now();
-    let cycles = if opts.checkpoint_every > 0 {
-        let path = checkpoint_path.as_ref().expect("derived above");
-        loop {
-            let spent = cluster.now() - start;
-            let remaining = opts.max_cycles.saturating_sub(spent);
-            let chunk = opts.checkpoint_every.min(remaining);
-            match cluster.run(chunk) {
-                Ok(_) => break cluster.now() - start,
-                Err(SimError::Timeout(_)) if chunk < remaining => {
-                    // Only the checkpoint interval expired, not the budget.
-                    cluster
-                        .snapshot()
-                        .write_file(path)
-                        .map_err(|e| format!("{}: {e}", path.display()))?;
-                }
-                Err(e) => return Err(e.to_string()),
-            }
-        }
-    } else {
-        cluster.run(opts.max_cycles).map_err(|e| e.to_string())?
-    };
+    let cycles = session.run(opts.max_cycles)?;
 
+    if let Some(out) = &opts.metrics_json {
+        std::fs::write(out, session.metrics_registry().to_json())
+            .map_err(|e| Error::io(out, e))?;
+        if !opts.json {
+            println!("wrote metrics to {out}");
+        }
+    }
+    if let Some(out) = &opts.trace_out {
+        let trace = session.timeline().expect("observability was enabled");
+        std::fs::write(out, trace.to_chrome_json()).map_err(|e| Error::io(out, e))?;
+        if !opts.json {
+            println!(
+                "wrote timeline trace to {out} ({} spans, {} dropped)",
+                trace.spans.len(),
+                trace.dropped_spans
+            );
+        }
+    }
+
+    let cluster = session.cluster_mut();
     if opts.json {
-        print_json(&cluster, cycles);
+        print_json(cluster, cycles);
         return Ok(());
     }
     let stats = cluster.stats();
@@ -573,7 +1003,7 @@ fn run(opts: &Options) -> Result<(), String> {
         let core_ref = cluster
             .cores()
             .get(core)
-            .ok_or_else(|| format!("core {core} out of range"))?;
+            .ok_or_else(|| Error::Other(format!("core {core} out of range")))?;
         println!("\ncore {core} registers (pc={:#010x}):", core_ref.pc());
         for reg in Reg::all() {
             print!("  {:>4}={:08x}", reg.abi_name(), core_ref.reg(reg));
@@ -590,7 +1020,9 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if let Some((addr, words)) = opts.dump_mem {
         println!("\nL1 at {addr:#010x} ({words} words):");
-        let dump = cluster.read_words(addr, words).map_err(|e| e.to_string())?;
+        let dump = cluster
+            .read_words(addr, words)
+            .map_err(|e| Error::Other(e.to_string()))?;
         for (i, w) in dump.into_iter().enumerate() {
             if i % 4 == 0 {
                 print!("  {:08x}: ", addr as usize + 4 * i);
@@ -610,7 +1042,7 @@ fn run(opts: &Options) -> Result<(), String> {
 /// Machine-readable result record. `state_digest` is the canonical digest
 /// over the complete architectural state (see DESIGN.md §9) — two runs of
 /// the same program with the same seeds must print the same value.
-fn print_json(cluster: &Cluster<mempool_snitch::SnitchCore>, run_cycles: u64) {
+fn print_json(cluster: &mempool::Cluster<mempool_snitch::SnitchCore>, run_cycles: u64) {
     let stats = cluster.stats();
     let cores = cluster.core_stats_total();
     let f = &stats.faults;
@@ -646,6 +1078,10 @@ mod tests {
         parse_args(list.iter().map(|s| s.to_string()))
     }
 
+    fn command(list: &[&str]) -> Result<Command, (ParseArgsError, &'static str)> {
+        parse_command(list.iter().map(|s| s.to_string()).collect())
+    }
+
     #[test]
     fn defaults_and_flags() {
         let o = args(&["prog.s"]).unwrap();
@@ -665,6 +1101,106 @@ mod tests {
         assert_eq!(o.dump_regs, Some(7));
         assert_eq!(o.dump_mem, Some((0x100, 8)));
         assert_eq!(o.trace_core, Some(3));
+    }
+
+    #[test]
+    fn subcommand_dispatch() {
+        // `run` and the legacy flat form parse to the same options.
+        let Command::Run { opts, legacy } = command(&["run", "--small", "p.s"]).unwrap() else {
+            panic!("expected run")
+        };
+        assert!(!legacy);
+        assert!(opts.small);
+        assert_eq!(opts.path, "p.s");
+        let Command::Run { opts, legacy } = command(&["--small", "p.s"]).unwrap() else {
+            panic!("expected legacy run")
+        };
+        assert!(legacy);
+        assert!(opts.small);
+
+        let Command::Bench(b) = command(&["bench", "--out", "o.json", "--cores", "16"]).unwrap()
+        else {
+            panic!("expected bench")
+        };
+        assert_eq!(
+            b,
+            BenchOptions {
+                out: "o.json".to_owned(),
+                cores: vec![16],
+                cycles: 2_000,
+                parallel: 0
+            }
+        );
+        // --metrics-json is the shared spelling of the output flag.
+        let Command::Bench(b) = command(&["bench", "--metrics-json", "m.json"]).unwrap() else {
+            panic!("expected bench")
+        };
+        assert_eq!(b.out, "m.json");
+        assert!(matches!(
+            command(&["bench"]),
+            Err((ParseArgsError::MissingOption("--out"), _))
+        ));
+
+        let Command::Campaign(c) = command(&[
+            "campaign", "--small", "--pattern", "plocal=0.8", "--loads", "0.05,0.1",
+            "--measure", "4000", "--metrics-json", "m.json",
+        ])
+        .unwrap() else {
+            panic!("expected campaign")
+        };
+        assert!(c.small);
+        assert_eq!(c.pattern, Pattern::PLocal { p_local: 0.8 });
+        assert_eq!(c.loads, vec![0.05, 0.1]);
+        assert_eq!(c.windows.measure, 4_000);
+        assert_eq!(c.metrics_json.as_deref(), Some("m.json"));
+
+        // Subcommand parse errors carry the matching usage text.
+        let (e, usage) = command(&["campaign", "--pattern", "mesh"]).unwrap_err();
+        assert!(matches!(e, ParseArgsError::InvalidValue { option: "--pattern", .. }));
+        assert!(usage.contains("campaign"));
+    }
+
+    #[test]
+    fn campaign_rejections() {
+        assert!(matches!(
+            command(&["campaign", "--loads", "0.0,0.1"]),
+            Err((ParseArgsError::InvalidValue { option: "--loads", .. }, _))
+        ));
+        assert!(matches!(
+            command(&["campaign", "--pattern", "plocal=1.5"]),
+            Err((ParseArgsError::InvalidValue { option: "--pattern", .. }, _))
+        ));
+        assert!(matches!(
+            command(&["campaign", "--trace-sample", "0"]),
+            Err((ParseArgsError::InvalidValue { option: "--trace-sample", .. }, _))
+        ));
+        assert!(matches!(
+            command(&["campaign", "extra.s"]),
+            Err((ParseArgsError::UnexpectedArgument(_), _))
+        ));
+    }
+
+    #[test]
+    fn metrics_and_trace_flags() {
+        let o = args(&["--metrics-json", "m.json", "--trace-out", "t.json", "p.s"]).unwrap();
+        assert_eq!(o.metrics_json.as_deref(), Some("m.json"));
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.trace_sample, 64);
+        let o = args(&["--trace-out", "t.json", "--trace-sample", "8", "p.s"]).unwrap();
+        assert_eq!(o.trace_sample, 8);
+
+        assert!(matches!(
+            args(&["--trace-sample", "0", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--trace-sample", .. })
+        ));
+        assert!(matches!(
+            args(&["--functional", "--metrics-json", "m.json", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--bench-json", "o.json", "--metrics-json", "m.json"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
     }
 
     #[test]
@@ -762,6 +1298,19 @@ mod tests {
     fn help_is_not_an_error_case() {
         assert_eq!(args(&["--help"]).unwrap_err(), ParseArgsError::Help);
         assert_eq!(args(&["-h", "p.s"]).unwrap_err(), ParseArgsError::Help);
+        // Each subcommand answers --help with its own usage text.
+        assert!(matches!(
+            command(&["bench", "--help"]),
+            Err((ParseArgsError::Help, BENCH_USAGE))
+        ));
+        assert!(matches!(
+            command(&["campaign", "-h"]),
+            Err((ParseArgsError::Help, CAMPAIGN_USAGE))
+        ));
+        assert!(matches!(
+            command(&["run", "--help"]),
+            Err((ParseArgsError::Help, USAGE))
+        ));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! README.
 
 pub mod bench;
+pub mod error;
+
+pub use error::Error;
 
 pub use mempool;
 pub use mempool_kernels;
