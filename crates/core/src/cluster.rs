@@ -242,6 +242,11 @@ pub struct Cluster<C> {
     /// Architectural state once enabled: snapshotted and digested, so
     /// metrics survive checkpoint/restore bit-identically.
     pub(crate) obs: Option<Box<crate::obs::Obs>>,
+    /// Program-level profiler (`None` = disabled). The cluster half holds
+    /// the windowed activity sampler; the per-(region, PC) tables live
+    /// inside the cores. Architectural state once enabled: snapshotted
+    /// (the `profile` component) and digested.
+    pub(crate) profiler: Option<Box<crate::profile::Profiler>>,
     // --- fault injection and resilience ---
     pub(crate) faults: Option<FaultPlan>,
     pub(crate) quarantine: QuarantineMap,
@@ -306,6 +311,7 @@ impl<C: Core> Cluster<C> {
             },
             trace: None,
             obs: None,
+            profiler: None,
             faults: None,
             quarantine: QuarantineMap::new(map),
             pending: BTreeMap::new(),
@@ -573,6 +579,119 @@ impl<C: Core> Cluster<C> {
         self.obs.as_ref().map(|o| o.timeline())
     }
 
+    /// Turns on the program-level profiler: per-(region, PC) cycle
+    /// attribution inside every core, plus (when
+    /// [`ProfileConfig::power_window`](crate::ProfileConfig) is non-zero)
+    /// the windowed activity sampler behind the `mempool-power-v1`
+    /// timeline. Until this is called the profiler is absent and the hot
+    /// path pays nothing for it.
+    ///
+    /// Once enabled, all profiler state is architectural: included in
+    /// snapshots (the `profile` component) and the
+    /// [`state_digest`](Cluster::state_digest), and bit-identical between
+    /// the serial and tile-parallel engines.
+    pub fn enable_profiling(&mut self, config: crate::ProfileConfig) {
+        let mut p = crate::profile::Profiler::new(config, self.config.num_tiles);
+        p.window_start = self.now;
+        p.mark = self.cumulative_activity();
+        self.profiler = Some(Box::new(p));
+        for core in &mut self.cores {
+            core.enable_profile(config.max_pcs);
+        }
+    }
+
+    /// Whether the profiler is currently attached.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The profiler configuration, when profiling is enabled.
+    pub fn profile_config(&self) -> Option<crate::ProfileConfig> {
+        self.profiler.as_ref().map(|p| p.config)
+    }
+
+    /// The power-sampling windows recorded so far (`None` when profiling
+    /// is disabled, empty when `power_window` is `0`). Closed windows plus
+    /// the currently open one (truncated at the present cycle), so the
+    /// series always covers the whole run.
+    pub fn power_windows(&self) -> Option<Vec<crate::PowerWindow>> {
+        let p = self.profiler.as_ref()?;
+        let mut windows = p.windows.clone();
+        if p.config.power_window > 0 && self.now > p.window_start {
+            let cum = self.cumulative_activity();
+            windows.push(crate::PowerWindow {
+                start: p.window_start,
+                end: self.now,
+                tiles: cum
+                    .tiles
+                    .iter()
+                    .zip(&p.mark.tiles)
+                    .map(|(cur, prev)| crate::TileActivity::delta(cur, prev))
+                    .collect(),
+                local_requests: cum.local_requests - p.mark.local_requests,
+                remote_requests: cum.remote_requests - p.mark.remote_requests,
+            });
+        }
+        Some(windows)
+    }
+
+    /// Every core's profile rendered as collapsed-stack lines for
+    /// flamegraph tooling (`None` when profiling is disabled). See
+    /// [`folded_stacks`](crate::folded_stacks) for the line format.
+    pub fn profile_folded(&self) -> Option<String> {
+        self.profiler.as_ref()?;
+        let cpt = self.config.cores_per_tile as u32;
+        Some(crate::profile::folded_stacks(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.core_profile().map(|p| (i as u32 / cpt, i as u32, p))),
+        ))
+    }
+
+    /// Cluster-wide per-region cycle attribution, summed over all cores
+    /// (`None` when profiling is disabled).
+    pub fn region_profile(
+        &self,
+    ) -> Option<[mempool_snitch::RegionCounters; mempool_snitch::profile::REGION_SLOTS]> {
+        self.profiler.as_ref()?;
+        Some(crate::profile::aggregate_regions(
+            self.cores.iter().filter_map(|c| c.core_profile()),
+        ))
+    }
+
+    /// Snapshots the cluster's cumulative activity counters (the window
+    /// sampler differences these between window edges).
+    pub(crate) fn cumulative_activity(&self) -> crate::profile::ActivityMark {
+        let cpt = self.config.cores_per_tile;
+        let tiles = (0..self.config.num_tiles)
+            .map(|t| {
+                let mut a = crate::TileActivity::default();
+                for lane in 0..cpt {
+                    for (name, v) in self.cores[t * cpt + lane].metric_counters() {
+                        match name {
+                            "instret" => a.instret += v,
+                            "muls" => a.muls += v,
+                            "divs" => a.divs += v,
+                            "loads" | "stores" | "amos" => a.memory_ops += v,
+                            _ => {}
+                        }
+                    }
+                }
+                let ic = self.tiles[t].icache_stats();
+                a.icache_fetches = ic.hits + ic.misses;
+                a.icache_refills = self.tiles[t].refills();
+                a.bank_accesses = self.stats.tile_accesses[t];
+                a
+            })
+            .collect();
+        crate::profile::ActivityMark {
+            tiles,
+            local_requests: self.stats.local_requests,
+            remote_requests: self.stats.remote_requests,
+        }
+    }
+
     /// Builds a [`MetricsRegistry`](crate::MetricsRegistry) snapshot of
     /// every counter and histogram in the cluster, organised by scope path
     /// (`cluster`, `cluster/tile{t}`, `cluster/tile{t}/core{c}`,
@@ -612,6 +731,28 @@ impl<C: Core> Cluster<C> {
             .histogram_entry("latency", (&s.latency).into());
         reg.push_scope(cluster_scope);
 
+        // Profiling adds per-region scopes: cluster-wide aggregation here,
+        // per-core detail next to each core scope below. Zero-cycle region
+        // slots are omitted (a pure function of state, so still
+        // deterministic).
+        let region_scope = |path: String, rc: &mempool_snitch::RegionCounters| {
+            let mut rs = MetricScope::new(path);
+            rs.counter_entry("retired", rc.retired);
+            for (i, name) in crate::STALL_COUNTER_NAMES.iter().enumerate() {
+                rs.counter_entry(name, rc.stalls[i]);
+            }
+            rs.counter_entry("cycles", rc.cycles());
+            rs
+        };
+        if let Some(regions) = self.region_profile() {
+            for (r, rc) in regions.iter().enumerate() {
+                if rc.cycles() == 0 {
+                    continue;
+                }
+                reg.push_scope(region_scope(format!("cluster/region{r}"), rc));
+            }
+        }
+
         for (t, tile) in self.tiles.iter().enumerate() {
             let ic = tile.icache_stats();
             let mut ts = MetricScope::new(format!("cluster/tile{t}"));
@@ -637,6 +778,17 @@ impl<C: Core> Cluster<C> {
                     cs.counter_entry(name, value);
                 }
                 reg.push_scope(cs);
+                if let Some(p) = self.cores[core].core_profile() {
+                    for (r, rc) in p.regions().iter().enumerate() {
+                        if rc.cycles() == 0 {
+                            continue;
+                        }
+                        reg.push_scope(region_scope(
+                            format!("cluster/tile{t}/core{core}/region{r}"),
+                            rc,
+                        ));
+                    }
+                }
             }
 
             for (b, bank) in tile.banks.iter().enumerate() {
@@ -1165,6 +1317,19 @@ impl<C: Core> Cluster<C> {
         self.stats.net_register_slots = total;
         self.stats.cycles += 1;
 
+        // Power-window sampling: both engines call finish_cycle serially,
+        // so the window series is engine-independent by construction.
+        if self
+            .profiler
+            .as_ref()
+            .is_some_and(|p| p.window_closes(now))
+        {
+            let cum = self.cumulative_activity();
+            if let Some(p) = &mut self.profiler {
+                p.close_window(now, cum);
+            }
+        }
+
         // Watchdog progress signature: any delivered response, bank access,
         // new issue, refill, or resilience action (drop, retry, abandon,
         // stale drain) counts as forward motion.
@@ -1564,6 +1729,12 @@ impl<C: Core> Cluster<C> {
         if let Some(obs) = &mut self.obs {
             **obs = crate::obs::Obs::new(obs.config, self.config.num_tiles);
         }
+        // Same for the profiler: empty windows, marks re-latched against
+        // whatever survives the reset (e.g. warm I-cache statistics), and
+        // the factory-fresh cores get their profile tables back.
+        if let Some(config) = self.profile_config() {
+            self.enable_profiling(config);
+        }
         if let Some(ring) = &mut self.refill_ring {
             *ring = RefillRing::new(self.config.num_tiles, ring.l2_latency);
         }
@@ -1627,6 +1798,7 @@ impl Cluster<mempool_snitch::SnitchCore> {
             total.stall_fetch += s.stall_fetch;
             total.stall_fence += s.stall_fence;
             total.stall_exec += s.stall_exec;
+            total.halted_cycles += s.halted_cycles;
         }
         total
     }

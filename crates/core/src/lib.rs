@@ -63,6 +63,7 @@ mod net;
 pub mod obs;
 mod packet;
 mod par;
+pub mod profile;
 mod session;
 pub mod snapshot;
 mod stats;
@@ -83,6 +84,10 @@ pub use obs::{
     TraceSpan, METRICS_SCHEMA,
 };
 pub use packet::{MemoryTrace, Request, Response, TraceEvent};
+pub use profile::{
+    aggregate_regions, folded_stacks, PowerWindow, ProfileConfig, TileActivity,
+    STALL_COUNTER_NAMES,
+};
 pub use session::{SimSession, SimSessionBuilder};
 pub use snapshot::{
     bisect_divergence, ByteReader, ClusterSnapshot, ComponentDiff, CoreState, DivergenceReport,
@@ -182,6 +187,18 @@ pub trait Core: Send {
     fn metric_counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Turns on this core's execution profile (per-PC / per-region cycle
+    /// attribution), tracking at most `max_pcs` distinct pairs. The default
+    /// does nothing; core models without a program counter have nothing to
+    /// profile.
+    fn enable_profile(&mut self, _max_pcs: usize) {}
+
+    /// The core's execution profile, when one is enabled. The default
+    /// reports none.
+    fn core_profile(&self) -> Option<&mempool_snitch::CoreProfile> {
+        None
+    }
 }
 
 impl Core for mempool_snitch::SnitchCore {
@@ -216,5 +233,13 @@ impl Core for mempool_snitch::SnitchCore {
 
     fn metric_counters(&self) -> Vec<(&'static str, u64)> {
         self.stats().counters().to_vec()
+    }
+
+    fn enable_profile(&mut self, max_pcs: usize) {
+        mempool_snitch::SnitchCore::enable_profile(self, max_pcs);
+    }
+
+    fn core_profile(&self) -> Option<&mempool_snitch::CoreProfile> {
+        self.profile()
     }
 }

@@ -35,7 +35,11 @@ use std::fmt;
 use std::fmt::Write as _;
 
 /// Schema tag stamped into every metrics export.
-pub const METRICS_SCHEMA: &str = "mempool-metrics-v1";
+///
+/// `v2` extends `v1` with a `p90` histogram field and (when profiling is
+/// enabled) `cluster/region{r}` scopes; every `v1` field is unchanged, so
+/// `v1` readers keep working on everything they knew about.
+pub const METRICS_SCHEMA: &str = "mempool-metrics-v2";
 
 /// Observability configuration: what the cluster records while it runs.
 ///
@@ -232,6 +236,8 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Median (0 when empty).
     pub p50: u64,
+    /// 90th percentile (0 when empty; saturates to `max` past 64 cycles).
+    pub p90: u64,
     /// 99th percentile (0 when empty; saturates to `max` past 64 cycles).
     pub p99: u64,
     /// `buckets[i]` counts samples with `latency == i` for `i < 64`; the
@@ -247,6 +253,7 @@ impl From<&LatencyStats> for HistogramSnapshot {
             min: l.min().unwrap_or(0),
             max: l.max().unwrap_or(0),
             p50: l.quantile(0.5).unwrap_or(0),
+            p90: l.quantile(0.9).unwrap_or(0),
             p99: l.quantile(0.99).unwrap_or(0),
             buckets: l.bucket_counts().to_vec(),
         }
@@ -526,8 +533,8 @@ impl MetricsRegistry {
                 let _ = write!(
                     out,
                     "\"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-                     \"p50\": {}, \"p99\": {}, \"buckets\": [",
-                    h.count, h.sum, h.min, h.max, h.p50, h.p99
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
                 );
                 for (k, b) in h.buckets.iter().enumerate() {
                     if k > 0 {
@@ -575,6 +582,8 @@ mod tests {
         assert_eq!(h.min, 1);
         assert_eq!(h.max, 70);
         assert_eq!(h.p50, 5);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99, "{h:?}");
+        assert_eq!(h.p99, h.max, "tail samples saturate to max");
         assert_eq!(h.buckets.len(), 65);
     }
 
@@ -611,7 +620,11 @@ mod tests {
         let a = reg.to_json();
         let b = reg.to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"mempool-metrics-v1\""));
+        assert!(a.contains("\"schema\": \"mempool-metrics-v2\""));
+        assert!(
+            a.contains("\"p50\": ") && a.contains("\"p90\": ") && a.contains("\"p99\": "),
+            "v2 histogram summary carries all three quantiles: {a}"
+        );
         assert!(a.contains("\"path\": \"cluster/tile0\""));
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
@@ -667,6 +680,9 @@ mod tests {
     #[test]
     fn empty_histogram_snapshot_is_all_zero() {
         let h = HistogramSnapshot::from(&LatencyStats::new());
-        assert_eq!((h.count, h.min, h.max, h.p50, h.p99), (0, 0, 0, 0, 0));
+        assert_eq!(
+            (h.count, h.min, h.max, h.p50, h.p90, h.p99),
+            (0, 0, 0, 0, 0, 0)
+        );
     }
 }

@@ -38,6 +38,7 @@ pub struct SimSessionBuilder {
     fault_plan: Option<FaultPlan>,
     workers: usize,
     observability: Option<ObsConfig>,
+    profile: Option<crate::ProfileConfig>,
     memory_trace: bool,
     checkpoint: Option<(u64, PathBuf)>,
 }
@@ -64,6 +65,15 @@ impl SimSessionBuilder {
     #[must_use]
     pub fn observability(mut self, config: ObsConfig) -> Self {
         self.observability = Some(config);
+        self
+    }
+
+    /// Attaches the program-level profiler: per-(region, PC) cycle
+    /// attribution in every core, and the windowed activity sampler when
+    /// `config` enables power windows.
+    #[must_use]
+    pub fn profile(mut self, config: crate::ProfileConfig) -> Self {
+        self.profile = Some(config);
         self
     }
 
@@ -115,6 +125,9 @@ impl SimSessionBuilder {
         if let Some(obs) = self.observability {
             cluster.enable_observability(obs);
         }
+        if let Some(profile) = self.profile {
+            cluster.enable_profiling(profile);
+        }
         if self.memory_trace {
             cluster.begin_trace();
         }
@@ -143,6 +156,7 @@ impl SimSession<mempool_snitch::SnitchCore> {
             fault_plan: None,
             workers: 0,
             observability: None,
+            profile: None,
             memory_trace: false,
             checkpoint: None,
         }
@@ -184,6 +198,18 @@ impl<C: Core> SimSession<C> {
     /// The sampled timeline, when observability tracing is enabled.
     pub fn timeline(&self) -> Option<crate::obs::TimelineTrace> {
         self.cluster.timeline()
+    }
+
+    /// The folded-stack profile export, when profiling is enabled (see
+    /// [`Cluster::profile_folded`]).
+    pub fn profile_folded(&self) -> Option<String> {
+        self.cluster.profile_folded()
+    }
+
+    /// The power-sampling window series, when profiling is enabled (see
+    /// [`Cluster::power_windows`]).
+    pub fn power_windows(&self) -> Option<Vec<crate::PowerWindow>> {
+        self.cluster.power_windows()
     }
 }
 

@@ -22,6 +22,7 @@ use crate::tile::Tile;
 use crate::{Cluster, ClusterConfig, Core, Request, Response};
 use mempool_noc::{ElasticBuffer, Fabric, RoundRobin};
 use mempool_riscv::{AmoOp, LoadOp, Reg, StoreOp};
+use mempool_snitch::profile::{CoreProfile, PcCounters, RegionCounters, REGION_SLOTS};
 use mempool_snitch::{DataRequestKind, SnitchCore};
 use std::fmt;
 use std::io;
@@ -37,7 +38,10 @@ const MAGIC: u32 = 0x4d50_534e;
 /// Current snapshot format version. Version 2 added the observability
 /// section and the cumulative NoC/memory activity counters (elastic-buffer
 /// pushes, arbiter grants, ring injections/ejections, per-bank accesses).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Version 3 added the program-level profiler: per-core `mregion`/
+/// `halted_cycles`/profile tables in the core encoding and the cluster
+/// `profile` component (power-window sampler).
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// Fixed header length in bytes.
 const HEADER_LEN: usize = 56;
 
@@ -584,8 +588,27 @@ impl CoreState for SnitchCore {
             st.stall_fetch,
             st.stall_fence,
             st.stall_exec,
+            st.halted_cycles,
         ] {
             out.put_u64(v);
+        }
+        out.put_u32(s.region);
+        match &s.profile {
+            None => out.put_bool(false),
+            Some(p) => {
+                out.put_bool(true);
+                out.put_u64(p.max_pcs() as u64);
+                out.put_u64(p.tracked_pcs() as u64);
+                for (region, pc, c) in p.pcs() {
+                    out.put_u32(region);
+                    out.put_u32(pc);
+                    put_pc_counters(out, c);
+                }
+                put_pc_counters(out, p.overflow());
+                for rc in p.regions() {
+                    put_region_counters(out, rc);
+                }
+            }
         }
     }
 
@@ -645,12 +668,101 @@ impl CoreState for SnitchCore {
             &mut st.stall_fetch,
             &mut st.stall_fence,
             &mut st.stall_exec,
+            &mut st.halted_cycles,
         ] {
             *field = r.take_u64()?;
         }
+        s.region = r.take_u32()?;
+        s.profile = if r.take_bool()? {
+            let max_pcs = r.take_u64()? as usize;
+            let n = r.take_u64()? as usize;
+            if n > max_pcs.max(1) {
+                return Err(SnapshotError::Corrupt("profile entry count"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let region = r.take_u32()?;
+                let pc = r.take_u32()?;
+                entries.push((region, pc, take_pc_counters(r)?));
+            }
+            let overflow = take_pc_counters(r)?;
+            let mut regions = [RegionCounters::default(); REGION_SLOTS];
+            for rc in &mut regions {
+                *rc = take_region_counters(r)?;
+            }
+            Some(CoreProfile::from_parts(max_pcs, entries, overflow, regions))
+        } else {
+            None
+        };
         self.restore_state(&s);
         Ok(())
     }
+}
+
+fn put_pc_counters(out: &mut dyn StateSink, c: &PcCounters) {
+    out.put_u64(c.retired);
+    for &v in &c.stalls {
+        out.put_u64(v);
+    }
+}
+
+fn take_pc_counters(r: &mut ByteReader<'_>) -> Result<PcCounters, SnapshotError> {
+    let mut c = PcCounters {
+        retired: r.take_u64()?,
+        ..PcCounters::default()
+    };
+    for v in &mut c.stalls {
+        *v = r.take_u64()?;
+    }
+    Ok(c)
+}
+
+fn put_region_counters(out: &mut dyn StateSink, c: &RegionCounters) {
+    out.put_u64(c.retired);
+    for &v in &c.stalls {
+        out.put_u64(v);
+    }
+}
+
+fn take_region_counters(r: &mut ByteReader<'_>) -> Result<RegionCounters, SnapshotError> {
+    let mut c = RegionCounters {
+        retired: r.take_u64()?,
+        ..RegionCounters::default()
+    };
+    for v in &mut c.stalls {
+        *v = r.take_u64()?;
+    }
+    Ok(c)
+}
+
+fn put_tile_activity(out: &mut dyn StateSink, a: &crate::TileActivity) {
+    for v in [
+        a.instret,
+        a.muls,
+        a.divs,
+        a.memory_ops,
+        a.icache_fetches,
+        a.icache_refills,
+        a.bank_accesses,
+    ] {
+        out.put_u64(v);
+    }
+}
+
+fn take_tile_activity(r: &mut ByteReader<'_>) -> Result<crate::TileActivity, SnapshotError> {
+    let mut a = crate::TileActivity::default();
+    for field in [
+        &mut a.instret,
+        &mut a.muls,
+        &mut a.divs,
+        &mut a.memory_ops,
+        &mut a.icache_fetches,
+        &mut a.icache_refills,
+        &mut a.bank_accesses,
+    ] {
+        *field = r.take_u64()?;
+    }
+    Ok(a)
 }
 
 // ---------------------------------------------------------------------------
@@ -1281,6 +1393,33 @@ impl<C: CoreState> Cluster<C> {
         }
     }
 
+    fn encode_profile(&self, out: &mut dyn StateSink) {
+        match &self.profiler {
+            None => out.put_bool(false),
+            Some(p) => {
+                out.put_bool(true);
+                out.put_u64(p.config.max_pcs as u64);
+                out.put_u64(p.config.power_window);
+                out.put_u64(p.window_start);
+                for t in &p.mark.tiles {
+                    put_tile_activity(out, t);
+                }
+                out.put_u64(p.mark.local_requests);
+                out.put_u64(p.mark.remote_requests);
+                out.put_u64(p.windows.len() as u64);
+                for w in &p.windows {
+                    out.put_u64(w.start);
+                    out.put_u64(w.end);
+                    for t in &w.tiles {
+                        put_tile_activity(out, t);
+                    }
+                    out.put_u64(w.local_requests);
+                    out.put_u64(w.remote_requests);
+                }
+            }
+        }
+    }
+
     /// Streams the digested state section: every component in canonical
     /// order.
     fn encode_section_b(&self, out: &mut dyn StateSink) {
@@ -1304,6 +1443,7 @@ impl<C: CoreState> Cluster<C> {
         self.encode_fault_log(out);
         self.encode_stats(out);
         self.encode_obs(out);
+        self.encode_profile(out);
     }
 
     /// Streams the input section: fault-plan parameters and the scheduled
@@ -1385,6 +1525,10 @@ impl<C: CoreState> Cluster<C> {
         ));
         components.push(("stats".to_owned(), digest_of(&|out| self.encode_stats(out))));
         components.push(("obs".to_owned(), digest_of(&|out| self.encode_obs(out))));
+        components.push((
+            "profile".to_owned(),
+            digest_of(&|out| self.encode_profile(out)),
+        ));
         components
     }
 
@@ -1596,6 +1740,40 @@ impl<C: CoreState> Cluster<C> {
             obs.deliveries_seen = r.take_u64()?;
             obs.dropped_spans = r.take_u64()?;
             Some(Box::new(obs))
+        } else {
+            None
+        };
+        // Same authority for the profiler: the cluster half restores here,
+        // the per-core tables were restored with each core above.
+        self.profiler = if r.take_bool()? {
+            let config = crate::ProfileConfig {
+                max_pcs: r.take_u64()? as usize,
+                power_window: r.take_u64()?,
+            };
+            let mut p = crate::profile::Profiler::new(config, self.config.num_tiles);
+            p.window_start = r.take_u64()?;
+            for t in &mut p.mark.tiles {
+                *t = take_tile_activity(r)?;
+            }
+            p.mark.local_requests = r.take_u64()?;
+            p.mark.remote_requests = r.take_u64()?;
+            let nw = r.take_u64()? as usize;
+            for _ in 0..nw {
+                let start = r.take_u64()?;
+                let end = r.take_u64()?;
+                let mut tiles = Vec::with_capacity(self.config.num_tiles);
+                for _ in 0..self.config.num_tiles {
+                    tiles.push(take_tile_activity(r)?);
+                }
+                p.windows.push(crate::PowerWindow {
+                    start,
+                    end,
+                    tiles,
+                    local_requests: r.take_u64()?,
+                    remote_requests: r.take_u64()?,
+                });
+            }
+            Some(Box::new(p))
         } else {
             None
         };

@@ -13,7 +13,7 @@
 //! operations.
 
 use crate::matmul::BuildKernelError;
-use crate::runtime::{emit_barrier_with_backoff, emit_epilogue, emit_prologue};
+use crate::runtime::{emit_barrier_with_backoff, emit_epilogue, emit_prologue, emit_region};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
 use mempool_rng::StdRng;
@@ -146,6 +146,7 @@ impl Kernel for Fft {
              \tli   a6, {bpc}\n\
              \tmul  s4, s0, a6            # first butterfly of this core\n\
              stage_loop:\n\
+             {mark_compute}\
              \tli   t0, 1\n\
              \tsll  s6, t0, s3            # half = 1 << stage\n\
              \tli   t0, {log2n_m1}\n\
@@ -191,14 +192,19 @@ impl Kernel for Fft {
              \tsw   t4, 4(t2)\n\
              \taddi s8, s8, 1\n\
              \tblt  s8, s9, bfly_loop\n\
+             {mark_barrier}\
              \tjal  ra, __barrier         # stage boundary\n\
              \taddi s3, s3, 1\n\
              \tli   t0, {log2n}\n\
              \tblt  s3, t0, stage_loop\n\
+             {mark_writeback}\
              {epilogue}\
              {barrier}",
             prologue = emit_prologue(&self.geom),
             epilogue = emit_epilogue(),
+            mark_compute = emit_region(mempool_snitch::profile::REGION_COMPUTE),
+            mark_barrier = emit_region(mempool_snitch::profile::REGION_BARRIER),
+            mark_writeback = emit_region(mempool_snitch::profile::REGION_WRITEBACK),
             barrier = emit_barrier_with_backoff(&self.geom, 8),
             log2n_m1 = log2n - 1,
             data = self.data_base(),

@@ -57,7 +57,7 @@ pub use runner::{
     ProgramBuildError, RunKernelError,
 };
 pub use runtime::{
-    emit_barrier, emit_barrier_with_backoff, emit_epilogue, emit_prologue, emit_tree_barrier,
-    emit_tree_barrier_with_backoff,
+    emit_barrier, emit_barrier_with_backoff, emit_epilogue, emit_prologue, emit_region,
+    emit_tree_barrier, emit_tree_barrier_with_backoff,
 };
 pub use streams::{Axpy, DotProduct};

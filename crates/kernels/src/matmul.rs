@@ -2,7 +2,7 @@
 //! shared interleaved region — "accesses are predominantly remote" (§V-C).
 
 use crate::golden::matmul_i32;
-use crate::runtime::{emit_epilogue, emit_prologue};
+use crate::runtime::{emit_epilogue, emit_prologue, emit_region};
 use crate::{CheckKernelError, Geometry, Kernel};
 use mempool::L1Memory;
 use mempool_rng::StdRng;
@@ -115,6 +115,7 @@ impl Kernel for Matmul {
              \tmul  s3, s0, a6            # first output element\n\
              \tadd  s4, s3, a6            # one past last\n\
              elem_loop:\n\
+             {mark_compute}\
              \tsrli t0, s3, {log2n}       # row\n\
              \tandi t1, s3, {n_mask}      # column\n\
              \tslli t2, t0, {log2n_plus2}\n\
@@ -149,6 +150,7 @@ impl Kernel for Matmul {
              \tadd  t4, t4, t5\n\
              \taddi a5, a5, -4\n\
              \tbnez a5, kloop\n\
+             {mark_writeback}\
              \tslli a3, s3, 2\n\
              \tli   a4, {c_base}\n\
              \tadd  a3, a3, a4\n\
@@ -158,6 +160,8 @@ impl Kernel for Matmul {
              {epilogue}",
             prologue = emit_prologue(&self.geom),
             epilogue = emit_epilogue(),
+            mark_compute = emit_region(mempool_snitch::profile::REGION_COMPUTE),
+            mark_writeback = emit_region(mempool_snitch::profile::REGION_WRITEBACK),
             n_mask = n - 1,
             log2n_plus2 = log2n + 2,
             a_base = self.a_base(),

@@ -89,6 +89,19 @@ pub fn emit_epilogue() -> String {
     "\tfence\n\tecall\n".to_owned()
 }
 
+/// Emits a profiler region marker: writes `region` into the custom
+/// `mregion` CSR so the profiler attributes the following instructions to
+/// that kernel phase (`0` init, `1` compute, `2` barrier, `3` writeback —
+/// the `mempool_snitch::profile` convention; higher IDs are free).
+///
+/// Two instructions, clobbering `t0`. The CSR is always writable, so
+/// marked kernels run unchanged when profiling is disabled; emit markers
+/// around phase boundaries in straight-line kernel code, not inside shared
+/// subroutines (a subroutine cannot restore its caller's region).
+pub fn emit_region(region: u32) -> String {
+    format!("\tli   t0, {region}\n\tcsrw mregion, t0\n")
+}
+
 /// Emits the `__tree_barrier` subroutine plus its register initialization
 /// (`__tree_barrier_init`, call once after the prologue).
 ///

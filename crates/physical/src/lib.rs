@@ -11,7 +11,11 @@
 //! * [`mod@energy`] — per-event energy table reproducing Fig. 10 (8.4 pJ local
 //!   vs 16.9 pJ remote loads) and the 20.9 mW tile / 1.55 W cluster power
 //!   of §VI-D, driven by activity counters from the cycle-accurate
-//!   simulator.
+//!   simulator;
+//! * [`mod@power`] — the same energy table applied per sampling window: turns
+//!   the profiler's activity series into the `mempool-power-v1`
+//!   power-over-time document (per-tile and cluster watts,
+//!   compute-vs-interconnect split).
 //!
 //! These are *models*, not EDA results: the paper's reported silicon
 //! numbers are encoded as calibrated constants so the same breakdowns can
@@ -36,6 +40,7 @@
 pub mod area;
 pub mod energy;
 pub mod floorplan;
+pub mod power;
 pub mod timing;
 
 pub use area::{cluster_area, interconnect_area, tile_area, ClusterArea, InterconnectArea, TileArea};
@@ -44,6 +49,7 @@ pub use energy::{
     Activity, EnergyBreakdown, InstructionEnergy, MissingCounterError, ACTIVITY_COUNTERS,
 };
 pub use floorplan::{congestion_summary, floorplan, Floorplan};
+pub use power::{power_timeline, power_timeline_json, window_power, WindowPower, POWER_SCHEMA};
 pub use timing::{
     cluster_timing, dvfs_curve, operating_point, tile_timing, Corner, OperatingPoint,
     TimingReport,

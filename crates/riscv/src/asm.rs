@@ -712,6 +712,7 @@ fn csr_addr(s: &str, symbols: &HashMap<String, u32>) -> Result<u16, String> {
         "minstret" => Some(crate::csr::MINSTRET),
         "minstreth" => Some(crate::csr::MINSTRETH),
         "mscratch" => Some(crate::csr::MSCRATCH),
+        "mregion" => Some(crate::csr::MREGION),
         _ => None,
     };
     if let Some(addr) = named {

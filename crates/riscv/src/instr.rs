@@ -643,6 +643,12 @@ pub mod csr {
     pub const MINSTRETH: u16 = 0xb82;
     /// Machine scratch register.
     pub const MSCRATCH: u16 = 0x340;
+    /// MemPool profiler region marker (custom machine-mode CSR).
+    ///
+    /// Kernels write a region ID here to tag the following instructions
+    /// with a program phase (init/compute/barrier/writeback); the profiler
+    /// attributes cycles to whatever region is current when they retire.
+    pub const MREGION: u16 = 0x7c0;
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The Snitch core model: single-issue, single-stage, register scoreboard,
 //! configurable outstanding memory operations.
 
+use crate::profile::CoreProfile;
 use crate::{DataRequest, DataRequestKind, DataResponse, Fetch};
 use mempool_riscv::{csr, CsrOp, Instr, LoadOp, Reg};
 
@@ -88,10 +89,16 @@ pub struct CoreStats {
     pub stall_fence: u64,
     /// Stall cycles: divider / branch bubble.
     pub stall_exec: u64,
+    /// Cycles spent halted (after `ecall`/`ebreak`/`wfi` or a fault) while
+    /// the cluster clock kept running. Together with `instret` and the
+    /// stall counters this accounts for every simulated cycle:
+    /// `cycles == instret + total_stalls() + halted_cycles` (in runs
+    /// without injected instruction-skip faults).
+    pub halted_cycles: u64,
 }
 
 impl CoreStats {
-    /// Total stall cycles across all causes.
+    /// Total stall cycles across all causes (halted cycles are not stalls).
     pub fn total_stalls(&self) -> u64 {
         self.stall_scoreboard
             + self.stall_lsu_full
@@ -103,7 +110,7 @@ impl CoreStats {
 
     /// Every counter as `(name, value)`, in declaration order — the
     /// per-core scope of the observability metrics registry.
-    pub fn counters(&self) -> [(&'static str, u64); 14] {
+    pub fn counters(&self) -> [(&'static str, u64); 15] {
         [
             ("instret", self.instret),
             ("cycles", self.cycles),
@@ -119,6 +126,7 @@ impl CoreStats {
             ("stall_fetch", self.stall_fetch),
             ("stall_fence", self.stall_fence),
             ("stall_exec", self.stall_exec),
+            ("halted_cycles", self.halted_cycles),
         ]
     }
 
@@ -187,8 +195,12 @@ pub struct SnitchState {
     pub fencing: bool,
     /// The `mscratch` CSR.
     pub mscratch: u32,
+    /// The `mregion` CSR (current profiler region).
+    pub region: u32,
     /// Retirement and stall counters.
     pub stats: CoreStats,
+    /// The per-PC/per-region profile, when profiling is enabled.
+    pub profile: Option<CoreProfile>,
 }
 
 /// A cycle-accurate Snitch core (RV32IMA).
@@ -239,7 +251,12 @@ pub struct SnitchCore {
     /// Set while a `fence` waits for the LSU to drain.
     fencing: bool,
     mscratch: u32,
+    /// The `mregion` CSR: current profiler region ID (always writable, so
+    /// programs behave identically whether or not profiling is on).
+    region: u32,
     stats: CoreStats,
+    /// Per-PC/per-region profile (None = profiling off).
+    profile: Option<Box<CoreProfile>>,
     /// Retirement trace ring buffer (None = tracing off).
     trace: Option<std::collections::VecDeque<TraceEntry>>,
     trace_depth: usize,
@@ -268,10 +285,30 @@ impl SnitchCore {
             exec_busy: 0,
             fencing: false,
             mscratch: 0,
+            region: 0,
             stats: CoreStats::default(),
+            profile: None,
             trace: None,
             trace_depth: 0,
         }
+    }
+
+    /// Starts per-PC/per-region profiling, attributing every subsequent
+    /// cycle (see [`profile`](crate::profile)). `max_pcs` bounds the
+    /// distinct (region, PC) pairs tracked; further pairs spill into an
+    /// overflow bucket. Off by default and zero-cost while off.
+    pub fn enable_profile(&mut self, max_pcs: usize) {
+        self.profile = Some(Box::new(CoreProfile::new(max_pcs)));
+    }
+
+    /// The recorded profile (None while profiling is off).
+    pub fn profile(&self) -> Option<&CoreProfile> {
+        self.profile.as_deref()
+    }
+
+    /// The current `mregion` CSR value (profiler region ID).
+    pub fn region(&self) -> u32 {
+        self.region
     }
 
     /// Starts recording the last `depth` retired instructions (pc +
@@ -387,7 +424,9 @@ impl SnitchCore {
             exec_busy: self.exec_busy,
             fencing: self.fencing,
             mscratch: self.mscratch,
+            region: self.region,
             stats: self.stats,
+            profile: self.profile.as_deref().cloned(),
         }
     }
 
@@ -423,7 +462,9 @@ impl SnitchCore {
         self.exec_busy = state.exec_busy;
         self.fencing = state.fencing;
         self.mscratch = state.mscratch;
+        self.region = state.region;
         self.stats = state.stats;
+        self.profile = state.profile.clone().map(Box::new);
     }
 
     /// Delivers a completed memory response (call before
@@ -459,16 +500,17 @@ impl SnitchCore {
     pub fn step(&mut self, fetch: Fetch, request_ready: bool) -> Option<DataRequest> {
         self.stats.cycles += 1;
         if self.halted {
+            self.stats.halted_cycles += 1;
             return None;
         }
         if self.exec_busy > 0 {
             self.exec_busy -= 1;
-            self.stats.count(StallCause::ExecBusy);
+            self.stall(StallCause::ExecBusy);
             return None;
         }
         if self.fencing {
             if self.lsu_in_flight > 0 {
-                self.stats.count(StallCause::Fence);
+                self.stall(StallCause::Fence);
                 return None;
             }
             self.fencing = false;
@@ -476,12 +518,15 @@ impl SnitchCore {
         let instr = match fetch {
             Fetch::Ready(instr) => instr,
             Fetch::Stall => {
-                self.stats.count(StallCause::Fetch);
+                self.stall(StallCause::Fetch);
                 return None;
             }
             Fetch::Fault => {
                 self.halted = true;
                 self.faulted = true;
+                // The faulting cycle retires nothing and stalls on nothing;
+                // account it as halted so cycle accounting stays closed.
+                self.stats.halted_cycles += 1;
                 return None;
             }
         };
@@ -494,18 +539,21 @@ impl SnitchCore {
             blocked |= self.scoreboard & (1 << dest.index()) != 0;
         }
         if blocked {
-            self.stats.count(StallCause::Scoreboard);
+            self.stall(StallCause::Scoreboard);
             return None;
         }
         if instr.is_memory() {
             if self.lsu_in_flight == self.lsu.len() {
-                self.stats.count(StallCause::LsuFull);
+                self.stall(StallCause::LsuFull);
                 return None;
             }
             if !request_ready {
-                self.stats.count(StallCause::PortBusy);
+                self.stall(StallCause::PortBusy);
                 return None;
             }
+        }
+        if let Some(profile) = &mut self.profile {
+            profile.record_retire(self.region, self.pc);
         }
         if let Some(trace) = &mut self.trace {
             if trace.len() == self.trace_depth {
@@ -518,6 +566,15 @@ impl SnitchCore {
             });
         }
         self.execute(instr)
+    }
+
+    /// Counts a stall cycle, attributing it to the current PC/region when
+    /// profiling is on.
+    fn stall(&mut self, cause: StallCause) {
+        self.stats.count(cause);
+        if let Some(profile) = &mut self.profile {
+            profile.record_stall(self.region, self.pc, cause);
+        }
     }
 
     fn rs(&self, reg: Reg) -> u32 {
@@ -739,20 +796,23 @@ impl SnitchCore {
             csr::MINSTRET => self.stats.instret as u32,
             csr::MINSTRETH => (self.stats.instret >> 32) as u32,
             csr::MSCRATCH => self.mscratch,
+            csr::MREGION => self.region,
             _ => 0,
         }
     }
 
     fn apply_csr(&mut self, op: CsrOp, addr: u16, src: u32, src_is_zero: bool) {
-        // Only mscratch is writable in this model; set/clear with a zero
-        // source are architectural no-ops.
-        if addr != csr::MSCRATCH {
-            return;
-        }
+        // Only mscratch and the profiler's mregion are writable in this
+        // model; set/clear with a zero source are architectural no-ops.
+        let reg = match addr {
+            csr::MSCRATCH => &mut self.mscratch,
+            csr::MREGION => &mut self.region,
+            _ => return,
+        };
         match op {
-            CsrOp::Rw => self.mscratch = src,
-            CsrOp::Rs if !src_is_zero => self.mscratch |= src,
-            CsrOp::Rc if !src_is_zero => self.mscratch &= !src,
+            CsrOp::Rw => *reg = src,
+            CsrOp::Rs if !src_is_zero => *reg |= src,
+            CsrOp::Rc if !src_is_zero => *reg &= !src,
             _ => {}
         }
     }
@@ -1150,5 +1210,74 @@ mod tests {
         let pc = core.pc();
         core.step(Fetch::Ready(Instr::NOP), true);
         assert_eq!(core.pc(), pc);
+        assert_eq!(core.stats().halted_cycles, 1);
+    }
+
+    #[test]
+    fn every_cycle_is_accounted() {
+        let mut h = Harness::new(
+            "li a0, 100\nli a1, 7\ndiv a2, a0, a1\nlw a3, 16(zero)\n\
+             addi a3, a3, 1\nsw a3, 16(zero)\nfence\necall\n",
+            SnitchConfig::default(),
+            5,
+        );
+        h.run(500);
+        // Step a halted core a few more times, as the cluster's drain does.
+        for _ in 0..3 {
+            h.cycle();
+        }
+        let s = h.core.stats();
+        assert_eq!(s.cycles, s.instret + s.total_stalls() + s.halted_cycles);
+        assert_eq!(s.halted_cycles, 3);
+    }
+
+    #[test]
+    fn mregion_csr_reads_back_and_defaults_to_zero() {
+        let mut h = Harness::new(
+            "csrr a0, mregion\nli a1, 3\ncsrw mregion, a1\ncsrr a2, mregion\necall\n",
+            SnitchConfig::default(),
+            1,
+        );
+        h.run(100);
+        assert_eq!(h.core.reg(Reg::A0), 0);
+        assert_eq!(h.core.reg(Reg::A2), 3);
+        assert_eq!(h.core.region(), 3);
+    }
+
+    #[test]
+    fn profile_attribution_sums_to_the_stat_counters() {
+        let mut h = Harness::new(
+            "li a0, 1\ncsrw mregion, a0\nlw a1, 16(zero)\naddi a1, a1, 1\n\
+             li a0, 2\ncsrw mregion, a0\nsw a1, 20(zero)\nfence\necall\n",
+            SnitchConfig::default(),
+            6,
+        );
+        h.core.enable_profile(64);
+        h.run(200);
+        let p = h.core.profile().expect("profiling on");
+        let s = h.core.stats();
+        let total = p.total();
+        assert_eq!(total.retired, s.instret);
+        assert_eq!(total.stall_cycles(), s.total_stalls());
+        // The load-use stall landed in region 1, the fence drain in 2.
+        assert!(p.regions()[1].stalls[crate::profile::stall_index(StallCause::Scoreboard)] > 0);
+        assert!(p.regions()[2].stalls[crate::profile::stall_index(StallCause::Fence)] > 0);
+    }
+
+    #[test]
+    fn profile_survives_save_restore() {
+        let mut h = Harness::new(
+            "li a0, 1\ncsrw mregion, a0\nlw a1, 16(zero)\naddi a1, a1, 1\necall\n",
+            SnitchConfig::default(),
+            4,
+        );
+        h.core.enable_profile(64);
+        h.run(100);
+        let state = h.core.save_state();
+        let mut other = SnitchCore::new(SnitchConfig::default());
+        other.restore_state(&state);
+        assert_eq!(other.profile(), h.core.profile());
+        assert_eq!(other.region(), h.core.region());
+        assert_eq!(other.stats(), h.core.stats());
     }
 }

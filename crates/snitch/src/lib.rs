@@ -32,9 +32,11 @@
 
 mod core;
 mod port;
+pub mod profile;
 
 pub use crate::core::semantics;
 pub use crate::core::{
     CoreStats, LsuSlotState, SnitchConfig, SnitchCore, SnitchState, StallCause, TraceEntry,
 };
 pub use port::{DataRequest, DataRequestKind, DataResponse, Fetch};
+pub use profile::{CoreProfile, PcCounters, RegionCounters};

@@ -1,0 +1,81 @@
+//! Program-level profiling: run the matmul benchmark under the profiler
+//! and break its runtime down by kernel region, stall cause, and power
+//! over time — the data behind a Fig. 7-style "where did the cycles go"
+//! analysis.
+//!
+//! The kernel marks its phases by writing the custom `mregion` CSR
+//! (`mempool_kernels::emit_region`), every core attributes each cycle it
+//! spends to a `(region, PC)` pair, and the cluster samples activity
+//! windows that `mempool_physical` prices into a power timeline.
+//!
+//! Run with: `cargo run --release --example profiling`
+
+use mempool::{ClusterConfig, ProfileConfig, SimSession, Topology};
+use mempool_kernels::{build_program, Geometry, Kernel, Matmul};
+use mempool_physical::power_timeline;
+use mempool_snitch::profile::{stall_name, REGION_NAMES, STALL_CAUSES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ClusterConfig::paper(Topology::TopH);
+    let geom = Geometry::from_config(&config, 4096);
+    let kernel = Matmul::new(geom, 64)?;
+    let program = build_program(&kernel, &config)?;
+
+    let mut session = SimSession::builder(config)
+        .profile(ProfileConfig::with_power_window(1024))
+        .build_snitch()?;
+    session.load_program(&program)?;
+    kernel.init(session.cluster_mut(), 42);
+    let cycles = session.run(10_000_000)?;
+    kernel.check(session.cluster(), 42)?;
+    println!(
+        "matmul 64x64 on {} cores: {cycles} cycles, result verified",
+        config.num_cores()
+    );
+
+    // Region breakdown: where did the core-cycles go?
+    let regions = session.cluster().region_profile().expect("profiling on");
+    let attributed: u64 = regions.iter().map(|r| r.cycles()).sum();
+    println!("\nregion breakdown:");
+    for (slot, r) in regions.iter().enumerate() {
+        if r.cycles() == 0 {
+            continue;
+        }
+        let top = STALL_CAUSES
+            .iter()
+            .zip(&r.stalls)
+            .max_by_key(|(_, &n)| n)
+            .filter(|(_, &n)| n > 0)
+            .map(|(&c, _)| stall_name(c))
+            .unwrap_or("-");
+        println!(
+            "  {:<10} {:>5.1} % of cycles ({:>4.1} % stalled, mostly {top})",
+            REGION_NAMES[slot],
+            100.0 * r.cycles() as f64 / attributed.max(1) as f64,
+            100.0 * r.stall_cycles() as f64 / r.cycles() as f64,
+        );
+    }
+
+    // Power timeline: the §VI-D operating point, per sampling window.
+    let windows = session.power_windows().expect("profiling on");
+    let priced = power_timeline(&windows, config.cores_per_tile, config.banks_per_tile, 500.0);
+    println!("\npower timeline (500 MHz):");
+    for p in &priced {
+        let mean_tile: f64 = p.tiles_mw.iter().sum::<f64>() / p.tiles_mw.len() as f64;
+        println!(
+            "  cycles {:>6}..{:<6} cluster {:>5.2} W (compute {:>5.2}, interconnect {:>5.2}; \
+             mean tile {:>5.1} mW)",
+            p.start,
+            p.end,
+            p.cluster_w(),
+            p.compute_w,
+            p.interconnect_w,
+            mean_tile
+        );
+    }
+
+    // Folded stacks: feed this file to a flamegraph renderer.
+    let folded = session.profile_folded().expect("profiling on");
+    println!("\nfolded-stack profile: {} lines (flamegraph-ready)", folded.lines().count());
+    Ok(())
+}

@@ -14,8 +14,8 @@
 //! deprecation note on stderr.
 
 use mempool::{
-    ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, ObsConfig, ResilienceConfig, SimSession,
-    Topology,
+    ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, ObsConfig, ProfileConfig,
+    ResilienceConfig, SimSession, Topology,
 };
 use mempool_riscv::{assemble, Reg};
 use mempool_suite::error::Error;
@@ -47,6 +47,8 @@ struct Options {
     metrics_json: Option<String>,
     trace_out: Option<String>,
     trace_sample: u64,
+    profile_out: Option<String>,
+    power_out: Option<String>,
     bench_json: Option<String>,
     bench_cores: Vec<usize>,
     bench_cycles: u64,
@@ -61,6 +63,23 @@ struct BenchOptions {
     cores: Vec<usize>,
     cycles: u64,
     parallel: usize,
+}
+
+/// Options of the `profile` subcommand: one profiled program run with the
+/// per-region summary on stdout and optional folded-stack / power exports.
+#[derive(Debug, PartialEq, Eq)]
+struct ProfileOptions {
+    topology: Topology,
+    small: bool,
+    scramble: bool,
+    max_cycles: u64,
+    parallel: usize,
+    max_pcs: usize,
+    window: u64,
+    top: usize,
+    out: Option<String>,
+    power_out: Option<String>,
+    path: String,
 }
 
 /// Options of the `campaign` subcommand: a synthetic-traffic load sweep
@@ -86,15 +105,18 @@ enum Command {
     Run { opts: Box<Options>, legacy: bool },
     Bench(BenchOptions),
     Campaign(CampaignOptions),
+    Profile(ProfileOptions),
 }
 
-const USAGE: &str = "usage: mempool-run <run|bench|campaign> [OPTIONS]
+const USAGE: &str = "usage: mempool-run <run|bench|campaign|profile> [OPTIONS]
        mempool-run [OPTIONS] <program.s>   (deprecated; same as `run`)
 
 subcommands:
   run        assemble and execute a program (default; see `run --help`)
   bench      the simulator benchmark matrix (see `bench --help`)
   campaign   a synthetic-traffic load sweep with metrics (see `campaign --help`)
+  profile    a profiled run: region/stall breakdown, flamegraph and power
+             exports (see `profile --help`)
 
 run options:
   --topology <top1|top4|topH|ideal>  interconnect topology (default topH)
@@ -120,7 +142,12 @@ run options:
   --metrics-json <file>              export the mempool-metrics-v1 registry
                                      (per-scope counters + latency histograms)
   --trace-out <file>                 export a Chrome trace_event timeline
-  --trace-sample <n>                 sample every n-th delivery (default 64)
+  --trace-sample <n>                 sample every n-th delivery (default 64;
+                                     requires --trace-out)
+  --profile-out <file>               export the folded-stack (flamegraph)
+                                     profile of the run
+  --power-out <file>                 export the mempool-power-v1 power
+                                     timeline (1024-cycle windows)
   --bench-json <file>                deprecated; use `mempool-run bench --out`
   --bench-cores <16|256|all>         bench cluster sizes (default all)
   --bench-cycles <n>                 measured cycles per bench point (default 2000)
@@ -158,6 +185,29 @@ options:
                                      mempool-metrics-v1 registries here
   --trace-out <file>                 Chrome trace of the last point's run
   --trace-sample <n>                 sample every n-th delivery (default 64)
+  --help                             this text
+
+exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
+
+const PROFILE_USAGE: &str = "usage: mempool-run profile [OPTIONS] <program.s>
+
+Assembles and executes the program with the program-level profiler enabled,
+then prints the per-region cycle/stall breakdown and the hottest PCs.
+
+options:
+  --topology <top1|top4|topH|ideal>  interconnect topology (default topH)
+  --small                            64-core cluster instead of 256
+  --no-scramble                      disable the hybrid addressing scheme
+  --max-cycles <n>                   cycle budget (default 100000000)
+  --parallel <n>                     step tiles on n worker threads (0 = serial,
+                                     bit-identical results either way)
+  --max-pcs <n>                      per-core (region, PC)-pair bound
+                                     (default 4096)
+  --window <n>                       power-sampling window in cycles
+                                     (default 1024; 0 disables power windows)
+  --top <n>                          hottest PCs to print (default 10)
+  --out <file>                       write the folded-stack (flamegraph) profile
+  --power-out <file>                 write the mempool-power-v1 power timeline
   --help                             this text
 
 exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
@@ -244,6 +294,9 @@ fn parse_command(args: Vec<String>) -> Result<Command, (ParseArgsError, &'static
         Some("campaign") => parse_campaign_args(args.into_iter().skip(1))
             .map(Command::Campaign)
             .map_err(|e| (e, CAMPAIGN_USAGE)),
+        Some("profile") => parse_profile_args(args.into_iter().skip(1))
+            .map(Command::Profile)
+            .map_err(|e| (e, PROFILE_USAGE)),
         _ => parse_args(args)
             .map(|o| Command::Run {
                 opts: Box::new(o),
@@ -276,11 +329,14 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
         metrics_json: None,
         trace_out: None,
         trace_sample: 64,
+        profile_out: None,
+        power_out: None,
         bench_json: None,
         bench_cores: vec![16, 256],
         bench_cycles: 2_000,
         path: String::new(),
     };
+    let mut trace_sample_given = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &'static str| {
@@ -360,7 +416,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
                 if opts.trace_sample == 0 {
                     return Err(invalid("--trace-sample", "interval must be nonzero"));
                 }
+                trace_sample_given = true;
             }
+            "--profile-out" => opts.profile_out = Some(value("--profile-out")?),
+            "--power-out" => opts.power_out = Some(value("--power-out")?),
             "--bench-json" => opts.bench_json = Some(value("--bench-json")?),
             "--bench-cores" => {
                 opts.bench_cores = parse_bench_cores("--bench-cores", &value("--bench-cores")?)?;
@@ -381,6 +440,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
     }
     if opts.path.is_empty() && !opts.describe && opts.bench_json.is_none() {
         return Err(ParseArgsError::MissingProgram);
+    }
+    if trace_sample_given && opts.trace_out.is_none() {
+        return Err(ParseArgsError::Conflict(
+            "--trace-sample only applies to --trace-out",
+        ));
     }
     if opts.bench_json.is_some() {
         if !opts.path.is_empty() {
@@ -403,7 +467,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
                 "--bench-json already writes a JSON report",
             ));
         }
-        if opts.metrics_json.is_some() || opts.trace_out.is_some() {
+        if opts.metrics_json.is_some()
+            || opts.trace_out.is_some()
+            || opts.profile_out.is_some()
+            || opts.power_out.is_some()
+        {
             return Err(ParseArgsError::Conflict(
                 "--bench-json writes its own report; use `mempool-run bench`",
             ));
@@ -438,6 +506,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
         if opts.metrics_json.is_some() || opts.trace_out.is_some() {
             return Err(ParseArgsError::Conflict(
                 "--metrics-json/--trace-out require the cycle-accurate simulator",
+            ));
+        }
+        if opts.profile_out.is_some() || opts.power_out.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--profile-out/--power-out require the cycle-accurate simulator",
             ));
         }
     }
@@ -523,6 +596,7 @@ fn parse_campaign_args(
         trace_out: None,
         trace_sample: 64,
     };
+    let mut trace_sample_given = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &'static str| {
@@ -609,11 +683,89 @@ fn parse_campaign_args(
                 if opts.trace_sample == 0 {
                     return Err(invalid("--trace-sample", "interval must be nonzero"));
                 }
+                trace_sample_given = true;
             }
             "--help" | "-h" => return Err(ParseArgsError::Help),
             _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
             _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
         }
+    }
+    if trace_sample_given && opts.trace_out.is_none() {
+        return Err(ParseArgsError::Conflict(
+            "--trace-sample only applies to --trace-out",
+        ));
+    }
+    Ok(opts)
+}
+
+fn parse_profile_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<ProfileOptions, ParseArgsError> {
+    let mut opts = ProfileOptions {
+        topology: Topology::TopH,
+        small: false,
+        scramble: true,
+        max_cycles: 100_000_000,
+        parallel: 0,
+        max_pcs: 4096,
+        window: 1024,
+        top: 10,
+        out: None,
+        power_out: None,
+        path: String::new(),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &'static str| {
+            args.next().ok_or(ParseArgsError::MissingValue(name))
+        };
+        match arg.as_str() {
+            "--topology" => opts.topology = parse_topology(&value("--topology")?)?,
+            "--small" => opts.small = true,
+            "--no-scramble" => opts.scramble = false,
+            "--max-cycles" => {
+                opts.max_cycles = value("--max-cycles")?
+                    .parse()
+                    .map_err(|_| invalid("--max-cycles", "expected a cycle count"))?;
+            }
+            "--parallel" => {
+                opts.parallel = value("--parallel")?
+                    .parse()
+                    .map_err(|_| invalid("--parallel", "expected a worker count"))?;
+            }
+            "--max-pcs" => {
+                opts.max_pcs = value("--max-pcs")?
+                    .parse()
+                    .map_err(|_| invalid("--max-pcs", "expected a PC-table bound"))?;
+                if opts.max_pcs == 0 {
+                    return Err(invalid("--max-pcs", "bound must be nonzero"));
+                }
+            }
+            "--window" => {
+                opts.window = value("--window")?
+                    .parse()
+                    .map_err(|_| invalid("--window", "expected a cycle count"))?;
+            }
+            "--top" => {
+                opts.top = value("--top")?
+                    .parse()
+                    .map_err(|_| invalid("--top", "expected a PC count"))?;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--power-out" => opts.power_out = Some(value("--power-out")?),
+            "--help" | "-h" => return Err(ParseArgsError::Help),
+            _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
+            _ if opts.path.is_empty() => opts.path = arg,
+            _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err(ParseArgsError::MissingProgram);
+    }
+    if opts.power_out.is_some() && opts.window == 0 {
+        return Err(ParseArgsError::Conflict(
+            "--power-out needs power windows; drop `--window 0`",
+        ));
     }
     Ok(opts)
 }
@@ -691,6 +843,7 @@ fn main() -> ExitCode {
         }
         Command::Bench(opts) => run_bench_mode(&opts),
         Command::Campaign(opts) => run_campaign_mode(&opts),
+        Command::Profile(opts) => run_profile_mode(&opts),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -843,6 +996,134 @@ fn campaign_json(opts: &CampaignOptions, points: &[MeteredPoint]) -> String {
     out
 }
 
+/// Operating frequency used to price power timelines — the 500 MHz point
+/// of §VI-D, where the paper reports 20.9 mW/tile and 1.55 W per cluster.
+const POWER_FREQ_MHZ: f64 = 500.0;
+
+/// Runs one program under the profiler and prints the per-region
+/// cycle/stall breakdown plus the hottest PCs; optionally exports the
+/// folded-stack profile and the `mempool-power-v1` timeline.
+fn run_profile_mode(opts: &ProfileOptions) -> Result<(), Error> {
+    use mempool_snitch::profile::{stall_name, PcCounters, REGION_NAMES, STALL_CAUSES};
+
+    let mut config = if opts.small {
+        ClusterConfig::small(opts.topology)
+    } else {
+        ClusterConfig::paper(opts.topology)
+    };
+    if !opts.scramble {
+        config.seq_region_bytes = None;
+    }
+    let source = std::fs::read_to_string(&opts.path).map_err(|e| Error::io(&opts.path, e))?;
+    let program = assemble(&source).map_err(|e| Error::Asm {
+        path: opts.path.clone(),
+        source: e,
+    })?;
+    let mut session = SimSession::builder(config)
+        .workers(opts.parallel)
+        .profile(ProfileConfig {
+            max_pcs: opts.max_pcs,
+            power_window: opts.window,
+        })
+        .build_snitch()?;
+    session.load_program(&program)?;
+    let cycles = session.run(opts.max_cycles)?;
+
+    let cluster = session.cluster();
+    let cores = cluster.core_stats_total();
+    println!(
+        "profiled {} on {} ({} cores): {cycles} cycles, {} instructions",
+        opts.path,
+        opts.topology,
+        config.num_cores(),
+        cores.instret
+    );
+
+    let regions = cluster.region_profile().expect("profiling was enabled");
+    let attributed: u64 = regions.iter().map(|r| r.cycles()).sum();
+    println!("\nregion breakdown (core-cycles, summed over all cores):");
+    println!(
+        "  {:<10} {:>14} {:>14} {:>14} {:>7}  top stall",
+        "region", "cycles", "retired", "stalled", "share"
+    );
+    for (slot, r) in regions.iter().enumerate() {
+        if r.cycles() == 0 {
+            continue;
+        }
+        let top_stall = STALL_CAUSES
+            .iter()
+            .zip(&r.stalls)
+            .max_by_key(|(_, &n)| n)
+            .filter(|(_, &n)| n > 0)
+            .map(|(&cause, &n)| format!("{} ({n})", stall_name(cause)))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "  {:<10} {:>14} {:>14} {:>14} {:>6.1}%  {top_stall}",
+            REGION_NAMES[slot],
+            r.cycles(),
+            r.retired,
+            r.stall_cycles(),
+            100.0 * r.cycles() as f64 / attributed.max(1) as f64,
+        );
+    }
+
+    // Hottest PCs: the per-(region, PC) counters summed across all cores.
+    let mut by_pc: std::collections::BTreeMap<(u32, u32), PcCounters> =
+        std::collections::BTreeMap::new();
+    for core in cluster.cores() {
+        let profile = core.profile().expect("profiling was enabled");
+        for (region, pc, c) in profile.pcs() {
+            let agg = by_pc.entry((region, pc)).or_default();
+            agg.retired += c.retired;
+            for (acc, &s) in agg.stalls.iter_mut().zip(&c.stalls) {
+                *acc += s;
+            }
+        }
+    }
+    let mut hottest: Vec<_> = by_pc.into_iter().collect();
+    hottest.sort_by(|a, b| b.1.cycles().cmp(&a.1.cycles()).then(a.0.cmp(&b.0)));
+    if opts.top > 0 && !hottest.is_empty() {
+        println!("\nhottest PCs:");
+        println!(
+            "  {:>10} {:<10} {:>14} {:>14}  top stall",
+            "pc", "region", "cycles", "stalled"
+        );
+        for ((region, pc), c) in hottest.iter().take(opts.top) {
+            let top_stall = STALL_CAUSES
+                .iter()
+                .zip(&c.stalls)
+                .max_by_key(|(_, &n)| n)
+                .filter(|(_, &n)| n > 0)
+                .map(|(&cause, &n)| format!("{} ({n})", stall_name(cause)))
+                .unwrap_or_else(|| "-".to_owned());
+            println!(
+                "  {pc:#010x} {:<10} {:>14} {:>14}  {top_stall}",
+                REGION_NAMES[*region as usize],
+                c.cycles(),
+                c.stall_cycles(),
+            );
+        }
+    }
+
+    if let Some(out) = &opts.out {
+        let folded = session.profile_folded().expect("profiling was enabled");
+        std::fs::write(out, folded).map_err(|e| Error::io(out, e))?;
+        println!("\nwrote folded-stack profile to {out}");
+    }
+    if let Some(out) = &opts.power_out {
+        let windows = session.power_windows().expect("profiling was enabled");
+        let doc = mempool_physical::power_timeline_json(
+            &windows,
+            config.cores_per_tile,
+            config.banks_per_tile,
+            POWER_FREQ_MHZ,
+        );
+        std::fs::write(out, doc).map_err(|e| Error::io(out, e))?;
+        println!("wrote power timeline to {out} ({} windows)", windows.len());
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), Error> {
     if let Some(out) = &opts.bench_json {
         return run_bench_mode(&BenchOptions {
@@ -907,6 +1188,13 @@ fn run(opts: &Options) -> Result<(), Error> {
             ObsConfig::histograms()
         });
     }
+    if opts.profile_out.is_some() || opts.power_out.is_some() {
+        builder = builder.profile(if opts.power_out.is_some() {
+            ProfileConfig::default()
+        } else {
+            ProfileConfig::attribution_only()
+        });
+    }
     if opts.checkpoint_every > 0 {
         let path = opts
             .checkpoint_file
@@ -957,6 +1245,26 @@ fn run(opts: &Options) -> Result<(), Error> {
                 trace.spans.len(),
                 trace.dropped_spans
             );
+        }
+    }
+    if let Some(out) = &opts.profile_out {
+        let folded = session.profile_folded().expect("profiling was enabled");
+        std::fs::write(out, folded).map_err(|e| Error::io(out, e))?;
+        if !opts.json {
+            println!("wrote folded-stack profile to {out}");
+        }
+    }
+    if let Some(out) = &opts.power_out {
+        let windows = session.power_windows().expect("profiling was enabled");
+        let doc = mempool_physical::power_timeline_json(
+            &windows,
+            config.cores_per_tile,
+            config.banks_per_tile,
+            POWER_FREQ_MHZ,
+        );
+        std::fs::write(out, doc).map_err(|e| Error::io(out, e))?;
+        if !opts.json {
+            println!("wrote power timeline to {out} ({} windows)", windows.len());
         }
     }
 
@@ -1200,6 +1508,83 @@ mod tests {
         assert!(matches!(
             args(&["--bench-json", "o.json", "--metrics-json", "m.json"]),
             Err(ParseArgsError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn trace_sample_requires_trace_out() {
+        // Regression: a lone --trace-sample used to parse fine and then be
+        // silently ignored; it is a typed usage error (exit 2) now.
+        assert_eq!(
+            args(&["--trace-sample", "8", "p.s"]).unwrap_err(),
+            ParseArgsError::Conflict("--trace-sample only applies to --trace-out")
+        );
+        assert!(matches!(
+            command(&["campaign", "--trace-sample", "8"]),
+            Err((ParseArgsError::Conflict(_), CAMPAIGN_USAGE))
+        ));
+        // With --trace-out the interval is accepted as before.
+        assert!(args(&["--trace-out", "t.json", "--trace-sample", "8", "p.s"]).is_ok());
+        assert!(command(&["campaign", "--trace-out", "t.json", "--trace-sample", "8"]).is_ok());
+    }
+
+    #[test]
+    fn profile_flags_on_run() {
+        let o = args(&["--profile-out", "f.folded", "--power-out", "p.json", "p.s"]).unwrap();
+        assert_eq!(o.profile_out.as_deref(), Some("f.folded"));
+        assert_eq!(o.power_out.as_deref(), Some("p.json"));
+
+        assert!(matches!(
+            args(&["--functional", "--profile-out", "f.folded", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--bench-json", "o.json", "--power-out", "p.json"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn profile_subcommand() {
+        let Command::Profile(p) = command(&[
+            "profile", "--small", "--max-pcs", "256", "--window", "512", "--top", "5",
+            "--out", "f.folded", "--power-out", "p.json", "prog.s",
+        ])
+        .unwrap() else {
+            panic!("expected profile")
+        };
+        assert_eq!(
+            p,
+            ProfileOptions {
+                topology: Topology::TopH,
+                small: true,
+                scramble: true,
+                max_cycles: 100_000_000,
+                parallel: 0,
+                max_pcs: 256,
+                window: 512,
+                top: 5,
+                out: Some("f.folded".to_owned()),
+                power_out: Some("p.json".to_owned()),
+                path: "prog.s".to_owned(),
+            }
+        );
+
+        assert!(matches!(
+            command(&["profile"]),
+            Err((ParseArgsError::MissingProgram, PROFILE_USAGE))
+        ));
+        assert!(matches!(
+            command(&["profile", "--max-pcs", "0", "p.s"]),
+            Err((ParseArgsError::InvalidValue { option: "--max-pcs", .. }, _))
+        ));
+        assert!(matches!(
+            command(&["profile", "--window", "0", "--power-out", "p.json", "p.s"]),
+            Err((ParseArgsError::Conflict(_), _))
+        ));
+        assert!(matches!(
+            command(&["profile", "--help"]),
+            Err((ParseArgsError::Help, PROFILE_USAGE))
         ));
     }
 

@@ -1,0 +1,112 @@
+//! End-to-end profiler contract on a real kernel: a profiled matmul must
+//! still compute the right product, attribute the bulk of its cycles to
+//! the compute region, balance its stall attribution against the stat
+//! counters, and price into a plausible power timeline.
+
+use mempool::{ClusterConfig, ProfileConfig, SimSession, Topology};
+use mempool_kernels::{build_program, Geometry, Kernel, Matmul};
+use mempool_physical::power_timeline;
+use mempool_snitch::profile::{REGION_COMPUTE, REGION_SLOTS};
+
+const SEED: u64 = 42;
+
+fn profiled_matmul() -> (SimSession<mempool_snitch::SnitchCore>, ClusterConfig) {
+    let config = ClusterConfig::small(Topology::TopH);
+    let geom = Geometry::from_config(&config, 4096);
+    let kernel = Matmul::new(geom, 16).expect("valid kernel");
+    let program = build_program(&kernel, &config).expect("assembles");
+    let mut session = SimSession::builder(config)
+        .profile(ProfileConfig::with_power_window(512))
+        .build_snitch()
+        .expect("valid config");
+    session.load_program(&program).expect("loads");
+    kernel.init(session.cluster_mut(), SEED);
+    session.run(10_000_000).expect("finishes");
+    kernel.check(session.cluster(), SEED).expect("correct product");
+    (session, config)
+}
+
+#[test]
+fn matmul_compute_region_dominates_and_attribution_balances() {
+    let (session, _) = profiled_matmul();
+    let cluster = session.cluster();
+
+    let regions = cluster.region_profile().expect("profiling enabled");
+    let attributed: u64 = regions.iter().map(|r| r.cycles()).sum();
+    let compute = &regions[REGION_COMPUTE as usize];
+    assert!(
+        compute.cycles() * 2 > attributed,
+        "compute region holds {} of {} attributed cycles — expected the \
+         majority for matmul",
+        compute.cycles(),
+        attributed
+    );
+
+    // Region-aggregated stall cycles must sum to exactly the stat-counter
+    // stalls, and retirements to instret, over all cores.
+    let totals = cluster.core_stats_total();
+    let retired: u64 = regions.iter().map(|r| r.retired).sum();
+    let stalled: u64 = regions.iter().map(|r| r.stall_cycles()).sum();
+    assert_eq!(retired, totals.instret, "region retirements != instret");
+    assert_eq!(
+        stalled,
+        totals.total_stalls(),
+        "region stall attribution != stat-counter stalls"
+    );
+    assert_eq!(regions.len(), REGION_SLOTS);
+}
+
+#[test]
+fn matmul_folded_stacks_cover_every_attributed_cycle() {
+    let (session, _) = profiled_matmul();
+    let folded = session.profile_folded().expect("profiling enabled");
+    assert!(!folded.is_empty());
+
+    // Folded-stack sample counts sum to exactly the attributed cycles:
+    // nothing is lost between the per-core tables and the export.
+    let exported: u64 = folded
+        .lines()
+        .map(|l| {
+            l.rsplit_once(' ')
+                .expect("`frames count` shape")
+                .1
+                .parse::<u64>()
+                .expect("numeric sample count")
+        })
+        .sum();
+    let totals = session.cluster().core_stats_total();
+    assert_eq!(exported, totals.instret + totals.total_stalls());
+    assert!(folded.lines().all(|l| l.starts_with("tile")));
+    assert!(folded.contains(";compute;"), "compute frames missing");
+}
+
+#[test]
+fn matmul_power_timeline_is_plausible() {
+    let (session, config) = profiled_matmul();
+    let windows = session.power_windows().expect("profiling enabled");
+    assert!(windows.len() >= 2, "run too short for a timeline");
+
+    let priced = power_timeline(&windows, config.cores_per_tile, config.banks_per_tile, 500.0);
+    for (w, p) in windows.iter().zip(&priced) {
+        assert!(p.cluster_w() > 0.0, "window {}..{} prices to zero", w.start, w.end);
+        assert!(
+            p.compute_w > p.interconnect_w,
+            "window {}..{}: interconnect {} W above compute {} W",
+            w.start,
+            w.end,
+            p.interconnect_w,
+            p.compute_w
+        );
+        assert_eq!(p.tiles_mw.len(), config.num_tiles);
+    }
+    // The shared-interleaved matmul keeps the interconnect busy: its power
+    // share must be visible (not rounding noise) in the busiest window.
+    let busiest = priced
+        .iter()
+        .max_by(|a, b| a.cluster_w().total_cmp(&b.cluster_w()))
+        .expect("at least one window");
+    assert!(
+        busiest.interconnect_w > 0.02 * busiest.cluster_w(),
+        "no visible interconnect power in the busiest window: {busiest:?}"
+    );
+}
