@@ -1,0 +1,176 @@
+//! Cooperative cancellation for long simulations.
+//!
+//! A [`CancelToken`] bounds a run three ways at once: an explicit
+//! [`cancel`](CancelToken::cancel) request (e.g. from a signal handler), a
+//! wall-clock deadline, and an absolute sim-cycle budget. The cluster
+//! checks the token inside its step loop — the request flag and cycle
+//! budget every cycle (an atomic load and an integer compare), the wall
+//! clock on a coarse stride so `Instant::now()` stays off the hot path —
+//! and returns [`SimError::Cancelled`](crate::SimError::Cancelled) with the
+//! tripped cause. The token is pure policy: it never perturbs architectural
+//! state, so a cancelled run resumed from a checkpoint is bit-identical to
+//! an uninterrupted one.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in cycles) the wall clock is consulted. Flag and cycle-budget
+/// checks are per-cycle; only `Instant::now()` is throttled.
+pub(crate) const WALL_PROBE_STRIDE: u64 = 512;
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (e.g. by a signal handler).
+    Requested,
+    /// The wall-clock deadline passed.
+    WallClock {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The absolute sim-cycle budget was reached.
+    CycleBudget {
+        /// The configured budget (absolute cycle count).
+        limit: u64,
+    },
+}
+
+/// Typed payload of [`SimError::Cancelled`](crate::SimError::Cancelled):
+/// where and why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancelledError {
+    /// Cycle at which the cancellation was observed.
+    pub cycle: u64,
+    /// Which bound tripped.
+    pub cause: CancelCause,
+}
+
+impl fmt::Display for CancelledError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cause {
+            CancelCause::Requested => {
+                write!(f, "run cancelled at cycle {}", self.cycle)
+            }
+            CancelCause::WallClock { limit_ms } => write!(
+                f,
+                "wall-clock timeout: limit of {limit_ms} ms exceeded at cycle {}",
+                self.cycle
+            ),
+            CancelCause::CycleBudget { limit } => write!(
+                f,
+                "sim-cycle budget of {limit} cycles exhausted at cycle {}",
+                self.cycle
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CancelledError {}
+
+/// A cloneable cancellation token: share it with a supervisor (or install
+/// it in a signal handler) and hand a clone to
+/// [`Cluster::set_cancel_token`](crate::Cluster::set_cancel_token).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    wall: Option<(Instant, Duration)>,
+    cycle_limit: Option<u64>,
+}
+
+impl CancelToken {
+    /// A token with no bounds armed; cancellable only via
+    /// [`cancel`](CancelToken::cancel).
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Arms a wall-clock deadline `limit` from *now*.
+    #[must_use]
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall = Some((Instant::now() + limit, limit));
+        self
+    }
+
+    /// Arms an absolute sim-cycle budget: the run cancels once the cluster
+    /// cycle counter reaches `limit`.
+    #[must_use]
+    pub fn with_cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = Some(limit);
+        self
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was explicitly requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Checks all armed bounds; `probe_clock` gates the (comparatively
+    /// expensive) wall-clock read.
+    pub fn probe(&self, cycle: u64, probe_clock: bool) -> Option<CancelCause> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(CancelCause::Requested);
+        }
+        if let Some(limit) = self.cycle_limit {
+            if cycle >= limit {
+                return Some(CancelCause::CycleBudget { limit });
+            }
+        }
+        if probe_clock {
+            if let Some((deadline, limit)) = self.wall {
+                if Instant::now() >= deadline {
+                    return Some(CancelCause::WallClock {
+                        limit_ms: limit.as_millis() as u64,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_unbounded() {
+        let t = CancelToken::new();
+        assert_eq!(t.probe(u64::MAX, true), None);
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert_eq!(t.probe(0, false), Some(CancelCause::Requested));
+    }
+
+    #[test]
+    fn cycle_budget_trips_at_the_limit() {
+        let t = CancelToken::new().with_cycle_limit(100);
+        assert_eq!(t.probe(99, false), None);
+        assert_eq!(
+            t.probe(100, false),
+            Some(CancelCause::CycleBudget { limit: 100 })
+        );
+    }
+
+    #[test]
+    fn expired_wall_deadline_trips_only_when_probed() {
+        let t = CancelToken::new().with_wall_limit(Duration::ZERO);
+        assert_eq!(t.probe(0, false), None, "clock not consulted");
+        assert!(matches!(
+            t.probe(0, true),
+            Some(CancelCause::WallClock { .. })
+        ));
+    }
+}

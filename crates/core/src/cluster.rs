@@ -1,9 +1,11 @@
 //! The cycle-accurate MemPool cluster simulator.
 
+use crate::cancel::{CancelToken, CancelledError, WALL_PROBE_STRIDE};
 use crate::faults::{
     BankFailure, DeadlockDiagnostic, FaultEvent, FaultLog, FaultPlan, LinkFaultKind, PendingDump,
     SimError, TileDiagnostic,
 };
+use crate::sanitize::{Sanitizer, SanitizerConfig, SanitizerReport};
 use crate::net::{LinkRef, Net};
 use crate::par::{SyncPtr, WorkerPool};
 use crate::tile::{BankGate, ProgramImage, Tile};
@@ -266,6 +268,59 @@ pub struct Cluster<C> {
     /// Tile-parallel execution engine (`None` = serial). Pure strategy
     /// state: never snapshotted, never digested.
     pub(crate) engine: Option<ParEngine>,
+    /// Cycle-level invariant sanitizer (`None` = disabled). Pure checking:
+    /// never snapshotted, never digested, never perturbs results.
+    pub(crate) sanitizer: Option<Box<Sanitizer>>,
+    /// Cooperative cancellation token checked in the step loops. Pure
+    /// policy: never snapshotted, never digested.
+    pub(crate) cancel: Option<CancelToken>,
+    /// Test-only seeded mutations (sanitizer coverage). Inert by default.
+    pub(crate) debug_mut: DebugMutations,
+}
+
+/// Test-only delivery mutations used to prove the sanitizer detects the
+/// failure modes it claims to: dropping, duplicating, and delaying
+/// responses, applied at the head of the (engine-independent, serial)
+/// delivery drain. Inert unless armed through the `debug_*` hooks.
+#[derive(Debug, Default)]
+pub(crate) struct DebugMutations {
+    drop_next: bool,
+    dup_next: bool,
+    hold: Option<(u32, u64)>,
+    held: Vec<(u64, Response)>,
+}
+
+impl DebugMutations {
+    fn active(&self) -> bool {
+        self.drop_next || self.dup_next || self.hold.is_some() || !self.held.is_empty()
+    }
+}
+
+impl<C> Cluster<C> {
+    /// Re-seeds the sanitizer's in-flight view from the retry layer (after
+    /// a snapshot restore rewound the cluster under it). Bound-free so the
+    /// snapshot machinery (generic only over [`CoreState`]) can call it.
+    ///
+    /// [`CoreState`]: crate::snapshot::CoreState
+    pub(crate) fn resync_sanitizer(&mut self) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let map = self.map;
+        let in_flight = self.in_flight;
+        // (key, addr, issued_at, last_sent, retried) per pending request.
+        type PendingView = Vec<((u32, u8), u32, u64, u64, bool)>;
+        let pending: PendingView = self
+            .pending
+            .iter()
+            .map(|(&k, p)| (k, p.addr, p.issued_at, p.last_sent, p.retries > 0))
+            .collect();
+        if let Some(san) = self.sanitizer.as_deref_mut() {
+            san.resync(in_flight, pending.into_iter(), |addr| {
+                map.decode(addr).map(|at| (at.tile, at.bank))
+            });
+        }
+    }
 }
 
 impl<C: Core> Cluster<C> {
@@ -322,6 +377,9 @@ impl<C: Core> Cluster<C> {
             last_progress: 0,
             progress_mark: 0,
             engine: None,
+            sanitizer: None,
+            cancel: None,
+            debug_mut: DebugMutations::default(),
             config,
         })
     }
@@ -603,6 +661,79 @@ impl<C: Core> Cluster<C> {
     /// Whether the profiler is currently attached.
     pub fn profiling_enabled(&self) -> bool {
         self.profiler.is_some()
+    }
+
+    /// Turns on the cycle-level invariant sanitizer (see
+    /// [`SanitizerConfig`]). Unlike observability and profiling, the
+    /// sanitizer is pure checking: it is *excluded* from snapshots and the
+    /// [`state_digest`](Cluster::state_digest), and enabling it never
+    /// changes simulation results. Until this is called the hot path pays
+    /// nothing for it.
+    ///
+    /// Requests already in flight at attach time are reconstructed from
+    /// the retry layer's pending map when tracking is on; otherwise their
+    /// responses are tolerated without a conservation complaint.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        let mut san = Box::new(Sanitizer::new(config, &self.config));
+        let map = self.map;
+        san.resync(
+            self.in_flight,
+            self.pending
+                .iter()
+                .map(|(&k, p)| (k, p.addr, p.issued_at, p.last_sent, p.retries > 0)),
+            |addr| map.decode(addr).map(|at| (at.tile, at.bank)),
+        );
+        self.sanitizer = Some(san);
+    }
+
+    /// Whether the sanitizer is currently attached.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The sanitizer's accumulated report (`None` when disabled).
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
+    }
+
+    /// Installs (or removes, with `None`) the cooperative cancellation
+    /// token checked by [`run`](Cluster::run) and
+    /// [`try_step_cycles`](Cluster::try_step_cycles). Pure policy: the
+    /// token never perturbs architectural state.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Test-only: silently discards the next delivered response (the core
+    /// never sees it, the cluster's accounting forgets it) so sanitizer
+    /// tests can assert a conservation leak fires.
+    #[doc(hidden)]
+    pub fn debug_drop_next_delivery(&mut self) {
+        self.debug_mut.drop_next = true;
+    }
+
+    /// Test-only: duplicates the next delivered response so sanitizer
+    /// tests can assert a duplicate-response violation fires.
+    #[doc(hidden)]
+    pub fn debug_duplicate_next_delivery(&mut self) {
+        self.debug_mut.dup_next = true;
+    }
+
+    /// Test-only: withholds the next response destined for `core` and
+    /// re-injects it `cycles` later, so sanitizer tests can force a
+    /// per-bank FIFO reorder.
+    #[doc(hidden)]
+    pub fn debug_hold_delivery(&mut self, core: u32, cycles: u64) {
+        self.debug_mut.hold = Some((core, cycles));
+    }
+
+    /// Test-only: locks every core until the given absolute cycle, so
+    /// sanitizer tests can stall a barrier without traffic in flight.
+    #[doc(hidden)]
+    pub fn debug_lock_all_cores(&mut self, until: u64) {
+        for l in &mut self.locked_until {
+            *l = until;
+        }
     }
 
     /// The profiler configuration, when profiling is enabled.
@@ -1030,6 +1161,9 @@ impl<C: Core> Cluster<C> {
                     retries: p.retries,
                 });
                 self.cores[core as usize].fault();
+                if let Some(san) = self.sanitizer.as_deref_mut() {
+                    san.on_abandon(core, tag);
+                }
             } else {
                 let p = self.pending.get_mut(&(core, tag)).expect("checked above");
                 p.retries += 1;
@@ -1222,6 +1356,12 @@ impl<C: Core> Cluster<C> {
             }
         }
 
+        // 3b. Sanitizer issue scan: latches must be observed before the
+        //     request phase consumes them (same-cycle local accepts).
+        if self.sanitizer.is_some() {
+            self.sanitize_issues(now);
+        }
+
         // 4. Request phase: long-haul networks, then tile crossbars + bank
         //    accesses, then core latches into the master port registers.
         //    `gate` is the per-cycle fault view of each bank.
@@ -1276,7 +1416,14 @@ impl<C: Core> Cluster<C> {
     /// their cores in staging order (which both engines arrange to be the
     /// canonical ascending-tile order).
     fn drain_deliveries(&mut self, now: u64, track: bool) {
+        if self.debug_mut.active() {
+            self.apply_debug_mutations(now, track);
+        }
+        let faults_active = self.faults.is_some();
         for resp in self.deliveries.drain(..) {
+            if let Some(san) = self.sanitizer.as_deref_mut() {
+                san.on_delivery(&resp, now, faults_active);
+            }
             if track {
                 // After a retry, the original response may still drain out
                 // of the network; only the copy matching the latest issue
@@ -1345,6 +1492,102 @@ impl<C: Core> Cluster<C> {
         if signature != self.progress_mark {
             self.progress_mark = signature;
             self.last_progress = now;
+        }
+
+        // Invariant sanitizer: per-cycle structural checks run serially
+        // under both engines, so reports are engine-independent.
+        if self.sanitizer.is_some() {
+            self.sanitize_cycle(now);
+        }
+    }
+
+    /// Sanitizer issue scan: records every latch freshly (re-)issued this
+    /// cycle. Runs between the core phase and the request phase under both
+    /// engines, before same-cycle local accepts consume the latches.
+    fn sanitize_issues(&mut self, now: u64) {
+        let faults_active = self.faults.is_some();
+        let map = self.map;
+        let quarantine = &self.quarantine;
+        let Some(san) = self.sanitizer.as_deref_mut() else {
+            return;
+        };
+        for latch in self.out_latches.iter().flatten() {
+            if latch.issued_at != now {
+                continue;
+            }
+            let dest = map.decode(latch.addr).map(|at| (at.tile, at.bank));
+            let dest_quarantined =
+                dest.is_some_and(|(t, b)| quarantine.is_quarantined(t, b));
+            san.on_issue(latch, now, dest, dest_quarantined, faults_active);
+        }
+    }
+
+    /// Sanitizer per-cycle checks: buffer bounds, conservation aging,
+    /// quarantine consistency, and liveness.
+    fn sanitize_cycle(&mut self, now: u64) {
+        let (occupied, capacity) = self.net.occupancy();
+        let qcount = self.quarantine.quarantined_banks();
+        let tiles = &self.tiles;
+        let quarantine = &self.quarantine;
+        let num_tiles = self.config.num_tiles as u32;
+        let banks_per_tile = self.config.banks_per_tile as u32;
+        let Some(san) = self.sanitizer.as_deref_mut() else {
+            return;
+        };
+        san.check_cycle(now, occupied, capacity);
+        if qcount != san.known_quarantined() {
+            san.rebaseline_quarantine(
+                (0..num_tiles)
+                    .flat_map(|t| (0..banks_per_tile).map(move |b| (t, b)))
+                    .filter(|&(t, b)| quarantine.is_quarantined(t, b))
+                    .map(|(t, b)| (t, b, tiles[t as usize].banks[b as usize].accesses())),
+            );
+        }
+        if qcount > 0 {
+            san.check_quarantine(now, |t, b| {
+                tiles[t as usize].banks[b as usize].accesses()
+            });
+        }
+        if san.liveness_due(now, self.last_progress)
+            && (self.in_flight > 0 || !self.cores.iter().all(Core::done))
+        {
+            san.check_liveness(now, self.last_progress, self.in_flight);
+        }
+    }
+
+    /// Applies armed test-only delivery mutations (see the `debug_*`
+    /// hooks) at the head of the delivery drain.
+    fn apply_debug_mutations(&mut self, now: u64, track: bool) {
+        // Re-inject held responses whose delay elapsed.
+        let mut i = 0;
+        while i < self.debug_mut.held.len() {
+            if self.debug_mut.held[i].0 <= now {
+                let (_, resp) = self.debug_mut.held.remove(i);
+                self.deliveries.push(resp);
+            } else {
+                i += 1;
+            }
+        }
+        if self.debug_mut.drop_next && !self.deliveries.is_empty() {
+            self.debug_mut.drop_next = false;
+            let resp = self.deliveries.remove(0);
+            self.in_flight -= 1;
+            if track {
+                self.pending.remove(&(resp.core, resp.tag));
+            }
+        }
+        if self.debug_mut.dup_next && !self.deliveries.is_empty() {
+            self.debug_mut.dup_next = false;
+            let resp = self.deliveries[0];
+            self.deliveries.push(resp);
+            self.in_flight += 1;
+        }
+        if let Some((core, cycles)) = self.debug_mut.hold {
+            if let Some(idx) = self.deliveries.iter().position(|r| r.core == core) {
+                self.debug_mut.hold = None;
+                let resp = self.deliveries.remove(idx);
+                self.debug_mut.held.push((now + cycles, resp));
+            }
         }
     }
 
@@ -1572,6 +1815,13 @@ impl<C: Core> Cluster<C> {
             }
         }
 
+        // 3b. Sanitizer issue scan: serial, after the core-phase merge and
+        //     before the request phase consumes the latches — the same
+        //     point as the serial engine, so reports are engine-independent.
+        if self.sanitizer.is_some() {
+            self.sanitize_issues(now);
+        }
+
         // 4. Request phase. The ideal crossbar arbitrates globally and
         //    stays serial; the real topologies resolve each tile's request
         //    crossbar independently. The tile commit is fused in (sound:
@@ -1642,6 +1892,36 @@ impl<C: Core> Cluster<C> {
         }
     }
 
+    /// Runs up to `n` cycles, checking the installed
+    /// [`CancelToken`](crate::CancelToken) between cycles. Without a token
+    /// this is exactly [`step_cycles`](Cluster::step_cycles).
+    ///
+    /// Returns the number of cycles executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cancelled`] when the token trips; the cluster stops at a
+    /// clean cycle boundary (checkpointable, resumable bit-identically).
+    pub fn try_step_cycles(&mut self, n: u64) -> Result<u64, SimError> {
+        for i in 0..n {
+            if let Some(cause) = self.probe_cancel() {
+                let _ = i;
+                return Err(SimError::Cancelled(CancelledError {
+                    cycle: self.now,
+                    cause,
+                }));
+            }
+            self.cycle();
+        }
+        Ok(n)
+    }
+
+    /// Checks the cancellation token, throttling the wall-clock read.
+    fn probe_cancel(&self) -> Option<crate::CancelCause> {
+        let token = self.cancel.as_ref()?;
+        token.probe(self.now, self.now.is_multiple_of(WALL_PROBE_STRIDE))
+    }
+
     /// Runs until every core reports [`Core::done`] and all in-flight
     /// requests drained, or the budget expires, or the watchdog (when
     /// enabled in [`ResilienceConfig`](crate::ResilienceConfig)) detects a
@@ -1661,6 +1941,12 @@ impl<C: Core> Cluster<C> {
         while !(self.in_flight == 0 && self.cores.iter().all(Core::done)) {
             if self.now - start >= max_cycles {
                 return Err(SimError::Timeout(RunTimeoutError { budget: max_cycles }));
+            }
+            if let Some(cause) = self.probe_cancel() {
+                return Err(SimError::Cancelled(CancelledError {
+                    cycle: self.now,
+                    cause,
+                }));
             }
             self.cycle();
             if watchdog > 0

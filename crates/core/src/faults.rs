@@ -601,6 +601,9 @@ pub enum SimError {
     Timeout(RunTimeoutError),
     /// The watchdog detected a deadlock or livelock in the memory system.
     Deadlock(Box<DeadlockDiagnostic>),
+    /// An installed [`CancelToken`](crate::CancelToken) tripped: explicit
+    /// request, wall-clock deadline, or sim-cycle budget.
+    Cancelled(crate::CancelledError),
 }
 
 impl fmt::Display for SimError {
@@ -608,6 +611,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Timeout(e) => e.fmt(f),
             SimError::Deadlock(d) => d.fmt(f),
+            SimError::Cancelled(c) => c.fmt(f),
         }
     }
 }

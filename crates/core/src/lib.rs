@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod cluster;
 mod config;
 mod error;
@@ -64,11 +65,13 @@ pub mod obs;
 mod packet;
 mod par;
 pub mod profile;
+pub mod sanitize;
 mod session;
 pub mod snapshot;
 mod stats;
 mod tile;
 
+pub use cancel::{CancelCause, CancelToken, CancelledError};
 pub use cluster::{Cluster, CoreLocation, RunTimeoutError};
 pub use error::Error;
 pub use faults::{
@@ -87,6 +90,9 @@ pub use packet::{MemoryTrace, Request, Response, TraceEvent};
 pub use profile::{
     aggregate_regions, folded_stacks, PowerWindow, ProfileConfig, TileActivity,
     STALL_COUNTER_NAMES,
+};
+pub use sanitize::{
+    SanitizerConfig, SanitizerReport, SanitizerViolation, ViolationKind,
 };
 pub use session::{SimSession, SimSessionBuilder};
 pub use snapshot::{

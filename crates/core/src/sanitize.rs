@@ -1,0 +1,644 @@
+//! The cycle-level invariant sanitizer: an option-gated, digest-*excluded*
+//! checker that validates the architectural contracts the paper defines
+//! while the simulation runs, instead of leaving them to surface as digest
+//! mismatches long after the causing cycle.
+//!
+//! Checked invariants:
+//!
+//! 1. **Request/response conservation** — every issued LSU request gets
+//!    exactly one non-stale response: an unanswered request older than the
+//!    configured horizon is a leak, a response with no matching request a
+//!    duplicate.
+//! 2. **Per core→bank FIFO ordering** — responses from one bank to one
+//!    core complete in issue order (§III-B: banks serve in order, and the
+//!    elastic networks preserve per-flow order). Retried requests are
+//!    excluded (a retry legitimately overtakes its stale twin).
+//! 3. **The zero-load latency contract** (§III, Table: 1 cycle local /
+//!    ideal, 3 cycles TopH in-group, 5 cycles remote): *no* response may
+//!    beat the register path of its class, and a conflict-free (solo,
+//!    fault-free, never-retried) request must complete in *exactly* its
+//!    class latency.
+//! 4. **Bounded elastic-buffer occupancy** — the network's register slots
+//!    never hold more flits than their aggregate capacity.
+//! 5. **Barrier liveness** — cores not done, nothing in flight moving, and
+//!    no progress for the configured horizon is a stall report even when
+//!    the deadlock watchdog (which requires in-flight traffic) stays
+//!    silent.
+//! 6. **Fault-quarantine consistency** — no new request targets a
+//!    quarantined bank (issue-time remap, §"graceful degradation"), and a
+//!    quarantined bank's access counter never grows again.
+//!
+//! The sanitizer is pure checking: it is excluded from snapshots and the
+//! state digest, and enabling it never perturbs simulation results.
+
+use crate::config::Topology;
+use crate::packet::{Request, Response};
+use crate::ClusterConfig;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which invariants the sanitizer checks, and its reporting bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanitizerConfig {
+    /// Check request/response conservation (leaks and duplicates).
+    pub conservation: bool,
+    /// Check per core→bank FIFO completion order.
+    pub fifo: bool,
+    /// Check the zero-load latency contract (lower bound always, exact
+    /// bound for conflict-free requests in fault-free runs).
+    pub latency: bool,
+    /// Check aggregate elastic-buffer occupancy against capacity.
+    pub buffers: bool,
+    /// Check quarantine consistency (no traffic to dead banks).
+    pub quarantine: bool,
+    /// Report a liveness stall after this many progress-free cycles while
+    /// work remains (`0` disables the check).
+    pub liveness_cycles: u64,
+    /// Report a conservation leak once a request has gone unanswered (and
+    /// un-retried) for this many cycles.
+    pub leak_after: u64,
+    /// At most this many violations are retained; the rest are counted in
+    /// [`SanitizerReport::dropped`].
+    pub max_violations: usize,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            conservation: true,
+            fifo: true,
+            latency: true,
+            buffers: true,
+            quarantine: true,
+            // Past the standard resilience horizon (timeout 4096 × up to
+            // 3 retries), an unanswered tracked request would have been
+            // retried or abandoned; untracked runs have no legal reason to
+            // be slower.
+            liveness_cycles: 16_384,
+            leak_after: 32_768,
+            max_violations: 64,
+        }
+    }
+}
+
+/// The typed payload of one sanitizer violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A request went unanswered past the conservation horizon.
+    ResponseLeak {
+        /// Issuing core.
+        core: u32,
+        /// Reorder-buffer tag.
+        tag: u8,
+        /// Physical target address.
+        addr: u32,
+        /// Cycles since the request was (last) sent.
+        age: u64,
+    },
+    /// A response arrived for a request that was already answered (or was
+    /// never issued).
+    DuplicateResponse {
+        /// Destination core of the response.
+        core: u32,
+        /// Reorder-buffer tag.
+        tag: u8,
+    },
+    /// Two responses from one bank to one core completed out of issue
+    /// order.
+    FifoReorder {
+        /// The core observing the reorder.
+        core: u32,
+        /// Destination tile of both requests.
+        tile: u32,
+        /// Destination bank of both requests.
+        bank: u32,
+        /// Issue cycle of the previously completed (later-issued) request.
+        prev_issue: u64,
+        /// Issue cycle of the newly completed (earlier-issued) request.
+        this_issue: u64,
+    },
+    /// A response was faster than the register path of its topology class
+    /// permits.
+    LatencyUnderrun {
+        /// The issuing core.
+        core: u32,
+        /// Destination tile.
+        tile: u32,
+        /// Measured round-trip latency in cycles.
+        latency: u64,
+        /// The class's zero-load latency (the physical floor).
+        bound: u64,
+    },
+    /// A conflict-free request missed its exact zero-load latency.
+    LatencyContract {
+        /// The issuing core.
+        core: u32,
+        /// Destination tile.
+        tile: u32,
+        /// Measured round-trip latency in cycles.
+        latency: u64,
+        /// The exact latency the paper's contract requires.
+        bound: u64,
+    },
+    /// The network's elastic registers report more occupants than
+    /// capacity.
+    BufferOverflow {
+        /// Occupied register slots.
+        occupied: u64,
+        /// Aggregate capacity.
+        capacity: u64,
+    },
+    /// Work remains but nothing has progressed for the liveness horizon
+    /// (e.g. a stuck barrier with no traffic for the watchdog to see).
+    LivenessStall {
+        /// Progress-free cycles at the time of the report.
+        idle_cycles: u64,
+        /// Requests still in flight.
+        in_flight: u64,
+    },
+    /// A freshly issued request targets a quarantined bank (the issue-time
+    /// remap was bypassed).
+    QuarantineAccess {
+        /// Target tile.
+        tile: u32,
+        /// Target (quarantined) bank.
+        bank: u32,
+    },
+    /// A quarantined bank's access counter grew after quarantine.
+    QuarantineLeak {
+        /// The quarantined tile.
+        tile: u32,
+        /// The quarantined bank.
+        bank: u32,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ViolationKind::ResponseLeak { core, tag, addr, age } => write!(
+                f,
+                "response leak: core {core} tag {tag} addr {addr:#010x} unanswered for {age} cycles"
+            ),
+            ViolationKind::DuplicateResponse { core, tag } => {
+                write!(f, "duplicate response: core {core} tag {tag}")
+            }
+            ViolationKind::FifoReorder { core, tile, bank, prev_issue, this_issue } => write!(
+                f,
+                "FIFO reorder: core {core} ← tile {tile} bank {bank}: issue@{this_issue} \
+                 completed after issue@{prev_issue}"
+            ),
+            ViolationKind::LatencyUnderrun { core, tile, latency, bound } => write!(
+                f,
+                "latency underrun: core {core} ← tile {tile} took {latency} < floor {bound}"
+            ),
+            ViolationKind::LatencyContract { core, tile, latency, bound } => write!(
+                f,
+                "latency contract: conflict-free core {core} ← tile {tile} took {latency}, \
+                 contract says exactly {bound}"
+            ),
+            ViolationKind::BufferOverflow { occupied, capacity } => {
+                write!(f, "elastic buffer overflow: {occupied} occupants in {capacity} slots")
+            }
+            ViolationKind::LivenessStall { idle_cycles, in_flight } => write!(
+                f,
+                "liveness stall: no progress for {idle_cycles} cycles with {in_flight} in flight"
+            ),
+            ViolationKind::QuarantineAccess { tile, bank } => {
+                write!(f, "issue to quarantined bank: tile {tile} bank {bank}")
+            }
+            ViolationKind::QuarantineLeak { tile, bank } => {
+                write!(f, "quarantined bank served traffic: tile {tile} bank {bank}")
+            }
+        }
+    }
+}
+
+/// One cycle-stamped sanitizer violation, with a per-tile diagnostic dump
+/// of the sanitizer's outstanding-request view at the violating cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerViolation {
+    /// Cycle at which the violation was observed.
+    pub cycle: u64,
+    /// The typed violation.
+    pub kind: ViolationKind,
+    /// Human-readable per-tile state dump (outstanding requests grouped by
+    /// destination tile).
+    pub diagnostic: String,
+}
+
+impl fmt::Display for SanitizerViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.kind)?;
+        if !self.diagnostic.is_empty() {
+            write!(f, " [{}]", self.diagnostic)?;
+        }
+        Ok(())
+    }
+}
+
+/// What the sanitizer saw over the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// Retained violations, in detection order (bounded by
+    /// [`SanitizerConfig::max_violations`]).
+    pub violations: Vec<SanitizerViolation>,
+    /// Violations detected beyond the retention bound.
+    pub dropped: u64,
+    /// Requests observed completing (non-stale responses matched to their
+    /// issue).
+    pub completions: u64,
+    /// Stale responses observed draining (post-retry duplicates the retry
+    /// layer filters; not violations).
+    pub stale: u64,
+    /// Cycles over which the per-cycle checks ran.
+    pub cycles_checked: u64,
+}
+
+impl SanitizerReport {
+    /// Whether the run was clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+
+    /// Total violations detected (retained plus dropped).
+    pub fn total_violations(&self) -> u64 {
+        self.violations.len() as u64 + self.dropped
+    }
+}
+
+/// The sanitizer's view of one in-flight request.
+#[derive(Debug, Clone, Copy)]
+struct SanEntry {
+    addr: u32,
+    tile: u32,
+    bank: u32,
+    issued_at: u64,
+    last_sent: u64,
+    retried: bool,
+    /// No other request was in flight for this entry's whole lifetime, so
+    /// the exact zero-load contract applies.
+    solo: bool,
+}
+
+/// The invariant checker the cluster drives from its serial hook points.
+/// Never snapshotted, never digested.
+#[derive(Debug)]
+pub struct Sanitizer {
+    config: SanitizerConfig,
+    topology: Topology,
+    cores_per_tile: u32,
+    tiles_per_group: u32,
+    outstanding: BTreeMap<(u32, u8), SanEntry>,
+    /// Per (core, tile, bank): latest issue cycle whose response completed.
+    fifo_last: BTreeMap<(u32, u32, u32), u64>,
+    /// Per quarantined (tile, bank): the access counter at quarantine time.
+    quarantine_base: BTreeMap<(u32, u32), u64>,
+    known_quarantined: usize,
+    /// Deliveries tolerated without a matching entry (requests that were
+    /// already in flight when the sanitizer attached or resynced and are
+    /// not reconstructible from the retry layer's pending map).
+    grace_unknown: u64,
+    /// `last_progress` value the liveness check last fired for.
+    liveness_fired_at: Option<u64>,
+    report: SanitizerReport,
+}
+
+impl Sanitizer {
+    /// Builds a sanitizer for a cluster of the given configuration.
+    pub(crate) fn new(config: SanitizerConfig, cluster: &ClusterConfig) -> Self {
+        Sanitizer {
+            config,
+            topology: cluster.topology,
+            cores_per_tile: cluster.cores_per_tile as u32,
+            tiles_per_group: cluster.tiles_per_group() as u32,
+            outstanding: BTreeMap::new(),
+            fifo_last: BTreeMap::new(),
+            quarantine_base: BTreeMap::new(),
+            known_quarantined: 0,
+            grace_unknown: 0,
+            liveness_fired_at: None,
+            report: SanitizerReport::default(),
+        }
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &SanitizerReport {
+        &self.report
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SanitizerConfig {
+        self.config
+    }
+
+    /// Zero-load round-trip latency of the class `(src_tile, dst_tile)`
+    /// under this topology — the paper's §III contract.
+    fn zero_load(&self, src_tile: u32, dst_tile: u32) -> u64 {
+        if src_tile == dst_tile {
+            return 1;
+        }
+        match self.topology {
+            Topology::Ideal => 1,
+            Topology::Top1 | Topology::Top4 => 5,
+            Topology::TopH => {
+                if src_tile / self.tiles_per_group == dst_tile / self.tiles_per_group {
+                    3
+                } else {
+                    5
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, cycle: u64, kind: ViolationKind, with_dump: bool) {
+        if self.report.violations.len() >= self.config.max_violations {
+            self.report.dropped += 1;
+            return;
+        }
+        let diagnostic = if with_dump { self.dump() } else { String::new() };
+        self.report.violations.push(SanitizerViolation {
+            cycle,
+            kind,
+            diagnostic,
+        });
+    }
+
+    /// Per-tile dump of the sanitizer's outstanding view: count and oldest
+    /// request per destination tile.
+    fn dump(&self) -> String {
+        let mut tiles: BTreeMap<u32, (usize, (u64, u32, u8))> = BTreeMap::new();
+        for (&(core, tag), e) in &self.outstanding {
+            let entry = tiles
+                .entry(e.tile)
+                .or_insert((0, (e.issued_at, core, tag)));
+            entry.0 += 1;
+            if e.issued_at < entry.1 .0 {
+                entry.1 = (e.issued_at, core, tag);
+            }
+        }
+        let mut out = String::new();
+        for (tile, (count, (issued, core, tag))) in tiles {
+            if !out.is_empty() {
+                out.push_str("; ");
+            }
+            out.push_str(&format!(
+                "tile {tile}: {count} outstanding, oldest issue@{issued} core {core} tag {tag}"
+            ));
+        }
+        out
+    }
+
+    /// Observes a request sitting in a core's output latch this cycle —
+    /// either a fresh issue or the retry layer's re-send (distinguished by
+    /// whether the (core, tag) key is already outstanding).
+    pub(crate) fn on_issue(
+        &mut self,
+        req: &Request,
+        now: u64,
+        dest: Option<(u32, u32)>,
+        dest_quarantined: bool,
+        faults_active: bool,
+    ) {
+        let Some((tile, bank)) = dest else { return };
+        if self.config.quarantine && dest_quarantined {
+            self.record(now, ViolationKind::QuarantineAccess { tile, bank }, false);
+        }
+        let key = (req.core, req.tag);
+        if let Some(e) = self.outstanding.get_mut(&key) {
+            // Retry: the retry layer refreshed this request. Exclude it
+            // from FIFO/exactness checks from here on.
+            e.last_sent = now;
+            e.retried = true;
+            e.solo = false;
+            return;
+        }
+        let solo = self.outstanding.is_empty() && !faults_active;
+        if !solo {
+            for e in self.outstanding.values_mut() {
+                e.solo = false;
+            }
+        }
+        self.outstanding.insert(
+            key,
+            SanEntry {
+                addr: req.addr,
+                tile,
+                bank,
+                issued_at: now,
+                last_sent: now,
+                retried: false,
+                solo,
+            },
+        );
+    }
+
+    /// Observes a response about to be delivered (or filtered as stale).
+    pub(crate) fn on_delivery(&mut self, resp: &Response, now: u64, faults_active: bool) {
+        let key = (resp.core, resp.tag);
+        let Some(e) = self.outstanding.get(&key).copied() else {
+            if self.grace_unknown > 0 {
+                self.grace_unknown -= 1;
+                self.report.completions += 1;
+            } else if self.config.conservation {
+                self.record(
+                    now,
+                    ViolationKind::DuplicateResponse {
+                        core: resp.core,
+                        tag: resp.tag,
+                    },
+                    false,
+                );
+            }
+            return;
+        };
+        if e.last_sent != resp.issued_at {
+            // The pre-retry copy draining out; the retry layer discards it.
+            self.report.stale += 1;
+            return;
+        }
+        self.report.completions += 1;
+        self.outstanding.remove(&key);
+        let latency = now - resp.issued_at;
+        let src_tile = resp.core / self.cores_per_tile;
+        if self.config.latency {
+            let bound = self.zero_load(src_tile, e.tile);
+            if latency < bound {
+                self.record(
+                    now,
+                    ViolationKind::LatencyUnderrun {
+                        core: resp.core,
+                        tile: e.tile,
+                        latency,
+                        bound,
+                    },
+                    false,
+                );
+            } else if e.solo && !e.retried && !faults_active && latency != bound {
+                self.record(
+                    now,
+                    ViolationKind::LatencyContract {
+                        core: resp.core,
+                        tile: e.tile,
+                        latency,
+                        bound,
+                    },
+                    false,
+                );
+            }
+        }
+        if self.config.fifo && !e.retried {
+            let fkey = (resp.core, e.tile, e.bank);
+            match self.fifo_last.get(&fkey).copied() {
+                Some(prev) if e.issued_at < prev => {
+                    self.record(
+                        now,
+                        ViolationKind::FifoReorder {
+                            core: resp.core,
+                            tile: e.tile,
+                            bank: e.bank,
+                            prev_issue: prev,
+                            this_issue: e.issued_at,
+                        },
+                        false,
+                    );
+                }
+                Some(prev) if prev >= e.issued_at => {}
+                _ => {
+                    self.fifo_last.insert(fkey, e.issued_at);
+                }
+            }
+        }
+    }
+
+    /// Observes the retry layer abandoning a request (retries exhausted):
+    /// the conservation obligation is discharged.
+    pub(crate) fn on_abandon(&mut self, core: u32, tag: u8) {
+        self.outstanding.remove(&(core, tag));
+    }
+
+    /// Per-cycle structural checks: buffers and conservation aging.
+    pub(crate) fn check_cycle(&mut self, now: u64, occupied: u64, capacity: u64) {
+        self.report.cycles_checked += 1;
+        if self.config.buffers && occupied > capacity {
+            self.record(
+                now,
+                ViolationKind::BufferOverflow { occupied, capacity },
+                false,
+            );
+        }
+        if self.config.conservation && self.config.leak_after > 0 {
+            let leaked: Vec<(u32, u8)> = self
+                .outstanding
+                .iter()
+                .filter(|(_, e)| now - e.last_sent >= self.config.leak_after)
+                .map(|(&k, _)| k)
+                .collect();
+            for (core, tag) in leaked {
+                let e = self.outstanding.remove(&(core, tag)).expect("just listed");
+                self.record(
+                    now,
+                    ViolationKind::ResponseLeak {
+                        core,
+                        tag,
+                        addr: e.addr,
+                        age: now - e.last_sent,
+                    },
+                    true,
+                );
+            }
+        }
+    }
+
+    /// Whether the (comparatively expensive) liveness evaluation is due.
+    pub(crate) fn liveness_due(&self, now: u64, last_progress: u64) -> bool {
+        self.config.liveness_cycles > 0
+            && now - last_progress >= self.config.liveness_cycles
+            && self.liveness_fired_at != Some(last_progress)
+    }
+
+    /// Reports a liveness stall (fires once per stall episode).
+    pub(crate) fn check_liveness(&mut self, now: u64, last_progress: u64, in_flight: u64) {
+        self.liveness_fired_at = Some(last_progress);
+        self.record(
+            now,
+            ViolationKind::LivenessStall {
+                idle_cycles: now - last_progress,
+                in_flight,
+            },
+            true,
+        );
+    }
+
+    /// The number of quarantined banks the sanitizer has baselined.
+    pub(crate) fn known_quarantined(&self) -> usize {
+        self.known_quarantined
+    }
+
+    /// Rebuilds the quarantined-bank baselines after the quarantine set
+    /// changed; `banks` yields every currently quarantined `(tile, bank)`
+    /// with its access counter.
+    pub(crate) fn rebaseline_quarantine(
+        &mut self,
+        banks: impl Iterator<Item = (u32, u32, u64)>,
+    ) {
+        let old = std::mem::take(&mut self.quarantine_base);
+        for (tile, bank, accesses) in banks {
+            let base = old.get(&(tile, bank)).copied().unwrap_or(accesses);
+            self.quarantine_base.insert((tile, bank), base);
+        }
+        self.known_quarantined = self.quarantine_base.len();
+    }
+
+    /// Verifies no quarantined bank served traffic since its baseline.
+    pub(crate) fn check_quarantine(&mut self, now: u64, accesses: impl Fn(u32, u32) -> u64) {
+        if !self.config.quarantine {
+            return;
+        }
+        let mut grown: Vec<(u32, u32, u64)> = Vec::new();
+        for (&(tile, bank), &base) in &self.quarantine_base {
+            let current = accesses(tile, bank);
+            if current > base {
+                grown.push((tile, bank, current));
+            }
+        }
+        for (tile, bank, current) in grown {
+            self.record(now, ViolationKind::QuarantineLeak { tile, bank }, false);
+            // Re-baseline so one leak reports once, not every cycle.
+            self.quarantine_base.insert((tile, bank), current);
+        }
+    }
+
+    /// Re-seeds the sanitizer's in-flight view after a snapshot restore or
+    /// a mid-run attach: tracked requests come from the retry layer's
+    /// pending map, untracked ones get delivery grace.
+    pub(crate) fn resync(
+        &mut self,
+        in_flight: u64,
+        tracked: impl Iterator<Item = ((u32, u8), u32, u64, u64, bool)>,
+        decode: impl Fn(u32) -> Option<(u32, u32)>,
+    ) {
+        self.outstanding.clear();
+        self.fifo_last.clear();
+        self.quarantine_base.clear();
+        // Force a quarantine rescan on the next cycle.
+        self.known_quarantined = usize::MAX;
+        self.liveness_fired_at = None;
+        for ((core, tag), addr, issued_at, last_sent, retried) in tracked {
+            let Some((tile, bank)) = decode(addr) else { continue };
+            self.outstanding.insert(
+                (core, tag),
+                SanEntry {
+                    addr,
+                    tile,
+                    bank,
+                    issued_at,
+                    last_sent,
+                    retried,
+                    solo: false,
+                },
+            );
+        }
+        self.grace_unknown = in_flight.saturating_sub(self.outstanding.len() as u64);
+    }
+}

@@ -41,6 +41,8 @@ pub struct SimSessionBuilder {
     profile: Option<crate::ProfileConfig>,
     memory_trace: bool,
     checkpoint: Option<(u64, PathBuf)>,
+    sanitize: Option<crate::SanitizerConfig>,
+    max_wall: Option<std::time::Duration>,
 }
 
 impl SimSessionBuilder {
@@ -95,6 +97,25 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Attaches the cycle-level invariant sanitizer (request/response
+    /// conservation, FIFO ordering, the zero-load latency contract,
+    /// buffer bounds, liveness, quarantine consistency). Pure checking:
+    /// the sanitizer never enters the state digest.
+    #[must_use]
+    pub fn sanitize(mut self, config: crate::SanitizerConfig) -> Self {
+        self.sanitize = Some(config);
+        self
+    }
+
+    /// Arms a wall-clock watchdog for [`SimSession::run`]: the run fails
+    /// with [`SimError::Cancelled`](crate::SimError::Cancelled) once
+    /// `limit` of real time has elapsed.
+    #[must_use]
+    pub fn max_wall(mut self, limit: std::time::Duration) -> Self {
+        self.max_wall = Some(limit);
+        self
+    }
+
     /// Builds the session with a Snitch core in every lane.
     ///
     /// # Errors
@@ -131,9 +152,13 @@ impl SimSessionBuilder {
         if self.memory_trace {
             cluster.begin_trace();
         }
+        if let Some(san) = self.sanitize {
+            cluster.enable_sanitizer(san);
+        }
         Ok(SimSession {
             cluster,
             checkpoint: self.checkpoint,
+            max_wall: self.max_wall,
         })
     }
 }
@@ -146,6 +171,7 @@ impl SimSessionBuilder {
 pub struct SimSession<C> {
     cluster: Cluster<C>,
     checkpoint: Option<(u64, PathBuf)>,
+    max_wall: Option<std::time::Duration>,
 }
 
 impl SimSession<mempool_snitch::SnitchCore> {
@@ -159,6 +185,8 @@ impl SimSession<mempool_snitch::SnitchCore> {
             profile: None,
             memory_trace: false,
             checkpoint: None,
+            sanitize: None,
+            max_wall: None,
         }
     }
 }
@@ -224,6 +252,12 @@ impl<C: Core + CoreState> SimSession<C> {
     /// [`Error::Sim`] on timeout or deadlock, [`Error::Io`] when a
     /// checkpoint fails to write.
     pub fn run(&mut self, max_cycles: u64) -> Result<u64, Error> {
+        if let Some(limit) = self.max_wall {
+            // The deadline is armed at run start, not at build time, so a
+            // session configured long before it runs gets the full budget.
+            self.cluster
+                .set_cancel_token(Some(crate::CancelToken::new().with_wall_limit(limit)));
+        }
         let Some((every, path)) = self.checkpoint.clone() else {
             return Ok(self.cluster.run(max_cycles)?);
         };

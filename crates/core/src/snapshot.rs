@@ -1782,6 +1782,10 @@ impl<C: CoreState> Cluster<C> {
         }
         // Transient per-cycle scratch (always drained within a cycle).
         self.deliveries.clear();
+        // An attached sanitizer tracked the *pre-restore* timeline; reseed it
+        // from the restored pending map so it does not report the restored
+        // in-flight traffic as leaks or duplicates.
+        self.resync_sanitizer();
         Ok(())
     }
 }

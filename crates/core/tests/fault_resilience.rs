@@ -75,6 +75,8 @@ fn arbitrary_fault_plans_never_panic() {
             cluster.install_fault_plan(Some(FaultPlan::new(seed, spec)));
             match cluster.run(300_000) {
                 Ok(_) | Err(SimError::Timeout(_)) | Err(SimError::Deadlock(_)) => {}
+                // No cancel token is installed in this test.
+                Err(SimError::Cancelled(c)) => panic!("unexpected cancellation: {c}"),
             }
             // The injection machinery demonstrably ran.
             assert!(

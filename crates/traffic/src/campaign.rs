@@ -12,12 +12,13 @@
 use crate::{AddressSpace, Pattern, TrafficGen, Windows};
 use mempool::snapshot::fnv64;
 use mempool::{
-    Cluster, ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, FaultStats, SimError,
-    ValidateConfigError,
+    CancelCause, CancelToken, Cluster, ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec,
+    FaultStats, SanitizerConfig, SimError, ValidateConfigError,
 };
 use std::fmt;
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Parameters of one fault-injection campaign.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +66,13 @@ pub enum TrialOutcome {
     },
     /// The drain budget expired with traffic still in flight.
     Timeout,
+    /// The executor gave up on this trial after repeated failures and
+    /// quarantined it with partial results (see
+    /// [`Executor`](crate::exec::Executor)).
+    Quarantined {
+        /// Attempts the executor made before giving up.
+        attempts: u64,
+    },
 }
 
 /// One trial of a campaign.
@@ -80,6 +88,26 @@ pub struct Trial {
     pub quarantined_banks: usize,
     /// Responses delivered over the whole trial.
     pub delivered: u64,
+    /// The cluster's state digest at trial end (`0` for quarantined trials,
+    /// which never reach a final state). Recorded in the manifest so
+    /// interrupted-and-resumed campaigns can be compared bit-for-bit
+    /// against uninterrupted ones.
+    pub digest: u64,
+}
+
+impl Trial {
+    /// A placeholder trial entry for a seed the executor quarantined:
+    /// partial results only (no final state, no digest).
+    pub fn quarantined(seed: u64, attempts: u64) -> Trial {
+        Trial {
+            seed,
+            outcome: TrialOutcome::Quarantined { attempts },
+            faults: FaultStats::default(),
+            quarantined_banks: 0,
+            delivered: 0,
+            digest: 0,
+        }
+    }
 }
 
 /// Aggregated result of a fault-injection campaign.
@@ -113,6 +141,14 @@ impl CampaignReport {
             .count()
     }
 
+    /// Number of trials the executor quarantined after repeated failures.
+    pub fn quarantined(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| matches!(t.outcome, TrialOutcome::Quarantined { .. }))
+            .count()
+    }
+
     /// Fault and resilience counters summed over all trials.
     pub fn total_faults(&self) -> FaultStats {
         let mut total = FaultStats::default();
@@ -122,21 +158,44 @@ impl CampaignReport {
         total
     }
 
+    /// Renders the report as deterministic, byte-stable JSON: two runs
+    /// that produced identical trial results render identical bytes, no
+    /// matter how many retries, interruptions, or resumes either run went
+    /// through. The crash-isolation acceptance test diffs these bytes.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"mempool-campaign-report-v1\",\n");
+        let _ = writeln!(out, "  \"spec\": \"{}\",", self.spec);
+        let _ = writeln!(out, "  \"trials\": {},", self.trials.len());
+        let _ = writeln!(out, "  \"completion_rate\": {:.6},", self.completion_rate());
+        let _ = writeln!(out, "  \"deadlocks\": {},", self.deadlocks());
+        let _ = writeln!(out, "  \"quarantined\": {},", self.quarantined());
+        out.push_str("  \"trial_lines\": [\n");
+        for (i, t) in self.trials.iter().enumerate() {
+            let comma = if i + 1 == self.trials.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{}\"{comma}", format_trial_line(t));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let total = self.total_faults();
+        let completed = self
+            .trials
+            .iter()
+            .filter(|t| matches!(t.outcome, TrialOutcome::Completed { .. }))
+            .count();
         format!(
-            "spec [{}]: {}/{} trials completed ({} deadlocked), {} faults injected, \
-             {} retries, {} abandoned, {} banks quarantined",
+            "spec [{}]: {}/{} trials completed ({} deadlocked, {} quarantined), \
+             {} faults injected, {} retries, {} abandoned, {} banks quarantined",
             self.spec,
-            self.trials.len() - self.deadlocks()
-                - self
-                    .trials
-                    .iter()
-                    .filter(|t| t.outcome == TrialOutcome::Timeout)
-                    .count(),
+            completed,
             self.trials.len(),
             self.deadlocks(),
+            self.quarantined(),
             total.total_injected(),
             total.request_retries,
             total.requests_abandoned,
@@ -223,14 +282,22 @@ pub fn run_trial(
         },
         Err(SimError::Deadlock(d)) => TrialOutcome::Deadlock { cycle: d.cycle },
         Err(SimError::Timeout(_)) => TrialOutcome::Timeout,
+        // No cancellation token is ever installed on this cluster.
+        Err(SimError::Cancelled(c)) => unreachable!("unsupervised trial cancelled: {c}"),
     };
-    Ok(Trial {
+    Ok(finish_trial(&cluster, seed, outcome))
+}
+
+/// Collects a finished trial's counters and state digest off its cluster.
+fn finish_trial(cluster: &Cluster<TrafficGen>, seed: u64, outcome: TrialOutcome) -> Trial {
+    Trial {
         seed,
         outcome,
         faults: cluster.stats().faults,
         quarantined_banks: cluster.quarantined_banks(),
         delivered: cluster.stats().responses_delivered,
-    })
+        digest: cluster.state_digest(),
+    }
 }
 
 /// Runs a whole campaign: [`CampaignConfig::trials`] independent trials
@@ -267,6 +334,9 @@ pub enum CampaignError {
     ManifestCorrupt(&'static str),
     /// The trial checkpoint does not belong to the trial being resumed.
     CheckpointMismatch,
+    /// The trial checkpoint file is structurally invalid (truncated, bad
+    /// magic, or a corrupt embedded snapshot).
+    CheckpointCorrupt(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -280,6 +350,9 @@ impl fmt::Display for CampaignError {
             CampaignError::ManifestCorrupt(what) => write!(f, "corrupt manifest: {what}"),
             CampaignError::CheckpointMismatch => {
                 write!(f, "checkpoint belongs to a different trial")
+            }
+            CampaignError::CheckpointCorrupt(what) => {
+                write!(f, "corrupt trial checkpoint: {what}")
             }
         }
     }
@@ -407,10 +480,122 @@ pub fn run_trial_checkpointed(
     checkpoint: &Path,
     every: u64,
 ) -> Result<Trial, CampaignError> {
+    match run_trial_supervised(
+        config,
+        campaign,
+        seed,
+        checkpoint,
+        every,
+        TrialSupervision::default(),
+    )? {
+        Ok(trial) => Ok(trial),
+        // With no token, interrupt flag, or sanitizer attached, a trial
+        // can only finish — it has nothing to be stopped by.
+        Err(stop) => unreachable!("unsupervised trial stopped: {stop:?}"),
+    }
+}
+
+/// Why a supervised trial stopped before producing a [`Trial`]. The trial's
+/// checkpoint (when checkpointing is on) has been flushed in every case, so
+/// the trial can be resumed or retried from where it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialStop {
+    /// The supervision's interrupt flag was raised (e.g. by a SIGINT
+    /// handler); resume is safe.
+    Interrupted,
+    /// The supervision's cancellation token tripped (wall-clock deadline or
+    /// sim-cycle budget).
+    Cancelled(CancelCause),
+    /// The invariant sanitizer recorded violations during the trial. The
+    /// string is the first violation plus a count. The checkpoint is
+    /// *removed* so a retry replays the whole trial (a fresh sanitizer
+    /// cannot re-check cycles hidden behind a checkpoint).
+    Sanitizer(String),
+}
+
+impl fmt::Display for TrialStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialStop::Interrupted => write!(f, "interrupted"),
+            TrialStop::Cancelled(cause) => match cause {
+                CancelCause::Requested => write!(f, "cancelled"),
+                CancelCause::WallClock { limit_ms } => {
+                    write!(f, "deadline of {limit_ms} ms exceeded")
+                }
+                CancelCause::CycleBudget { limit } => {
+                    write!(f, "cycle budget of {limit} exhausted")
+                }
+            },
+            TrialStop::Sanitizer(what) => write!(f, "sanitizer violation: {what}"),
+        }
+    }
+}
+
+/// Supervision hooks for [`run_trial_supervised`]; the default supervises
+/// nothing (the trial always runs to an outcome).
+#[derive(Default)]
+pub struct TrialSupervision<'a> {
+    /// Cooperative cancellation (deadline / cycle budget), checked by the
+    /// cluster inside its step loop.
+    pub cancel: Option<CancelToken>,
+    /// Interrupt flag checked between chunks; when raised the trial
+    /// checkpoints and stops with [`TrialStop::Interrupted`].
+    pub interrupt: Option<&'a AtomicBool>,
+    /// Called with the current cycle after every executed chunk (worker
+    /// processes forward this as heartbeat lines).
+    pub heartbeat: Option<&'a mut dyn FnMut(u64)>,
+    /// Attaches the invariant sanitizer to the trial cluster; a dirty
+    /// report at trial end stops the trial with [`TrialStop::Sanitizer`].
+    pub sanitize: Option<SanitizerConfig>,
+}
+
+impl fmt::Debug for TrialSupervision<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrialSupervision")
+            .field("cancel", &self.cancel)
+            .field("interrupt", &self.interrupt.map(|i| i.load(Ordering::Relaxed)))
+            .field("heartbeat", &self.heartbeat.is_some())
+            .field("sanitize", &self.sanitize)
+            .finish()
+    }
+}
+
+/// [`run_trial_checkpointed`] with supervision: cooperative cancellation
+/// (wall-clock deadline and sim-cycle budget), a between-chunks interrupt
+/// flag, per-chunk heartbeats, and an optional invariant sanitizer.
+///
+/// The outer `Result` carries environment errors (config, I/O, bad
+/// checkpoint); the inner one separates a finished [`Trial`] from a
+/// [`TrialStop`] — a stop is not an error, it is the supervisor's own
+/// policy looping back ([`Executor`](crate::exec::Executor) turns stops
+/// into retries or quarantine).
+///
+/// # Errors
+///
+/// Configuration and I/O errors; [`CampaignError::CheckpointMismatch`] when
+/// the on-disk checkpoint belongs to a different trial or campaign, and
+/// [`CampaignError::CheckpointCorrupt`] when it is structurally invalid.
+pub fn run_trial_supervised(
+    config: ClusterConfig,
+    campaign: &CampaignConfig,
+    seed: u64,
+    checkpoint: &Path,
+    every: u64,
+    mut sup: TrialSupervision<'_>,
+) -> Result<Result<Trial, TrialStop>, CampaignError> {
     let mut cluster = trial_cluster(config, campaign, seed)?;
+    if let Some(san) = sup.sanitize {
+        cluster.enable_sanitizer(san);
+    }
     let mut phase = TrialPhase::Generate;
     if checkpoint.exists() {
-        let ckpt = TrialCheckpoint::read_file(checkpoint)?;
+        let ckpt = match TrialCheckpoint::read_file(checkpoint) {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Err(CampaignError::CheckpointCorrupt(e.to_string()));
+            }
+            Err(e) => return Err(CampaignError::Io(e)),
+        };
         if ckpt.seed != seed {
             return Err(CampaignError::CheckpointMismatch);
         }
@@ -419,6 +604,7 @@ pub fn run_trial_checkpointed(
             .map_err(|_| CampaignError::CheckpointMismatch)?;
         phase = ckpt.phase;
     }
+    cluster.set_cancel_token(sup.cancel.clone());
 
     let save = |cluster: &Cluster<TrafficGen>, phase: TrialPhase| -> Result<(), CampaignError> {
         if every > 0 {
@@ -431,6 +617,8 @@ pub fn run_trial_checkpointed(
         }
         Ok(())
     };
+    let interrupted =
+        |sup: &TrialSupervision<'_>| sup.interrupt.is_some_and(|i| i.load(Ordering::SeqCst));
 
     let gen_end = campaign.windows.warmup + campaign.windows.measure;
     if phase == TrialPhase::Generate {
@@ -439,7 +627,21 @@ pub fn run_trial_checkpointed(
                 0 => gen_end - cluster.now(),
                 n => n.min(gen_end - cluster.now()),
             };
-            cluster.step_cycles(chunk);
+            match cluster.try_step_cycles(chunk) {
+                Ok(_) => {}
+                Err(SimError::Cancelled(c)) => {
+                    save(&cluster, TrialPhase::Generate)?;
+                    return Ok(Err(TrialStop::Cancelled(c.cause)));
+                }
+                Err(e) => unreachable!("step_cycles cannot fail otherwise: {e}"),
+            }
+            if let Some(beat) = sup.heartbeat.as_deref_mut() {
+                beat(cluster.now());
+            }
+            if interrupted(&sup) {
+                save(&cluster, TrialPhase::Generate)?;
+                return Ok(Err(TrialStop::Interrupted));
+            }
             if cluster.now() < gen_end {
                 save(&cluster, TrialPhase::Generate)?;
             }
@@ -466,31 +668,54 @@ pub fn run_trial_checkpointed(
             0 => remaining,
             n => n.min(remaining),
         };
-        match cluster.run(chunk) {
+        let step = cluster.run(chunk);
+        if let Some(beat) = sup.heartbeat.as_deref_mut() {
+            beat(cluster.now());
+        }
+        match step {
             Ok(_) => {
                 break TrialOutcome::Completed {
                     drain_cycles: cluster.now() - drain_start,
                 }
             }
             Err(SimError::Deadlock(d)) => break TrialOutcome::Deadlock { cycle: d.cycle },
+            Err(SimError::Cancelled(c)) => {
+                save(&cluster, phase)?;
+                return Ok(Err(TrialStop::Cancelled(c.cause)));
+            }
             Err(SimError::Timeout(_)) if chunk < remaining => {
                 // Only the checkpoint chunk expired, not the drain budget.
                 save(&cluster, phase)?;
+                if interrupted(&sup) {
+                    return Ok(Err(TrialStop::Interrupted));
+                }
             }
             Err(SimError::Timeout(_)) => break TrialOutcome::Timeout,
         }
     };
-    let trial = Trial {
-        seed,
-        outcome,
-        faults: cluster.stats().faults,
-        quarantined_banks: cluster.quarantined_banks(),
-        delivered: cluster.stats().responses_delivered,
-    };
+    if let Some(report) = cluster.sanitizer_report() {
+        if !report.is_clean() {
+            // A retry must replay the whole trial: a fresh sanitizer cannot
+            // re-check the cycles hidden behind the checkpoint.
+            if checkpoint.exists() {
+                std::fs::remove_file(checkpoint)?;
+            }
+            let first = report
+                .violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            return Ok(Err(TrialStop::Sanitizer(format!(
+                "{} violation(s); first: {first}",
+                report.total_violations()
+            ))));
+        }
+    }
+    let trial = finish_trial(&cluster, seed, outcome);
     if checkpoint.exists() {
         std::fs::remove_file(checkpoint)?;
     }
-    Ok(trial)
+    Ok(Ok(trial))
 }
 
 /// Progress of a resumable campaign run.
@@ -504,24 +729,25 @@ pub struct CampaignProgress {
     pub new_trials: u32,
 }
 
-const MANIFEST_HEADER: &str = "mempool-campaign-manifest v1";
+pub(crate) const MANIFEST_HEADER: &str = "mempool-campaign-manifest v2";
 
 /// Digest identifying a campaign: configuration plus every campaign
 /// parameter, so a manifest is only ever resumed against the exact campaign
 /// that produced it.
-fn campaign_digest(config: &ClusterConfig, campaign: &CampaignConfig) -> u64 {
+pub(crate) fn campaign_digest(config: &ClusterConfig, campaign: &CampaignConfig) -> u64 {
     fnv64(format!("{config:?}|{campaign:?}").as_bytes())
 }
 
-fn format_trial_line(trial: &Trial) -> String {
+pub(crate) fn format_trial_line(trial: &Trial) -> String {
     let (kind, value) = match trial.outcome {
         TrialOutcome::Completed { drain_cycles } => ("completed", drain_cycles),
         TrialOutcome::Deadlock { cycle } => ("deadlock", cycle),
         TrialOutcome::Timeout => ("timeout", 0),
+        TrialOutcome::Quarantined { attempts } => ("quarantined", attempts),
     };
     let f = &trial.faults;
     format!(
-        "trial {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "trial {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {:016x}",
         trial.seed,
         kind,
         value,
@@ -543,12 +769,13 @@ fn format_trial_line(trial: &Trial) -> String {
         f.stale_responses,
         trial.quarantined_banks,
         trial.delivered,
+        trial.digest,
     )
 }
 
 /// Parses one manifest trial line; `None` means the line is unusable (e.g.
 /// the tail of a write cut short by a kill) and parsing should stop there.
-fn parse_trial_line(line: &str) -> Option<Trial> {
+pub(crate) fn parse_trial_line(line: &str) -> Option<Trial> {
     let mut it = line.split_whitespace();
     if it.next()? != "trial" {
         return None;
@@ -562,12 +789,14 @@ fn parse_trial_line(line: &str) -> Option<Trial> {
         },
         "deadlock" => TrialOutcome::Deadlock { cycle: value },
         "timeout" => TrialOutcome::Timeout,
+        "quarantined" => TrialOutcome::Quarantined { attempts: value },
         _ => return None,
     };
     let mut counters = [0u64; 18];
     for c in &mut counters {
         *c = it.next()?.parse().ok()?;
     }
+    let digest = u64::from_str_radix(it.next()?, 16).ok()?;
     if it.next().is_some() {
         return None;
     }
@@ -594,6 +823,7 @@ fn parse_trial_line(line: &str) -> Option<Trial> {
         },
         quarantined_banks: counters[16] as usize,
         delivered: counters[17],
+        digest,
     })
 }
 
@@ -637,6 +867,46 @@ fn read_manifest(
     Ok(trials)
 }
 
+/// `path` with `suffix` appended to its final component.
+pub(crate) fn sibling_path(path: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(suffix);
+    std::path::PathBuf::from(s)
+}
+
+/// Loads (or creates) a campaign manifest: reads recorded trials back,
+/// atomically rewrites the file from the parsed trials (so a final line
+/// truncated by a kill never collides with the next append), and returns
+/// the recorded trials plus the manifest opened for appending.
+pub(crate) fn open_manifest(
+    config: &ClusterConfig,
+    campaign: &CampaignConfig,
+    manifest: &Path,
+) -> Result<(Vec<Trial>, std::fs::File), CampaignError> {
+    let digest = campaign_digest(config, campaign);
+    let trials = if manifest.exists() {
+        read_manifest(manifest, digest, campaign)?
+    } else {
+        Vec::new()
+    };
+    let mut content = format!("{MANIFEST_HEADER}\ncampaign {digest:016x}\n");
+    for trial in &trials {
+        content.push_str(&format_trial_line(trial));
+        content.push('\n');
+    }
+    let tmp = sibling_path(manifest, ".tmp");
+    std::fs::write(&tmp, &content)?;
+    std::fs::rename(&tmp, manifest)?;
+    let file = std::fs::OpenOptions::new().append(true).open(manifest)?;
+    Ok((trials, file))
+}
+
+/// Appends one trial line to the open manifest and syncs it to disk.
+pub(crate) fn append_trial(file: &mut std::fs::File, trial: &Trial) -> io::Result<()> {
+    writeln!(file, "{}", format_trial_line(trial))?;
+    file.sync_all()
+}
+
 /// Runs a campaign resumably: completed trials are recorded in a text
 /// manifest at `manifest` (one line per trial, flushed as each trial ends),
 /// and the in-progress trial checkpoints to `<manifest>.ckpt` every
@@ -661,32 +931,10 @@ pub fn run_campaign_resumable(
     checkpoint_every: u64,
     max_new_trials: Option<u32>,
 ) -> Result<CampaignProgress, CampaignError> {
-    let digest = campaign_digest(&config, campaign);
-    let mut trials = if manifest.exists() {
-        read_manifest(manifest, digest, campaign)?
-    } else {
-        Vec::new()
-    };
+    let (mut trials, mut file) = open_manifest(&config, campaign, manifest)?;
     let resumed = trials.len() as u32;
 
-    // Rewrite the manifest from the parsed trials (atomically) so a final
-    // line truncated by a kill never collides with the next append.
-    let mut content = format!("{MANIFEST_HEADER}\ncampaign {digest:016x}\n");
-    for trial in &trials {
-        content.push_str(&format_trial_line(trial));
-        content.push('\n');
-    }
-    let mut tmp = manifest.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, &content)?;
-    std::fs::rename(&tmp, manifest)?;
-
-    let mut ckpt = manifest.as_os_str().to_owned();
-    ckpt.push(".ckpt");
-    let ckpt = std::path::PathBuf::from(ckpt);
-
-    let mut file = std::fs::OpenOptions::new().append(true).open(manifest)?;
+    let ckpt = sibling_path(manifest, ".ckpt");
     let mut new_trials = 0u32;
     while trials.len() < campaign.trials as usize {
         if max_new_trials.is_some_and(|cap| new_trials >= cap) {
@@ -694,8 +942,7 @@ pub fn run_campaign_resumable(
         }
         let seed = campaign.base_seed + trials.len() as u64;
         let trial = run_trial_checkpointed(config, campaign, seed, &ckpt, checkpoint_every)?;
-        writeln!(file, "{}", format_trial_line(&trial))?;
-        file.sync_all()?;
+        append_trial(&mut file, &trial)?;
         trials.push(trial);
         new_trials += 1;
     }

@@ -1,0 +1,1154 @@
+//! The supervised campaign executor: crash isolation, deadlines, seeded
+//! retry/backoff, and quarantine-with-partial-results.
+//!
+//! [`run_campaign_resumable`](crate::run_campaign_resumable) survives kills
+//! *between* invocations; the [`Executor`] hardens the invocation itself.
+//! Every trial runs as a supervised job bounded by a wall-clock deadline
+//! and a sim-cycle budget (a cooperative [`CancelToken`] checked inside the
+//! cluster's step loop). A trial that fails — cancellation, a panic, a
+//! sanitizer violation, or (in isolation mode) a crashed worker process —
+//! is retried from its last checkpoint with seeded exponential backoff;
+//! a trial that fails deterministically (two consecutive identical
+//! failures, or the attempt budget) is *quarantined*: the campaign records
+//! a placeholder outcome and keeps going instead of aborting, so a
+//! multi-hour campaign always produces a complete manifest.
+//!
+//! With [`ExecutorConfig::isolate`] set, trials run in child worker
+//! processes (`mempool-run trial-worker`): a JSON job spec goes in on
+//! stdin, heartbeat and result lines come back on stdout, and a panic,
+//! abort, OOM-kill, or stray `SIGKILL` in one trial is classified
+//! (`panic|signal|timeout|oom|exit`) without taking down the campaign.
+//! `N` workers shard trials in parallel; the manifest stays the single
+//! source of truth, appended strictly in seed order.
+
+use crate::campaign::{
+    append_trial, format_trial_line, open_manifest, parse_trial_line, run_trial_supervised,
+    sibling_path, CampaignConfig, CampaignError, CampaignReport, Trial, TrialStop,
+    TrialSupervision,
+};
+use crate::{Pattern, Windows};
+use mempool::{CancelToken, ClusterConfig, SanitizerConfig};
+use mempool_rng::{Rng, SeedableRng, StdRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How a trial attempt failed, in the classification the issue contract
+/// names: `panic|signal|timeout|oom|exit`, plus the sanitizer class this
+/// layer adds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The trial (or its worker process) panicked.
+    Panic,
+    /// The worker process died on a signal other than `SIGKILL`.
+    Signal(i32),
+    /// The wall-clock deadline or sim-cycle budget tripped.
+    Timeout,
+    /// The worker process was `SIGKILL`ed without the executor asking —
+    /// the kernel OOM killer's signature (or an outside `kill -9`).
+    Oom,
+    /// The worker process exited with a nonzero code.
+    Exit(i32),
+    /// The invariant sanitizer recorded violations during the trial.
+    Sanitizer,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Signal(sig) => write!(f, "signal({sig})"),
+            FailureKind::Timeout => write!(f, "timeout"),
+            FailureKind::Oom => write!(f, "oom"),
+            FailureKind::Exit(code) => write!(f, "exit({code})"),
+            FailureKind::Sanitizer => write!(f, "sanitizer"),
+        }
+    }
+}
+
+/// One failed attempt of a supervised trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// The failure classification.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message, signal, cancel cause, ...).
+    pub detail: String,
+}
+
+/// A trial the executor gave up on, with its full failure history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTrial {
+    /// The quarantined trial's seed.
+    pub seed: u64,
+    /// Every failed attempt, in order.
+    pub failures: Vec<TrialFailure>,
+}
+
+/// Supervision policy of the [`Executor`].
+#[derive(Clone)]
+pub struct ExecutorConfig {
+    /// Wall-clock deadline per trial attempt (`None` = unbounded). In
+    /// isolation mode the parent enforces it by killing the worker; in
+    /// process the cancellation token trips cooperatively.
+    pub deadline: Option<Duration>,
+    /// Absolute sim-cycle budget per trial (`None` = unbounded). Enforced
+    /// cooperatively in both modes; deterministic, so a budget overrun
+    /// quarantines after two attempts.
+    pub cycle_budget: Option<u64>,
+    /// Attempts per trial before quarantine (minimum 1, default 3).
+    pub max_attempts: u32,
+    /// Base of the exponential backoff between attempts, in milliseconds
+    /// (`0` disables backoff entirely — used by tests).
+    pub backoff_base_ms: u64,
+    /// Upper bound of the exponential backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed of the backoff jitter (deterministic per `(seed, attempt)`).
+    pub backoff_seed: u64,
+    /// Mid-trial checkpoint interval in cycles (`0` disables, so every
+    /// retry replays the trial from the start).
+    pub checkpoint_every: u64,
+    /// `Some(n)`: run each trial in a child worker process, `n` at a time.
+    /// `None`: run trials in this process, sequentially.
+    pub isolate: Option<usize>,
+    /// Worker binary for isolation mode (`None` = this executable, which
+    /// must understand the `trial-worker` subcommand).
+    pub worker_cmd: Option<PathBuf>,
+    /// Opaque cluster-config spec passed verbatim to workers in the job
+    /// spec; the binary hosting the worker subcommand interprets it.
+    pub config_spec: String,
+    /// Attach the invariant sanitizer to every trial; a dirty report is a
+    /// retryable (then quarantinable) failure.
+    pub sanitize: Option<SanitizerConfig>,
+    /// Test hook: pre-attempt fault injection. `f(seed, attempt)` returning
+    /// `true` fails that attempt as a synthetic panic without running it.
+    #[doc(hidden)]
+    pub inject_failure: Option<fn(u64, u32) -> bool>,
+}
+
+impl fmt::Debug for ExecutorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorConfig")
+            .field("deadline", &self.deadline)
+            .field("cycle_budget", &self.cycle_budget)
+            .field("max_attempts", &self.max_attempts)
+            .field("backoff_base_ms", &self.backoff_base_ms)
+            .field("backoff_cap_ms", &self.backoff_cap_ms)
+            .field("backoff_seed", &self.backoff_seed)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("isolate", &self.isolate)
+            .field("worker_cmd", &self.worker_cmd)
+            .field("config_spec", &self.config_spec)
+            .field("sanitize", &self.sanitize)
+            .field("inject_failure", &self.inject_failure.is_some())
+            .finish()
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            deadline: None,
+            cycle_budget: None,
+            max_attempts: 3,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            backoff_seed: 0,
+            checkpoint_every: 4_096,
+            isolate: None,
+            worker_cmd: None,
+            config_spec: String::new(),
+            sanitize: None,
+            inject_failure: None,
+        }
+    }
+}
+
+/// Result of a supervised campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorReport {
+    /// The campaign report (quarantined trials appear as
+    /// [`TrialOutcome::Quarantined`](crate::TrialOutcome::Quarantined)
+    /// placeholders).
+    pub report: CampaignReport,
+    /// Trials recovered from the manifest rather than re-run.
+    pub resumed_trials: u32,
+    /// Trials recorded by this invocation (completed or quarantined).
+    pub new_trials: u32,
+    /// Failed attempts that were retried (quarantines not included).
+    pub retries: u64,
+    /// Full failure history of every quarantined trial.
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// The run stopped early on the interrupt flag (manifest and
+    /// checkpoint flushed; re-running resumes exactly where it stopped).
+    pub interrupted: bool,
+}
+
+/// The supervised campaign executor. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// Cluster configuration of every trial.
+    pub config: ClusterConfig,
+    /// The campaign being executed.
+    pub campaign: CampaignConfig,
+    /// Supervision policy.
+    pub exec: ExecutorConfig,
+}
+
+impl Executor {
+    /// Creates an executor over `config`/`campaign` with policy `exec`.
+    pub fn new(config: ClusterConfig, campaign: CampaignConfig, exec: ExecutorConfig) -> Executor {
+        Executor {
+            config,
+            campaign,
+            exec,
+        }
+    }
+
+    /// Runs (or resumes) the campaign against `manifest`. `interrupt` is an
+    /// optional flag (typically raised by a SIGINT/SIGTERM handler): when
+    /// set, the executor flushes the current trial checkpoint and manifest
+    /// line and returns with [`ExecutorReport::interrupted`].
+    ///
+    /// # Errors
+    ///
+    /// Configuration, I/O, and manifest errors. Trial failures are *not*
+    /// errors — they are retried or quarantined.
+    pub fn run(
+        &self,
+        manifest: &Path,
+        interrupt: Option<&AtomicBool>,
+    ) -> Result<ExecutorReport, CampaignError> {
+        match self.exec.isolate {
+            Some(workers) => self.run_isolated(manifest, workers.max(1), interrupt),
+            None => self.run_in_process(manifest, interrupt),
+        }
+    }
+
+    fn token(&self) -> Option<CancelToken> {
+        if self.exec.deadline.is_none() && self.exec.cycle_budget.is_none() {
+            return None;
+        }
+        let mut t = CancelToken::new();
+        if let Some(d) = self.exec.deadline {
+            t = t.with_wall_limit(d);
+        }
+        if let Some(b) = self.exec.cycle_budget {
+            t = t.with_cycle_limit(b);
+        }
+        Some(t)
+    }
+
+    /// Seeded exponential backoff with jitter: `base * 2^(attempt-1)`
+    /// capped at `backoff_cap_ms`, plus a jitter draw in `[0, base)` from
+    /// a stream determined by `(backoff_seed, seed, attempt)`.
+    fn backoff_delay(&self, seed: u64, attempt: u32) -> Duration {
+        let base = self.exec.backoff_base_ms;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let shift = u64::from(attempt.saturating_sub(1)).min(16);
+        let exp = base.saturating_mul(1u64 << shift);
+        let capped = exp.min(self.exec.backoff_cap_ms.max(base));
+        let mut rng = StdRng::seed_from_u64(
+            self.exec
+                .backoff_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ seed.rotate_left(17)
+                ^ u64::from(attempt),
+        );
+        Duration::from_millis(capped + rng.gen_range(0..base))
+    }
+
+    /// Quarantine once the attempt budget is spent, or as soon as the same
+    /// failure repeats — two consecutive identical failures mean the
+    /// problem is deterministic and further retries are wasted work.
+    fn quarantine_due(&self, failures: &[TrialFailure]) -> bool {
+        if failures.len() >= self.exec.max_attempts.max(1) as usize {
+            return true;
+        }
+        match failures {
+            [.., a, b] => a.kind == b.kind && a.detail == b.detail,
+            _ => false,
+        }
+    }
+
+    // -- in-process mode ---------------------------------------------------
+
+    fn run_in_process(
+        &self,
+        manifest: &Path,
+        interrupt: Option<&AtomicBool>,
+    ) -> Result<ExecutorReport, CampaignError> {
+        let (mut trials, mut file) = open_manifest(&self.config, &self.campaign, manifest)?;
+        let resumed = trials.len() as u32;
+        let ckpt = sibling_path(manifest, ".ckpt");
+        let mut quarantined = Vec::new();
+        let mut retries = 0u64;
+        let mut new_trials = 0u32;
+        let mut interrupted = false;
+        let is_set = |i: Option<&AtomicBool>| i.is_some_and(|f| f.load(Ordering::SeqCst));
+
+        'trials: while trials.len() < self.campaign.trials as usize {
+            if is_set(interrupt) {
+                interrupted = true;
+                break;
+            }
+            let seed = self.campaign.base_seed + trials.len() as u64;
+            let mut failures: Vec<TrialFailure> = Vec::new();
+            let finished = loop {
+                let attempt = failures.len() as u32 + 1;
+                if is_set(interrupt) {
+                    interrupted = true;
+                    break 'trials;
+                }
+                let failure = if self.exec.inject_failure.is_some_and(|f| f(seed, attempt)) {
+                    TrialFailure {
+                        attempt,
+                        kind: FailureKind::Panic,
+                        detail: "injected failure".to_owned(),
+                    }
+                } else {
+                    match self.attempt_in_process(seed, &ckpt, interrupt) {
+                    Ok(Ok(Ok(trial))) => break Some(trial),
+                    Ok(Ok(Err(TrialStop::Interrupted))) => {
+                        interrupted = true;
+                        break 'trials;
+                    }
+                    Ok(Ok(Err(TrialStop::Cancelled(cause)))) => TrialFailure {
+                        attempt,
+                        kind: FailureKind::Timeout,
+                        detail: TrialStop::Cancelled(cause).to_string(),
+                    },
+                    Ok(Ok(Err(TrialStop::Sanitizer(what)))) => TrialFailure {
+                        attempt,
+                        kind: FailureKind::Sanitizer,
+                        detail: what,
+                    },
+                    Ok(Err(
+                        e @ (CampaignError::CheckpointCorrupt(_)
+                        | CampaignError::CheckpointMismatch),
+                    )) => {
+                        // Self-heal: a bad checkpoint (e.g. left behind by
+                        // a crashed attempt) costs a replay, not the
+                        // campaign.
+                        let _ = std::fs::remove_file(&ckpt);
+                        TrialFailure {
+                            attempt,
+                            kind: FailureKind::Exit(1),
+                            detail: e.to_string(),
+                        }
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(panic) => TrialFailure {
+                        attempt,
+                        kind: FailureKind::Panic,
+                        detail: panic,
+                    },
+                    }
+                };
+                failures.push(failure);
+                if self.quarantine_due(&failures) {
+                    break None;
+                }
+                retries += 1;
+                let delay = self.backoff_delay(seed, attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            };
+            let trial = match finished {
+                Some(t) => t,
+                None => {
+                    let _ = std::fs::remove_file(&ckpt);
+                    let attempts = failures.len() as u64;
+                    quarantined.push(QuarantinedTrial { seed, failures });
+                    Trial::quarantined(seed, attempts)
+                }
+            };
+            append_trial(&mut file, &trial)?;
+            trials.push(trial);
+            new_trials += 1;
+        }
+        Ok(ExecutorReport {
+            report: CampaignReport {
+                spec: self.campaign.spec,
+                trials,
+            },
+            resumed_trials: resumed,
+            new_trials,
+            retries,
+            quarantined,
+            interrupted,
+        })
+    }
+
+    /// One in-process attempt; the outer `Err` is a caught panic message.
+    #[allow(clippy::type_complexity)]
+    fn attempt_in_process(
+        &self,
+        seed: u64,
+        ckpt: &Path,
+        interrupt: Option<&AtomicBool>,
+    ) -> Result<Result<Result<Trial, TrialStop>, CampaignError>, String> {
+        let sup = TrialSupervision {
+            cancel: self.token(),
+            interrupt,
+            heartbeat: None,
+            sanitize: self.exec.sanitize,
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_trial_supervised(
+                self.config,
+                &self.campaign,
+                seed,
+                ckpt,
+                self.exec.checkpoint_every,
+                sup,
+            )
+        }))
+        .map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_owned()
+            }
+        })
+    }
+
+    // -- isolation mode ----------------------------------------------------
+
+    fn job(&self, seed: u64, checkpoint: &Path) -> WorkerJob {
+        WorkerJob {
+            config_spec: self.exec.config_spec.clone(),
+            load: self.campaign.load,
+            pattern: self.campaign.pattern.to_spec(),
+            faults: self.campaign.spec.to_string(),
+            warmup: self.campaign.windows.warmup,
+            measure: self.campaign.windows.measure,
+            drain: self.campaign.windows.drain,
+            trials: self.campaign.trials,
+            base_seed: self.campaign.base_seed,
+            seed,
+            checkpoint: checkpoint.to_string_lossy().into_owned(),
+            every: self.exec.checkpoint_every,
+            cycle_budget: self.exec.cycle_budget,
+            sanitize: self.exec.sanitize.is_some(),
+        }
+    }
+
+    fn spawn_worker(&self, manifest: &Path, seed: u64, attempt: u32) -> io::Result<RunningTrial> {
+        let ckpt = sibling_path(manifest, &format!(".ckpt.{seed}"));
+        let cmd = match &self.exec.worker_cmd {
+            Some(p) => p.clone(),
+            None => std::env::current_exe()?,
+        };
+        let mut child = std::process::Command::new(cmd)
+            .arg("trial-worker")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()?;
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        let job = self.job(seed, &ckpt);
+        // A worker that dies before reading its job spec must not kill the
+        // campaign with a broken pipe; the exit classification covers it.
+        let _ = writeln!(stdin, "{}", job.to_json());
+        drop(stdin);
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let reader = io::BufReader::new(stdout);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if tx.send(parse_worker_line(&line)).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(RunningTrial {
+            seed,
+            attempt,
+            child,
+            rx,
+            started: Instant::now(),
+            killed_for_deadline: false,
+            last_heartbeat: None,
+            result: None,
+            stop: None,
+            error: None,
+        })
+    }
+
+    fn run_isolated(
+        &self,
+        manifest: &Path,
+        workers: usize,
+        interrupt: Option<&AtomicBool>,
+    ) -> Result<ExecutorReport, CampaignError> {
+        let (mut trials, mut file) = open_manifest(&self.config, &self.campaign, manifest)?;
+        let resumed = trials.len() as u32;
+        let total = self.campaign.trials as usize;
+        let base = self.campaign.base_seed;
+        let mut next_fresh = trials.len();
+        let mut ready: BTreeMap<u64, Trial> = BTreeMap::new();
+        let mut failures_by_seed: BTreeMap<u64, Vec<TrialFailure>> = BTreeMap::new();
+        let mut retry_at: Vec<(Instant, u64)> = Vec::new();
+        let mut running: Vec<RunningTrial> = Vec::new();
+        let mut quarantined: Vec<QuarantinedTrial> = Vec::new();
+        let mut retries = 0u64;
+        let mut new_trials = 0u32;
+        let mut interrupted = false;
+        let is_set = |i: Option<&AtomicBool>| i.is_some_and(|f| f.load(Ordering::SeqCst));
+
+        while trials.len() < total {
+            if is_set(interrupt) {
+                interrupted = true;
+                for r in &mut running {
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                }
+                break;
+            }
+
+            // Fill free worker slots: due retries first, then fresh seeds.
+            while running.len() < workers {
+                let now = Instant::now();
+                if let Some(pos) = retry_at.iter().position(|(t, _)| *t <= now) {
+                    let (_, seed) = retry_at.remove(pos);
+                    let attempt = failures_by_seed.get(&seed).map_or(0, Vec::len) as u32 + 1;
+                    running.push(self.spawn_worker(manifest, seed, attempt)?);
+                    continue;
+                }
+                let scheduled = trials.len() + ready.len() + running.len() + retry_at.len();
+                if next_fresh >= total || scheduled >= total {
+                    break;
+                }
+                let seed = base + next_fresh as u64;
+                next_fresh += 1;
+                running.push(self.spawn_worker(manifest, seed, 1)?);
+            }
+
+            // Poll the fleet.
+            let mut i = 0;
+            while i < running.len() {
+                running[i].drain_messages();
+                if let Some(deadline) = self.exec.deadline {
+                    let r = &mut running[i];
+                    if !r.killed_for_deadline
+                        && r.result.is_none()
+                        && r.stop.is_none()
+                        && r.started.elapsed() >= deadline
+                    {
+                        let _ = r.child.kill();
+                        r.killed_for_deadline = true;
+                    }
+                }
+                match running[i].child.try_wait() {
+                    Ok(Some(status)) => {
+                        let mut done = running.swap_remove(i);
+                        // The reader thread may still be flushing the final
+                        // lines; give it a bounded moment to drain.
+                        let settle = Instant::now() + Duration::from_millis(500);
+                        while done.result.is_none() && done.error.is_none() {
+                            match done.rx.recv_timeout(Duration::from_millis(20)) {
+                                Ok(msg) => done.apply(msg),
+                                Err(_) if Instant::now() >= settle => break,
+                                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                            }
+                        }
+                        done.drain_messages();
+                        self.settle_worker(
+                            done,
+                            status,
+                            manifest,
+                            &mut ready,
+                            &mut failures_by_seed,
+                            &mut retry_at,
+                            &mut quarantined,
+                            &mut retries,
+                        );
+                    }
+                    _ => i += 1,
+                }
+            }
+
+            // Flush completed trials to the manifest strictly in seed order.
+            while let Some(t) = ready.remove(&(base + trials.len() as u64)) {
+                append_trial(&mut file, &t)?;
+                trials.push(t);
+                new_trials += 1;
+            }
+            if trials.len() < total {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        while let Some(t) = ready.remove(&(base + trials.len() as u64)) {
+            append_trial(&mut file, &t)?;
+            trials.push(t);
+            new_trials += 1;
+        }
+        Ok(ExecutorReport {
+            report: CampaignReport {
+                spec: self.campaign.spec,
+                trials,
+            },
+            resumed_trials: resumed,
+            new_trials,
+            retries,
+            quarantined,
+            interrupted,
+        })
+    }
+
+    /// Folds one exited worker into the scheduling state: a clean result
+    /// goes to the in-order buffer, anything else becomes a classified
+    /// failure that is retried (with backoff) or quarantined.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_worker(
+        &self,
+        done: RunningTrial,
+        status: std::process::ExitStatus,
+        manifest: &Path,
+        ready: &mut BTreeMap<u64, Trial>,
+        failures_by_seed: &mut BTreeMap<u64, Vec<TrialFailure>>,
+        retry_at: &mut Vec<(Instant, u64)>,
+        quarantined: &mut Vec<QuarantinedTrial>,
+        retries: &mut u64,
+    ) {
+        let seed = done.seed;
+        if status.success() {
+            if let Some(trial) = done.result {
+                ready.insert(seed, trial);
+                failures_by_seed.remove(&seed);
+                return;
+            }
+        }
+        let (kind, detail) = if let Some((kind, detail)) = done.stop {
+            // Cooperative stops carry a deterministic detail; keep it
+            // verbatim so repeat-failure quarantine matching works.
+            (kind, detail)
+        } else if let Some(msg) = done.error {
+            (FailureKind::Exit(1), msg)
+        } else {
+            let (kind, mut detail) = classify_exit(status, done.killed_for_deadline);
+            if let Some(cycle) = done.last_heartbeat {
+                detail.push_str(&format!(" (last heartbeat at cycle {cycle})"));
+            }
+            (kind, detail)
+        };
+        let failures = failures_by_seed.entry(seed).or_default();
+        failures.push(TrialFailure {
+            attempt: done.attempt,
+            kind,
+            detail,
+        });
+        if self.quarantine_due(failures) {
+            let _ = std::fs::remove_file(sibling_path(manifest, &format!(".ckpt.{seed}")));
+            let failures = failures_by_seed.remove(&seed).unwrap_or_default();
+            ready.insert(seed, Trial::quarantined(seed, failures.len() as u64));
+            quarantined.push(QuarantinedTrial { seed, failures });
+        } else {
+            *retries += 1;
+            let delay = self.backoff_delay(seed, done.attempt);
+            retry_at.push((Instant::now() + delay, seed));
+        }
+    }
+}
+
+/// A worker process the isolation-mode executor is supervising.
+struct RunningTrial {
+    seed: u64,
+    attempt: u32,
+    child: std::process::Child,
+    rx: mpsc::Receiver<WorkerMsg>,
+    started: Instant,
+    killed_for_deadline: bool,
+    /// Most recently reported sim cycle (diagnostic; a worker killed on
+    /// deadline restarts from its last checkpoint at or before this).
+    last_heartbeat: Option<u64>,
+    result: Option<Trial>,
+    stop: Option<(FailureKind, String)>,
+    error: Option<String>,
+}
+
+impl RunningTrial {
+    fn apply(&mut self, msg: WorkerMsg) {
+        match msg {
+            WorkerMsg::Heartbeat(cycle) => self.last_heartbeat = Some(cycle),
+            WorkerMsg::Result(t) => self.result = Some(*t),
+            WorkerMsg::Stopped(kind, detail) => self.stop = Some((kind, detail)),
+            WorkerMsg::Error(e) => self.error = Some(e),
+        }
+    }
+
+    fn drain_messages(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.apply(msg);
+        }
+    }
+}
+
+/// One parsed line of worker stdout.
+enum WorkerMsg {
+    Heartbeat(u64),
+    Result(Box<Trial>),
+    Stopped(FailureKind, String),
+    Error(String),
+}
+
+fn parse_worker_line(line: &str) -> WorkerMsg {
+    if let Some(rest) = line.strip_prefix("heartbeat ") {
+        if let Ok(cycle) = rest.trim().parse() {
+            return WorkerMsg::Heartbeat(cycle);
+        }
+    }
+    if let Some(rest) = line.strip_prefix("result ") {
+        if let Some(trial) = parse_trial_line(rest) {
+            return WorkerMsg::Result(Box::new(trial));
+        }
+        return WorkerMsg::Error(format!("unparsable result line: {rest}"));
+    }
+    if let Some(rest) = line.strip_prefix("stopped timeout ") {
+        return WorkerMsg::Stopped(FailureKind::Timeout, rest.to_owned());
+    }
+    if let Some(rest) = line.strip_prefix("stopped sanitizer ") {
+        return WorkerMsg::Stopped(FailureKind::Sanitizer, rest.to_owned());
+    }
+    if let Some(rest) = line.strip_prefix("error ") {
+        return WorkerMsg::Error(rest.to_owned());
+    }
+    WorkerMsg::Error(format!("unknown worker line: {line}"))
+}
+
+/// Classifies a worker process exit per the `panic|signal|timeout|oom|exit`
+/// contract. `SIGKILL` without the executor having asked for it is the OOM
+/// killer's signature (or an outside `kill -9`) — either way the work is
+/// recoverable from the trial checkpoint, so the classification only
+/// matters for reporting and quarantine matching.
+fn classify_exit(status: std::process::ExitStatus, killed_for_deadline: bool) -> (FailureKind, String) {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            if killed_for_deadline {
+                return (
+                    FailureKind::Timeout,
+                    "deadline exceeded (worker killed)".to_owned(),
+                );
+            }
+            if sig == 9 {
+                return (FailureKind::Oom, "worker SIGKILLed (possible OOM)".to_owned());
+            }
+            return (
+                FailureKind::Signal(sig),
+                format!("worker terminated by signal {sig}"),
+            );
+        }
+    }
+    match status.code() {
+        // 101 is the Rust runtime's panic exit code.
+        Some(101) => (FailureKind::Panic, "worker panicked".to_owned()),
+        Some(code) => (
+            FailureKind::Exit(code),
+            format!("worker exited with code {code}"),
+        ),
+        None => (
+            FailureKind::Signal(0),
+            "worker ended without an exit code".to_owned(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------
+
+/// The job spec an isolation-mode worker reads as one JSON line on stdin.
+///
+/// `config_spec` is opaque to this crate: the binary hosting the
+/// `trial-worker` subcommand both renders it (parent side, via
+/// [`ExecutorConfig::config_spec`]) and parses it back into a
+/// [`ClusterConfig`] (worker side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerJob {
+    /// Opaque cluster-config spec (see type docs).
+    pub config_spec: String,
+    /// Offered load per core.
+    pub load: f64,
+    /// Traffic pattern, in [`Pattern::to_spec`] form.
+    pub pattern: String,
+    /// Fault intensity, in [`FaultSpec`](mempool::FaultSpec) spec form.
+    pub faults: String,
+    /// Warmup window of the trial, in cycles.
+    pub warmup: u64,
+    /// Measurement window of the trial, in cycles.
+    pub measure: u64,
+    /// Drain budget of the trial, in cycles.
+    pub drain: u64,
+    /// Total trials of the campaign (digest context, not used by a worker).
+    pub trials: u32,
+    /// First seed of the campaign (digest context, not used by a worker).
+    pub base_seed: u64,
+    /// The seed of the one trial this job runs.
+    pub seed: u64,
+    /// Path of this trial's private checkpoint file.
+    pub checkpoint: String,
+    /// Mid-trial checkpoint interval in cycles (`0` disables).
+    pub every: u64,
+    /// Absolute sim-cycle budget (cooperatively enforced in the worker).
+    pub cycle_budget: Option<u64>,
+    /// Whether to attach the invariant sanitizer.
+    pub sanitize: bool,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Parses a flat JSON object (string / number / bool / null values only)
+/// into raw `key -> value` pairs; string values are unescaped, everything
+/// else kept as its bare token.
+fn parse_flat_json(s: &str) -> Option<BTreeMap<String, String>> {
+    let s = s.trim();
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = BTreeMap::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let key_end = rest.find('"')?;
+        let key = rest[..key_end].to_owned();
+        rest = rest[key_end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let value;
+        if let Some(after) = rest.strip_prefix('"') {
+            // A string value: scan for the first unescaped quote.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in after.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end?;
+            value = json_unescape(&after[..end])?;
+            rest = after[end + 1..].trim_start();
+        } else {
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            value = rest[..end].trim().to_owned();
+            rest = &rest[end..];
+        }
+        fields.insert(key, value);
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else {
+            break;
+        }
+    }
+    Some(fields)
+}
+
+impl WorkerJob {
+    /// Renders the job as a single JSON line.
+    pub fn to_json(&self) -> String {
+        let budget = match self.cycle_budget {
+            Some(b) => b.to_string(),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"config_spec\":\"{}\",\"load\":{},\"pattern\":\"{}\",\"faults\":\"{}\",\
+             \"warmup\":{},\"measure\":{},\"drain\":{},\"trials\":{},\"base_seed\":{},\
+             \"seed\":{},\"checkpoint\":\"{}\",\"every\":{},\"cycle_budget\":{},\
+             \"sanitize\":{}}}",
+            json_escape(&self.config_spec),
+            self.load,
+            json_escape(&self.pattern),
+            json_escape(&self.faults),
+            self.warmup,
+            self.measure,
+            self.drain,
+            self.trials,
+            self.base_seed,
+            self.seed,
+            json_escape(&self.checkpoint),
+            self.every,
+            budget,
+            self.sanitize,
+        )
+    }
+
+    /// Parses a job from its JSON line form.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first malformed or missing field.
+    pub fn from_json(s: &str) -> Result<WorkerJob, &'static str> {
+        let fields = parse_flat_json(s).ok_or("malformed job spec JSON")?;
+        let get = |k: &str| fields.get(k).ok_or("missing job spec field");
+        let num = |k: &str| -> Result<u64, &'static str> {
+            get(k)?.parse().map_err(|_| "non-numeric job spec field")
+        };
+        Ok(WorkerJob {
+            config_spec: get("config_spec")?.clone(),
+            load: get("load")?
+                .parse()
+                .map_err(|_| "non-numeric job spec field")?,
+            pattern: get("pattern")?.clone(),
+            faults: get("faults")?.clone(),
+            warmup: num("warmup")?,
+            measure: num("measure")?,
+            drain: num("drain")?,
+            trials: num("trials")? as u32,
+            base_seed: num("base_seed")?,
+            seed: num("seed")?,
+            checkpoint: get("checkpoint")?.clone(),
+            every: num("every")?,
+            cycle_budget: match get("cycle_budget")?.as_str() {
+                "null" => None,
+                v => Some(v.parse().map_err(|_| "non-numeric job spec field")?),
+            },
+            sanitize: get("sanitize")? == "true",
+        })
+    }
+
+    /// Reconstructs the campaign parameters this job's trial belongs to.
+    ///
+    /// # Errors
+    ///
+    /// A description of the unparsable pattern or fault spec.
+    pub fn campaign(&self) -> Result<CampaignConfig, String> {
+        Ok(CampaignConfig {
+            load: self.load,
+            pattern: Pattern::parse_spec(&self.pattern)
+                .ok_or_else(|| format!("bad pattern spec `{}`", self.pattern))?,
+            windows: Windows {
+                warmup: self.warmup,
+                measure: self.measure,
+                drain: self.drain,
+            },
+            spec: self
+                .faults
+                .parse()
+                .map_err(|e| format!("bad fault spec `{}`: {e}", self.faults))?,
+            trials: self.trials,
+            base_seed: self.base_seed,
+        })
+    }
+}
+
+/// Runs one trial as an isolation-mode worker: heartbeat lines stream to
+/// stdout while the trial runs, then exactly one `result ...` or
+/// `stopped ...` line. The caller (the `trial-worker` subcommand) parses
+/// `job.config_spec` into `config` first.
+///
+/// # Errors
+///
+/// Configuration, I/O, and checkpoint errors (the parent classifies the
+/// nonzero exit).
+pub fn run_trial_worker(config: ClusterConfig, job: &WorkerJob) -> Result<(), CampaignError> {
+    let campaign = job
+        .campaign()
+        .map_err(|e| CampaignError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+    let mut beat = |cycle: u64| {
+        println!("heartbeat {cycle}");
+        let _ = io::stdout().flush();
+    };
+    let sup = TrialSupervision {
+        cancel: job
+            .cycle_budget
+            .map(|b| CancelToken::new().with_cycle_limit(b)),
+        interrupt: None,
+        heartbeat: Some(&mut beat),
+        sanitize: job.sanitize.then(SanitizerConfig::default),
+    };
+    let outcome = run_trial_supervised(
+        config,
+        &campaign,
+        job.seed,
+        Path::new(&job.checkpoint),
+        job.every,
+        sup,
+    )?;
+    match outcome {
+        Ok(trial) => println!("result {}", format_trial_line(&trial)),
+        Err(TrialStop::Cancelled(cause)) => {
+            println!("stopped timeout {}", TrialStop::Cancelled(cause))
+        }
+        Err(TrialStop::Sanitizer(what)) => println!("stopped sanitizer {what}"),
+        Err(TrialStop::Interrupted) => unreachable!("workers install no interrupt flag"),
+    }
+    let _ = io::stdout().flush();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_job_json_round_trips() {
+        let job = WorkerJob {
+            config_spec: "topology=topH,small=true,scramble=false".to_owned(),
+            load: 0.05,
+            pattern: "plocal=0.8".to_owned(),
+            faults: "bank_fail=2,link_drop=0.001".to_owned(),
+            warmup: 100,
+            measure: 400,
+            drain: 50_000,
+            trials: 4,
+            base_seed: 11,
+            seed: 13,
+            checkpoint: "/tmp/weird \"path\"\\x.ckpt".to_owned(),
+            every: 4_096,
+            cycle_budget: Some(1_000_000),
+            sanitize: true,
+        };
+        let round = WorkerJob::from_json(&job.to_json()).expect("round trip");
+        assert_eq!(round, job);
+
+        let none = WorkerJob {
+            cycle_budget: None,
+            sanitize: false,
+            ..job
+        };
+        let round = WorkerJob::from_json(&none.to_json()).expect("round trip");
+        assert_eq!(round, none);
+        assert!(round.campaign().is_ok());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let ex = Executor::new(
+            mempool::ClusterConfig::small(mempool::Topology::Top1),
+            CampaignConfig::default(),
+            ExecutorConfig {
+                backoff_base_ms: 50,
+                backoff_cap_ms: 300,
+                ..ExecutorConfig::default()
+            },
+        );
+        let a = ex.backoff_delay(7, 1);
+        assert_eq!(a, ex.backoff_delay(7, 1), "same (seed, attempt) -> same delay");
+        assert!(a >= Duration::from_millis(50) && a < Duration::from_millis(100));
+        // Attempt 10 is far past the cap: delay stays within cap + jitter.
+        let late = ex.backoff_delay(7, 10);
+        assert!(late >= Duration::from_millis(300) && late < Duration::from_millis(350));
+        // Disabled backoff is exactly zero.
+        let off = Executor {
+            exec: ExecutorConfig {
+                backoff_base_ms: 0,
+                ..ex.exec.clone()
+            },
+            ..ex.clone()
+        };
+        assert_eq!(off.backoff_delay(7, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn quarantine_rule_fires_on_repeat_or_exhaustion() {
+        let ex = Executor::new(
+            mempool::ClusterConfig::small(mempool::Topology::Top1),
+            CampaignConfig::default(),
+            ExecutorConfig {
+                max_attempts: 3,
+                ..ExecutorConfig::default()
+            },
+        );
+        let f = |kind: FailureKind, detail: &str, attempt: u32| TrialFailure {
+            attempt,
+            kind,
+            detail: detail.to_owned(),
+        };
+        // One failure: retry.
+        assert!(!ex.quarantine_due(&[f(FailureKind::Panic, "x", 1)]));
+        // Two different failures: still retry.
+        assert!(!ex.quarantine_due(&[
+            f(FailureKind::Panic, "x", 1),
+            f(FailureKind::Timeout, "y", 2)
+        ]));
+        // Two consecutive identical failures: deterministic, quarantine.
+        assert!(ex.quarantine_due(&[
+            f(FailureKind::Panic, "x", 1),
+            f(FailureKind::Panic, "x", 2)
+        ]));
+        // Attempt budget exhausted: quarantine regardless of variety.
+        assert!(ex.quarantine_due(&[
+            f(FailureKind::Panic, "x", 1),
+            f(FailureKind::Timeout, "y", 2),
+            f(FailureKind::Oom, "z", 3)
+        ]));
+    }
+
+    #[test]
+    fn worker_lines_parse() {
+        assert!(matches!(
+            parse_worker_line("heartbeat 512"),
+            WorkerMsg::Heartbeat(512)
+        ));
+        assert!(matches!(
+            parse_worker_line("stopped timeout cycle budget of 10 exhausted"),
+            WorkerMsg::Stopped(FailureKind::Timeout, _)
+        ));
+        assert!(matches!(
+            parse_worker_line("error no such config"),
+            WorkerMsg::Error(_)
+        ));
+        assert!(matches!(
+            parse_worker_line("garbage"),
+            WorkerMsg::Error(_)
+        ));
+    }
+}

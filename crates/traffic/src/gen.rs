@@ -38,6 +38,59 @@ pub enum Pattern {
     Permutation(Permutation),
 }
 
+impl Pattern {
+    /// Renders the pattern as its canonical spec string
+    /// (`uniform`, `plocal=<p>`, `hotspot=<base>:<bytes>`,
+    /// `perm=bitcomp|tornado|transpose`) — the format accepted by
+    /// [`parse_spec`](Pattern::parse_spec), used by the CLI and by worker
+    /// job specs.
+    pub fn to_spec(self) -> String {
+        match self {
+            Pattern::Uniform => "uniform".to_owned(),
+            Pattern::PLocal { p_local } => format!("plocal={p_local}"),
+            Pattern::HotSpot { base, bytes } => format!("hotspot={base}:{bytes}"),
+            Pattern::Permutation(p) => match p {
+                Permutation::BitComplement => "perm=bitcomp".to_owned(),
+                Permutation::Tornado => "perm=tornado".to_owned(),
+                Permutation::TileTranspose => "perm=transpose".to_owned(),
+            },
+        }
+    }
+
+    /// Parses a spec string produced by [`to_spec`](Pattern::to_spec).
+    /// `None` when the string is not a valid pattern spec (unknown form,
+    /// unparsable number, or a `plocal` probability outside `[0, 1]`).
+    pub fn parse_spec(spec: &str) -> Option<Pattern> {
+        if spec == "uniform" {
+            return Some(Pattern::Uniform);
+        }
+        if let Some(p) = spec.strip_prefix("plocal=") {
+            let p_local: f64 = p.parse().ok()?;
+            if !(0.0..=1.0).contains(&p_local) {
+                return None;
+            }
+            return Some(Pattern::PLocal { p_local });
+        }
+        if let Some(rest) = spec.strip_prefix("hotspot=") {
+            let (base, bytes) = rest.split_once(':')?;
+            return Some(Pattern::HotSpot {
+                base: base.parse().ok()?,
+                bytes: bytes.parse().ok()?,
+            });
+        }
+        if let Some(perm) = spec.strip_prefix("perm=") {
+            let p = match perm {
+                "bitcomp" => Permutation::BitComplement,
+                "tornado" => Permutation::Tornado,
+                "transpose" => Permutation::TileTranspose,
+                _ => return None,
+            };
+            return Some(Pattern::Permutation(p));
+        }
+        None
+    }
+}
+
 /// Tile-level permutation patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Permutation {

@@ -25,14 +25,19 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod exec;
 mod experiment;
 mod gen;
 mod replay;
 
 pub use campaign::{
-    run_campaign, run_campaign_resumable, run_trial, run_trial_checkpointed, trial_cluster,
-    CampaignConfig, CampaignError, CampaignProgress, CampaignReport, Trial, TrialCheckpoint,
-    TrialOutcome, TrialPhase,
+    run_campaign, run_campaign_resumable, run_trial, run_trial_checkpointed, run_trial_supervised,
+    trial_cluster, CampaignConfig, CampaignError, CampaignProgress, CampaignReport, Trial,
+    TrialCheckpoint, TrialOutcome, TrialPhase, TrialStop, TrialSupervision,
+};
+pub use exec::{
+    run_trial_worker, Executor, ExecutorConfig, ExecutorReport, FailureKind, QuarantinedTrial,
+    TrialFailure, WorkerJob,
 };
 pub use experiment::{
     md1_latency, run_point, run_point_with_metrics, run_sweep, saturation_throughput,

@@ -15,14 +15,18 @@
 
 use mempool::{
     ClusterConfig, ClusterSnapshot, FaultPlan, FaultSpec, ObsConfig, ProfileConfig,
-    ResilienceConfig, SimSession, Topology,
+    ResilienceConfig, SanitizerConfig, SimSession, Topology,
 };
 use mempool_riscv::{assemble, Reg};
 use mempool_suite::error::Error;
-use mempool_traffic::{run_point_with_metrics, MeteredPoint, Pattern, Windows};
+use mempool_traffic::{
+    run_point_with_metrics, run_trial_worker, Executor, ExecutorConfig, MeteredPoint, Pattern,
+    Windows, WorkerJob,
+};
 use std::fmt;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Options {
@@ -52,6 +56,8 @@ struct Options {
     bench_json: Option<String>,
     bench_cores: Vec<usize>,
     bench_cycles: u64,
+    max_wall_secs: Option<u64>,
+    sanitize: bool,
     path: String,
 }
 
@@ -82,8 +88,10 @@ struct ProfileOptions {
     path: String,
 }
 
-/// Options of the `campaign` subcommand: a synthetic-traffic load sweep
-/// with full observability exports.
+/// Options of the `campaign` subcommand. Without `--faults` this is a
+/// synthetic-traffic load sweep with full observability exports; with
+/// `--faults` it is a supervised fault-injection campaign run by the
+/// crash-isolated executor.
 #[derive(Debug, PartialEq)]
 struct CampaignOptions {
     topology: Topology,
@@ -97,6 +105,19 @@ struct CampaignOptions {
     metrics_json: Option<String>,
     trace_out: Option<String>,
     trace_sample: u64,
+    // Fault-campaign (executor) mode; active when `faults` is set.
+    faults: Option<FaultSpec>,
+    trials: u32,
+    manifest: Option<String>,
+    load: f64,
+    deadline_secs: Option<u64>,
+    cycle_budget: Option<u64>,
+    max_attempts: u32,
+    backoff_ms: u64,
+    checkpoint_every: u64,
+    isolate: Option<usize>,
+    sanitize: bool,
+    json_out: Option<String>,
 }
 
 /// A parsed command line: which subcommand runs, with its options.
@@ -104,8 +125,11 @@ struct CampaignOptions {
 enum Command {
     Run { opts: Box<Options>, legacy: bool },
     Bench(BenchOptions),
-    Campaign(CampaignOptions),
+    Campaign(Box<CampaignOptions>),
     Profile(ProfileOptions),
+    /// Hidden: one isolated campaign trial, driven over stdin/stdout by a
+    /// parent `campaign --isolate` process.
+    TrialWorker,
 }
 
 const USAGE: &str = "usage: mempool-run <run|bench|campaign|profile> [OPTIONS]
@@ -148,6 +172,10 @@ run options:
                                      profile of the run
   --power-out <file>                 export the mempool-power-v1 power
                                      timeline (1024-cycle windows)
+  --max-wall-secs <s>                wall-clock limit; the run stops with a
+                                     typed timeout error when it expires
+  --sanitize                         check cycle-level interconnect invariants
+                                     every cycle; violations are an error
   --bench-json <file>                deprecated; use `mempool-run bench --out`
   --bench-cores <16|256|all>         bench cluster sizes (default all)
   --bench-cycles <n>                 measured cycles per bench point (default 2000)
@@ -170,7 +198,12 @@ serial/parallel digest divergence, 2 on usage errors";
 
 const CAMPAIGN_USAGE: &str = "usage: mempool-run campaign [OPTIONS]
 
-options:
+Without --faults: a synthetic-traffic load sweep with metrics exports.
+With --faults: a supervised fault-injection campaign — each trial runs
+under the crash-isolated executor with deadlines, retry-from-checkpoint
+with seeded backoff, and quarantine of deterministically failing trials.
+
+sweep options:
   --topology <top1|top4|topH|ideal>  interconnect topology (default topH)
   --small                            64-core cluster instead of 256
   --no-scramble                      disable the hybrid addressing scheme
@@ -180,14 +213,34 @@ options:
   --warmup <n>                       warm-up cycles (default 1000)
   --measure <n>                      measured cycles (default 8000)
   --drain <n>                        drain-phase cycle cap (default 50000)
-  --seed <n>                         traffic seed (default 0)
+  --seed <n>                         traffic (and fault) seed (default 0)
   --metrics-json <file>              write the sweep + per-point
                                      mempool-metrics-v1 registries here
   --trace-out <file>                 Chrome trace of the last point's run
   --trace-sample <n>                 sample every n-th delivery (default 64)
+
+fault-campaign options (require --faults):
+  --faults <spec>                    fault intensity, e.g. bank_fail=2,link_drop=0.001
+  --manifest <file>                  trial manifest, the campaign's single
+                                     source of truth (required; re-running
+                                     against it resumes where it stopped)
+  --trials <n>                       trials to run (default 8)
+  --load <l>                         offered load per core (default 0.05)
+  --deadline-secs <s>                wall-clock deadline per trial attempt
+  --cycle-budget <n>                 sim-cycle budget per trial
+  --max-attempts <n>                 attempts before quarantine (default 3)
+  --backoff-ms <n>                   retry backoff base (default 50; 0 disables)
+  --checkpoint-every <n>             mid-trial checkpoint interval (default 4096)
+  --isolate[=N]                      run trials in child worker processes,
+                                     N at a time (default 1); a crashed or
+                                     killed worker is retried, not fatal
+  --sanitize                         run every trial under the cycle-level
+                                     invariant sanitizer
+  --json-out <file>                  write the byte-stable campaign report here
   --help                             this text
 
-exit status: 0 on success, 1 on runtime errors, 2 on usage errors";
+exit status: 0 on success, 1 on runtime errors, 2 on usage errors, 3 when
+interrupted by SIGINT/SIGTERM (progress saved; re-run to resume)";
 
 const PROFILE_USAGE: &str = "usage: mempool-run profile [OPTIONS] <program.s>
 
@@ -292,8 +345,10 @@ fn parse_command(args: Vec<String>) -> Result<Command, (ParseArgsError, &'static
             .map(Command::Bench)
             .map_err(|e| (e, BENCH_USAGE)),
         Some("campaign") => parse_campaign_args(args.into_iter().skip(1))
-            .map(Command::Campaign)
+            .map(|o| Command::Campaign(Box::new(o)))
             .map_err(|e| (e, CAMPAIGN_USAGE)),
+        // Hidden: spawned by `campaign --isolate`, not for interactive use.
+        Some("trial-worker") => Ok(Command::TrialWorker),
         Some("profile") => parse_profile_args(args.into_iter().skip(1))
             .map(Command::Profile)
             .map_err(|e| (e, PROFILE_USAGE)),
@@ -334,6 +389,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
         bench_json: None,
         bench_cores: vec![16, 256],
         bench_cycles: 2_000,
+        max_wall_secs: None,
+        sanitize: false,
         path: String::new(),
     };
     let mut trace_sample_given = false;
@@ -420,6 +477,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
             }
             "--profile-out" => opts.profile_out = Some(value("--profile-out")?),
             "--power-out" => opts.power_out = Some(value("--power-out")?),
+            "--max-wall-secs" => {
+                let secs: u64 = value("--max-wall-secs")?
+                    .parse()
+                    .map_err(|_| invalid("--max-wall-secs", "expected seconds"))?;
+                if secs == 0 {
+                    return Err(invalid("--max-wall-secs", "limit must be nonzero"));
+                }
+                opts.max_wall_secs = Some(secs);
+            }
+            "--sanitize" => opts.sanitize = true,
             "--bench-json" => opts.bench_json = Some(value("--bench-json")?),
             "--bench-cores" => {
                 opts.bench_cores = parse_bench_cores("--bench-cores", &value("--bench-cores")?)?;
@@ -513,6 +580,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, ParseAr
                 "--profile-out/--power-out require the cycle-accurate simulator",
             ));
         }
+        if opts.max_wall_secs.is_some() || opts.sanitize {
+            return Err(ParseArgsError::Conflict(
+                "--max-wall-secs/--sanitize require the cycle-accurate simulator",
+            ));
+        }
     }
     if opts.json && (opts.dump_regs.is_some() || opts.dump_mem.is_some() || opts.trace_core.is_some())
     {
@@ -595,8 +667,21 @@ fn parse_campaign_args(
         metrics_json: None,
         trace_out: None,
         trace_sample: 64,
+        faults: None,
+        trials: 8,
+        manifest: None,
+        load: 0.05,
+        deadline_secs: None,
+        cycle_budget: None,
+        max_attempts: 3,
+        backoff_ms: 50,
+        checkpoint_every: 4_096,
+        isolate: None,
+        sanitize: false,
+        json_out: None,
     };
     let mut trace_sample_given = false;
+    let mut fault_flag_given: Option<&'static str> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &'static str| {
@@ -685,6 +770,96 @@ fn parse_campaign_args(
                 }
                 trace_sample_given = true;
             }
+            "--faults" => {
+                opts.faults = Some(value("--faults")?.parse().map_err(
+                    |e: mempool::ParseFaultSpecError| invalid("--faults", &e.to_string()),
+                )?);
+            }
+            "--manifest" => {
+                opts.manifest = Some(value("--manifest")?);
+                fault_flag_given.get_or_insert("--manifest");
+            }
+            "--trials" => {
+                opts.trials = value("--trials")?
+                    .parse()
+                    .map_err(|_| invalid("--trials", "expected a trial count"))?;
+                if opts.trials == 0 {
+                    return Err(invalid("--trials", "must be nonzero"));
+                }
+                fault_flag_given.get_or_insert("--trials");
+            }
+            "--load" => {
+                opts.load = value("--load")?
+                    .parse()
+                    .map_err(|_| invalid("--load", "expected a load in (0, 1]"))?;
+                if !(opts.load > 0.0 && opts.load <= 1.0) {
+                    return Err(invalid("--load", "load must be in (0, 1]"));
+                }
+                fault_flag_given.get_or_insert("--load");
+            }
+            "--deadline-secs" => {
+                let secs: u64 = value("--deadline-secs")?
+                    .parse()
+                    .map_err(|_| invalid("--deadline-secs", "expected seconds"))?;
+                if secs == 0 {
+                    return Err(invalid("--deadline-secs", "deadline must be nonzero"));
+                }
+                opts.deadline_secs = Some(secs);
+                fault_flag_given.get_or_insert("--deadline-secs");
+            }
+            "--cycle-budget" => {
+                let budget: u64 = value("--cycle-budget")?
+                    .parse()
+                    .map_err(|_| invalid("--cycle-budget", "expected a cycle count"))?;
+                if budget == 0 {
+                    return Err(invalid("--cycle-budget", "budget must be nonzero"));
+                }
+                opts.cycle_budget = Some(budget);
+                fault_flag_given.get_or_insert("--cycle-budget");
+            }
+            "--max-attempts" => {
+                opts.max_attempts = value("--max-attempts")?
+                    .parse()
+                    .map_err(|_| invalid("--max-attempts", "expected an attempt count"))?;
+                if opts.max_attempts == 0 {
+                    return Err(invalid("--max-attempts", "must be nonzero"));
+                }
+                fault_flag_given.get_or_insert("--max-attempts");
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| invalid("--backoff-ms", "expected milliseconds"))?;
+                fault_flag_given.get_or_insert("--backoff-ms");
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| invalid("--checkpoint-every", "expected a cycle count"))?;
+                fault_flag_given.get_or_insert("--checkpoint-every");
+            }
+            "--isolate" => {
+                opts.isolate = Some(1);
+                fault_flag_given.get_or_insert("--isolate");
+            }
+            arg_str if arg_str.starts_with("--isolate=") => {
+                let n: usize = arg_str["--isolate=".len()..]
+                    .parse()
+                    .map_err(|_| invalid("--isolate", "expected a worker count"))?;
+                if n == 0 {
+                    return Err(invalid("--isolate", "worker count must be nonzero"));
+                }
+                opts.isolate = Some(n);
+                fault_flag_given.get_or_insert("--isolate");
+            }
+            "--sanitize" => {
+                opts.sanitize = true;
+                fault_flag_given.get_or_insert("--sanitize");
+            }
+            "--json-out" => {
+                opts.json_out = Some(value("--json-out")?);
+                fault_flag_given.get_or_insert("--json-out");
+            }
             "--help" | "-h" => return Err(ParseArgsError::Help),
             _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
             _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
@@ -693,6 +868,32 @@ fn parse_campaign_args(
     if trace_sample_given && opts.trace_out.is_none() {
         return Err(ParseArgsError::Conflict(
             "--trace-sample only applies to --trace-out",
+        ));
+    }
+    if opts.faults.is_some() {
+        if opts.manifest.is_none() {
+            return Err(ParseArgsError::MissingOption("--manifest"));
+        }
+        if opts.metrics_json.is_some() || opts.trace_out.is_some() {
+            return Err(ParseArgsError::Conflict(
+                "--metrics-json/--trace-out apply to the load sweep; use --json-out with --faults",
+            ));
+        }
+    } else if let Some(flag) = fault_flag_given {
+        return Err(ParseArgsError::Conflict(
+            match flag {
+                "--manifest" => "--manifest requires --faults",
+                "--trials" => "--trials requires --faults",
+                "--load" => "--load requires --faults",
+                "--deadline-secs" => "--deadline-secs requires --faults",
+                "--cycle-budget" => "--cycle-budget requires --faults",
+                "--max-attempts" => "--max-attempts requires --faults",
+                "--backoff-ms" => "--backoff-ms requires --faults",
+                "--checkpoint-every" => "--checkpoint-every requires --faults",
+                "--isolate" => "--isolate requires --faults",
+                "--sanitize" => "--sanitize requires --faults",
+                _ => "--json-out requires --faults",
+            },
         ));
     }
     Ok(opts)
@@ -842,13 +1043,36 @@ fn main() -> ExitCode {
             run(&opts)
         }
         Command::Bench(opts) => run_bench_mode(&opts),
-        Command::Campaign(opts) => run_campaign_mode(&opts),
+        Command::Campaign(opts) => {
+            if opts.faults.is_some() {
+                run_fault_campaign_mode(&opts)
+            } else {
+                run_campaign_mode(&opts)
+            }
+        }
         Command::Profile(opts) => run_profile_mode(&opts),
+        Command::TrialWorker => run_trial_worker_mode(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // Print the full cause chain: the top-level category alone
+            // ("simulation stopped abnormally") hides the typed cause —
+            // watchdog deadlock vs cycle budget vs wall-clock timeout.
+            let mut line = format!("error: {e}");
+            let mut last = e.to_string();
+            let mut source = std::error::Error::source(&e);
+            while let Some(cause) = source {
+                let text = cause.to_string();
+                // Wrapper layers often re-print their inner error verbatim;
+                // skip those so each chain segment adds information.
+                if text != last {
+                    line.push_str(&format!(": {text}"));
+                    last = text;
+                }
+                source = cause.source();
+            }
+            eprintln!("{line}");
             ExitCode::from(e.exit_code())
         }
     }
@@ -959,6 +1183,173 @@ fn run_campaign_mode(opts: &CampaignOptions) -> Result<(), Error> {
         );
     }
     Ok(())
+}
+
+/// Raw POSIX signal hookup for graceful campaign interruption. No signal
+/// crate is available, so `signal(2)` is declared directly; the handler
+/// only flips an atomic the executor polls between checkpoints.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Routes SIGINT and SIGTERM to the `INTERRUPTED` flag.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Renders the executor-relevant cluster configuration as the opaque
+/// `config_spec` a trial worker receives (and [`parse_config_spec`]
+/// reverses).
+fn render_config_spec(topology: Topology, small: bool, scramble: bool) -> String {
+    format!("topology={topology},small={small},scramble={scramble}")
+}
+
+/// Parses [`render_config_spec`]'s output back into a [`ClusterConfig`].
+fn parse_config_spec(spec: &str) -> Result<ClusterConfig, String> {
+    let mut topology = None;
+    let mut small = false;
+    let mut scramble = true;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad config spec entry `{part}`"))?;
+        match key {
+            "topology" => {
+                topology = Some(
+                    parse_topology(value).map_err(|_| format!("bad topology `{value}`"))?,
+                )
+            }
+            "small" => small = value == "true",
+            "scramble" => scramble = value == "true",
+            other => return Err(format!("unknown config spec key `{other}`")),
+        }
+    }
+    let topology = topology.ok_or_else(|| "config spec lacks a topology".to_owned())?;
+    let mut config = if small {
+        ClusterConfig::small(topology)
+    } else {
+        ClusterConfig::paper(topology)
+    };
+    if !scramble {
+        config.seq_region_bytes = None;
+    }
+    config.resilience = ResilienceConfig::standard();
+    Ok(config)
+}
+
+/// Runs a supervised fault-injection campaign (`campaign --faults ...`)
+/// under the crash-isolated executor.
+fn run_fault_campaign_mode(opts: &CampaignOptions) -> Result<(), Error> {
+    let spec = opts.faults.expect("caller checked --faults");
+    let manifest = opts.manifest.as_deref().expect("parser required --manifest");
+    let config = parse_config_spec(&render_config_spec(opts.topology, opts.small, opts.scramble))
+        .map_err(Error::Other)?;
+    let campaign = mempool_traffic::CampaignConfig {
+        load: opts.load,
+        pattern: opts.pattern,
+        windows: opts.windows,
+        spec,
+        trials: opts.trials,
+        base_seed: opts.seed,
+    };
+    let exec = ExecutorConfig {
+        deadline: opts.deadline_secs.map(Duration::from_secs),
+        cycle_budget: opts.cycle_budget,
+        max_attempts: opts.max_attempts,
+        backoff_base_ms: opts.backoff_ms,
+        checkpoint_every: opts.checkpoint_every,
+        isolate: opts.isolate,
+        config_spec: render_config_spec(opts.topology, opts.small, opts.scramble),
+        sanitize: opts.sanitize.then(SanitizerConfig::default),
+        ..ExecutorConfig::default()
+    };
+    println!(
+        "fault campaign: {} trial(s) on {} ({} cores), spec [{spec}], seed {}{}",
+        opts.trials,
+        opts.topology,
+        config.num_cores(),
+        opts.seed,
+        match opts.isolate {
+            Some(n) => format!(", {n} isolated worker(s)"),
+            None => String::new(),
+        }
+    );
+    #[cfg(unix)]
+    sig::install();
+    #[cfg(unix)]
+    let interrupt = Some(&sig::INTERRUPTED);
+    #[cfg(not(unix))]
+    let interrupt = None;
+    let executor = Executor::new(config, campaign, exec);
+    let report = executor.run(std::path::Path::new(manifest), interrupt)?;
+    println!(
+        "{} ({} resumed, {} new, {} retried attempt(s))",
+        report.report.summary(),
+        report.resumed_trials,
+        report.new_trials,
+        report.retries
+    );
+    for q in &report.quarantined {
+        println!("quarantined seed {} after {} attempt(s):", q.seed, q.failures.len());
+        for f in &q.failures {
+            println!("  attempt {}: {} — {}", f.attempt, f.kind, f.detail);
+        }
+    }
+    if let Some(out) = &opts.json_out {
+        std::fs::write(out, report.report.to_json()).map_err(|e| Error::io(out, e))?;
+        println!("wrote campaign report to {out}");
+    }
+    if report.interrupted {
+        return Err(Error::Interrupted);
+    }
+    Ok(())
+}
+
+/// The hidden `trial-worker` subcommand: reads one JSON job spec line from
+/// stdin, runs the trial, and reports over stdout (see the executor's
+/// worker protocol). Errors also go to stdout as `error ...` lines so the
+/// parent can attach a reason to the failure it classifies.
+fn run_trial_worker_mode() -> Result<(), Error> {
+    use std::io::BufRead as _;
+    let mut line = String::new();
+    std::io::stdin()
+        .lock()
+        .read_line(&mut line)
+        .map_err(|e| Error::io("<stdin>", e))?;
+    let job = match WorkerJob::from_json(&line) {
+        Ok(job) => job,
+        Err(e) => {
+            println!("error {e}");
+            return Err(Error::Other(e.to_owned()));
+        }
+    };
+    let config = match parse_config_spec(&job.config_spec) {
+        Ok(config) => config,
+        Err(e) => {
+            println!("error {e}");
+            return Err(Error::Other(e));
+        }
+    };
+    run_trial_worker(config, &job).map_err(|e| {
+        println!("error {e}");
+        Error::Campaign(e)
+    })
 }
 
 /// Renders the campaign report: sweep aggregates per point plus the full
@@ -1202,6 +1593,12 @@ fn run(opts: &Options) -> Result<(), Error> {
             .unwrap_or_else(|| format!("{}.ckpt", opts.path));
         builder = builder.checkpoint_every(opts.checkpoint_every, path);
     }
+    if let Some(secs) = opts.max_wall_secs {
+        builder = builder.max_wall(Duration::from_secs(secs));
+    }
+    if opts.sanitize {
+        builder = builder.sanitize(SanitizerConfig::default());
+    }
     let mut session = builder.build_snitch()?;
     session.load_program(&program)?;
     if let Some(core) = opts.trace_core {
@@ -1228,6 +1625,29 @@ fn run(opts: &Options) -> Result<(), Error> {
     }
 
     let cycles = session.run(opts.max_cycles)?;
+
+    if opts.sanitize {
+        let report = session
+            .cluster()
+            .sanitizer_report()
+            .expect("sanitizer was enabled");
+        if !report.is_clean() {
+            for v in &report.violations {
+                eprintln!("sanitizer: {v}");
+            }
+            return Err(Error::Other(format!(
+                "sanitizer recorded {} violation(s) over {} cycle(s)",
+                report.total_violations(),
+                report.cycles_checked
+            )));
+        }
+        if !opts.json {
+            println!(
+                "sanitizer: clean ({} cycles checked, {} completions)",
+                report.cycles_checked, report.completions
+            );
+        }
+    }
 
     if let Some(out) = &opts.metrics_json {
         std::fs::write(out, session.metrics_registry().to_json())
@@ -1755,5 +2175,99 @@ mod tests {
         assert_eq!(parse_u32("0x20"), Some(0x20));
         assert_eq!(parse_u32("32"), Some(32));
         assert_eq!(parse_u32("zz"), None);
+    }
+
+    #[test]
+    fn supervision_flags_on_run() {
+        let o = args(&["--max-wall-secs", "30", "--sanitize", "p.s"]).unwrap();
+        assert_eq!(o.max_wall_secs, Some(30));
+        assert!(o.sanitize);
+
+        assert!(matches!(
+            args(&["--max-wall-secs", "0", "p.s"]),
+            Err(ParseArgsError::InvalidValue { option: "--max-wall-secs", .. })
+        ));
+        // Both are cycle-accurate-only features.
+        assert!(matches!(
+            args(&["--functional", "--max-wall-secs", "5", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+        assert!(matches!(
+            args(&["--functional", "--sanitize", "p.s"]),
+            Err(ParseArgsError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn fault_campaign_flags() {
+        let Command::Campaign(c) = command(&[
+            "campaign", "--small", "--topology", "top1", "--faults", "bank_fail=1",
+            "--manifest", "m.txt", "--trials", "5", "--load", "0.1",
+            "--deadline-secs", "30", "--cycle-budget", "200000", "--max-attempts", "4",
+            "--backoff-ms", "10", "--checkpoint-every", "128", "--isolate=3",
+            "--sanitize", "--json-out", "r.json",
+        ])
+        .unwrap() else {
+            panic!("expected campaign")
+        };
+        assert_eq!(c.faults.expect("spec parsed").bank_fail, 1);
+        assert_eq!(c.manifest.as_deref(), Some("m.txt"));
+        assert_eq!(c.trials, 5);
+        assert_eq!(c.load, 0.1);
+        assert_eq!(c.deadline_secs, Some(30));
+        assert_eq!(c.cycle_budget, Some(200_000));
+        assert_eq!(c.max_attempts, 4);
+        assert_eq!(c.backoff_ms, 10);
+        assert_eq!(c.checkpoint_every, 128);
+        assert_eq!(c.isolate, Some(3));
+        assert!(c.sanitize);
+        assert_eq!(c.json_out.as_deref(), Some("r.json"));
+
+        // Bare --isolate means one worker.
+        let Command::Campaign(c) =
+            command(&["campaign", "--faults", "bank_fail=1", "--manifest", "m", "--isolate"])
+                .unwrap()
+        else {
+            panic!("expected campaign")
+        };
+        assert_eq!(c.isolate, Some(1));
+
+        // The hidden worker subcommand dispatches.
+        assert!(matches!(command(&["trial-worker"]), Ok(Command::TrialWorker)));
+    }
+
+    #[test]
+    fn fault_campaign_rejections() {
+        // The manifest is the campaign's single source of truth.
+        assert!(matches!(
+            command(&["campaign", "--faults", "bank_fail=1"]),
+            Err((ParseArgsError::MissingOption("--manifest"), CAMPAIGN_USAGE))
+        ));
+        // Executor flags without --faults are typed conflicts, not silently
+        // ignored knobs.
+        for flags in [
+            &["campaign", "--trials", "4"][..],
+            &["campaign", "--manifest", "m"][..],
+            &["campaign", "--isolate"][..],
+            &["campaign", "--json-out", "r.json"][..],
+            &["campaign", "--cycle-budget", "100"][..],
+        ] {
+            assert!(
+                matches!(command(flags), Err((ParseArgsError::Conflict(_), _))),
+                "{flags:?} must be rejected without --faults"
+            );
+        }
+        // Sweep exports don't mix with the executor.
+        assert!(matches!(
+            command(&[
+                "campaign", "--faults", "bank_fail=1", "--manifest", "m",
+                "--metrics-json", "m.json",
+            ]),
+            Err((ParseArgsError::Conflict(_), _))
+        ));
+        assert!(matches!(
+            command(&["campaign", "--faults", "bank_fail=1", "--manifest", "m", "--isolate=0"]),
+            Err((ParseArgsError::InvalidValue { option: "--isolate", .. }, _))
+        ));
     }
 }

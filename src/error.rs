@@ -43,6 +43,11 @@ pub enum Error {
     },
     /// A free-form runtime failure (e.g. an engine digest divergence).
     Other(String),
+    /// A campaign was interrupted (SIGINT/SIGTERM) after flushing its
+    /// manifest and checkpoint; re-running with `--resume` continues
+    /// exactly where it stopped. Exits with status 3 so scripts can tell
+    /// a clean interruption from a runtime failure.
+    Interrupted,
 }
 
 impl Error {
@@ -52,10 +57,12 @@ impl Error {
     }
 
     /// The process exit status this error maps to: `2` for usage errors,
-    /// `1` for everything else (`0` is reserved for success).
+    /// `3` for an interrupted (but cleanly checkpointed) campaign, `1` for
+    /// everything else (`0` is reserved for success).
     pub fn exit_code(&self) -> u8 {
         match self {
             Error::Usage(_) => 2,
+            Error::Interrupted => 3,
             _ => 1,
         }
     }
@@ -71,6 +78,9 @@ impl fmt::Display for Error {
             Error::Asm { path, source } => write!(f, "{path}: {source}"),
             Error::Io { path, source } => write!(f, "{path}: {source}"),
             Error::Other(msg) => write!(f, "{msg}"),
+            Error::Interrupted => {
+                write!(f, "interrupted; progress saved, re-run with --resume to continue")
+            }
         }
     }
 }
@@ -78,7 +88,7 @@ impl fmt::Display for Error {
 impl StdError for Error {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
-            Error::Usage(_) | Error::Other(_) => None,
+            Error::Usage(_) | Error::Other(_) | Error::Interrupted => None,
             Error::Sim(e) => Some(e),
             Error::Sweep(e) => Some(e),
             Error::Campaign(e) => Some(e),
@@ -156,6 +166,7 @@ mod tests {
     fn exit_codes_follow_the_cli_contract() {
         assert_eq!(Error::Usage("bad flag".into()).exit_code(), 2);
         assert_eq!(Error::Other("boom".into()).exit_code(), 1);
+        assert_eq!(Error::Interrupted.exit_code(), 3);
         let sim: Error = metrics_error().into();
         assert_eq!(sim.exit_code(), 1);
     }
