@@ -28,7 +28,7 @@ use crate::faults::FaultPlan;
 use crate::obs::ObsConfig;
 use crate::snapshot::{ClusterSnapshot, CoreState};
 use crate::{Cluster, ClusterConfig, Core, CoreLocation, Error, SimError};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Builder for a [`SimSession`]: collects every run-scoped option, then
 /// constructs the cluster in one validated step.
@@ -282,6 +282,45 @@ impl<C: Core + CoreState> SimSession<C> {
     /// Captures a checkpoint of the current state.
     pub fn snapshot(&self) -> ClusterSnapshot {
         self.cluster.snapshot()
+    }
+
+    /// The canonical digest over all architectural (and digest-covered
+    /// micro-architectural) state — the oracle park/resume equality is
+    /// verified against.
+    pub fn state_digest(&self) -> u64 {
+        self.cluster.state_digest()
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.cluster.now()
+    }
+
+    /// Parks the session: atomically writes a full snapshot to `path`
+    /// (temp-file + rename, same contract as periodic checkpoints), so a
+    /// different process — or a restarted daemon — can [`unpark`]
+    /// (SimSession::unpark) it and continue bit-identically. The running
+    /// session is not consumed; parking is a safe point, not a shutdown.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the snapshot fails to write.
+    pub fn park(&self, path: &Path) -> Result<(), Error> {
+        self.cluster.snapshot().write_file(path)?;
+        Ok(())
+    }
+
+    /// Resumes a previously parked session from the snapshot at `path`.
+    /// The session must have been built over the identical configuration
+    /// and program; the snapshot's self-validation enforces it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file cannot be read, [`Error::Snapshot`]
+    /// when it fails validation or belongs to a different configuration.
+    pub fn unpark(&mut self, path: &Path) -> Result<(), Error> {
+        let snap = ClusterSnapshot::read_file(path).map_err(Error::Io)?;
+        self.restore(&snap)
     }
 
     /// Restores a previously captured checkpoint.

@@ -1,0 +1,929 @@
+//! The supervisor daemon: accepts jobs over a Unix socket, multiplexes
+//! them across crash-isolated worker processes, and survives both worker
+//! and daemon failures.
+//!
+//! One thread owns all state (scheduler, journal, worker fleet); everything
+//! else — connection readers, connection writers, worker stdout pumps — is
+//! a thin thread that forwards lines over a channel. The supervisor loop
+//! alternates between draining that channel, accepting connections from the
+//! nonblocking listener, enforcing wall-clock deadlines, and dispatching
+//! queued jobs into free worker slots.
+//!
+//! Failure handling composes the shared [`mempool_traffic`] supervision
+//! primitives: worker exits are classified with
+//! [`classify_exit`](mempool_traffic::classify_exit) (`panic` / `signal` /
+//! `timeout` / `oom` / `exit`), retried from the job's last checkpoint
+//! under the seeded [`RetryPolicy`], and given up deterministically (budget
+//! spent, or the same failure twice in a row). A drain (`SIGTERM` or the
+//! `shutdown` op) `SIGTERM`s every worker, which checkpoint-parks its job
+//! and exits with status 3; the journal then lets a restarted daemon
+//! resume each job bit-identically.
+
+use crate::journal::{self, Journal, ReplayedJob};
+use crate::protocol::{event, json_str, resp_err, resp_ok, JobSpec, JobStatus, Request, PROTOCOL_VERSION};
+use crate::sched::{Rejection, Scheduler, SchedulerConfig};
+use mempool_traffic::{classify_exit, json_escape, FailureKind, RetryPolicy, TrialFailure};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the Unix socket to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Directory for the journal and per-job checkpoints (created if
+    /// missing). Restarting with the same directory resumes parked work.
+    pub state_dir: PathBuf,
+    /// Worker processes run concurrently (0 = accept but never dispatch).
+    pub worker_slots: usize,
+    /// Admission policy (queue depth, tenant quotas).
+    pub scheduler: SchedulerConfig,
+    /// Retry/backoff policy applied to worker failures.
+    pub retry: RetryPolicy,
+    /// Wall-clock deadline per attempt for jobs that do not set their own
+    /// (`None` = unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Worker executable (invoked as `<cmd> job-worker` with the job
+    /// document on stdin). `None` = the daemon's own executable.
+    pub worker_cmd: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            socket: PathBuf::from("mempool-serve.sock"),
+            state_dir: PathBuf::from("mempool-serve-state"),
+            worker_slots: 2,
+            scheduler: SchedulerConfig::default(),
+            retry: RetryPolicy::default(),
+            default_deadline: None,
+            worker_cmd: None,
+        }
+    }
+}
+
+/// What the daemon had done by the time it drained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Jobs that finished with a result.
+    pub completed: usize,
+    /// Jobs that exhausted the retry policy.
+    pub failed: usize,
+    /// Jobs cancelled by clients.
+    pub cancelled: usize,
+    /// Jobs checkpoint-parked by the drain (resume on restart).
+    pub parked: usize,
+    /// Jobs still queued at drain (resume on restart).
+    pub queued: usize,
+    /// Journal lines skipped during startup recovery.
+    pub journal_skipped: usize,
+}
+
+enum Msg {
+    Request { reply: Sender<String>, line: String },
+    Worker { job: u64, line: String },
+    WorkerEof { job: u64 },
+}
+
+struct Job {
+    rec: ReplayedJob,
+    attempt: u32,
+    failures: Vec<TrialFailure>,
+    watchers: Vec<Sender<String>>,
+    cancel_requested: bool,
+}
+
+struct WorkerProc {
+    child: Child,
+    deadline: Option<Instant>,
+    killed_for_deadline: bool,
+    parked: bool,
+    result: Option<String>,
+    error: Option<String>,
+}
+
+/// `Child::kill` delivers `SIGKILL`; a drain must deliver `SIGTERM` so the
+/// worker gets to checkpoint-park before exiting.
+fn sigterm(child: &Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(child.id() as i32, 15);
+    }
+}
+
+struct Daemon {
+    config: DaemonConfig,
+    scheduler: Scheduler,
+    journal: Journal,
+    jobs: BTreeMap<u64, Job>,
+    workers: BTreeMap<u64, WorkerProc>,
+    /// Jobs waiting out a retry backoff, with their due time.
+    retry_at: Vec<(Instant, u64)>,
+    next_id: u64,
+    journal_skipped: usize,
+    draining: bool,
+    events_tx: Sender<Msg>,
+}
+
+/// Runs the daemon until `shutdown` is set (or a client sends the
+/// `shutdown` op), then drains: every in-flight job is checkpoint-parked
+/// and the journal left ready for a restart to resume it.
+///
+/// # Errors
+///
+/// Startup I/O only (state dir, journal, socket). Runtime worker and
+/// connection failures are handled, not raised.
+pub fn run_daemon(config: DaemonConfig, shutdown: &AtomicBool) -> io::Result<DaemonSummary> {
+    std::fs::create_dir_all(&config.state_dir)?;
+    let journal_path = config.state_dir.join("jobs.journal");
+    let mut replay = journal::replay(&journal_path)?;
+    for warning in &replay.warnings {
+        eprintln!("mempool-serve: {warning}");
+    }
+    // A `running` job's worker did not survive the restart; it re-queues
+    // and resumes from its last checkpoint like any retried attempt.
+    for job in &mut replay.jobs {
+        if job.status == JobStatus::Running {
+            job.status = JobStatus::Queued;
+        }
+    }
+    let journal = Journal::rewrite(&journal_path, &replay.jobs)?;
+
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+
+    let (events_tx, events_rx): (Sender<Msg>, Receiver<Msg>) = mpsc::channel();
+    let mut daemon = Daemon {
+        scheduler: Scheduler::new(config.scheduler.clone()),
+        config,
+        journal,
+        jobs: BTreeMap::new(),
+        workers: BTreeMap::new(),
+        retry_at: Vec::new(),
+        next_id: replay.next_id,
+        journal_skipped: replay.skipped,
+        draining: false,
+        events_tx,
+    };
+    for rec in replay.jobs {
+        if !rec.status.is_terminal() {
+            daemon.scheduler.admit_replayed(rec.id, &rec.tenant, rec.priority);
+        }
+        daemon.jobs.insert(
+            rec.id,
+            Job {
+                rec,
+                attempt: 1,
+                failures: Vec::new(),
+                watchers: Vec::new(),
+                cancel_requested: false,
+            },
+        );
+    }
+
+    loop {
+        match events_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(msg) => {
+                daemon.handle(msg);
+                while let Ok(msg) = events_rx.try_recv() {
+                    daemon.handle(msg);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => daemon.attach(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        if shutdown.load(Ordering::Relaxed) && !daemon.draining {
+            daemon.enter_drain();
+        }
+        daemon.poll_deadlines();
+        daemon.dispatch();
+        if daemon.draining && daemon.workers.is_empty() {
+            break;
+        }
+    }
+
+    drop(listener);
+    // Replies queued in the final iteration (the `shutdown` acknowledgment
+    // in particular) sit in detached writer threads; give them a beat to
+    // flush before process exit tears them down.
+    std::thread::sleep(Duration::from_millis(100));
+    let _ = std::fs::remove_file(&daemon.config.socket);
+    let mut summary = DaemonSummary {
+        journal_skipped: daemon.journal_skipped,
+        ..DaemonSummary::default()
+    };
+    for job in daemon.jobs.values() {
+        match job.rec.status {
+            JobStatus::Completed => summary.completed += 1,
+            JobStatus::Failed => summary.failed += 1,
+            JobStatus::Cancelled => summary.cancelled += 1,
+            JobStatus::Parked => summary.parked += 1,
+            JobStatus::Queued | JobStatus::Running => summary.queued += 1,
+        }
+    }
+    Ok(summary)
+}
+
+impl Daemon {
+    fn ckpt_path(&self, id: u64) -> PathBuf {
+        self.config.state_dir.join(format!("job-{id}.ckpt"))
+    }
+
+    /// Wires up a freshly accepted connection: a reader thread that
+    /// forwards request lines to the supervisor, and a writer thread that
+    /// drains the connection's reply channel. The writer stays alive as
+    /// long as any reply sender (including `wait` watcher registrations)
+    /// exists.
+    fn attach(&mut self, stream: UnixStream) {
+        let _ = stream.set_nonblocking(false);
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let (reply_tx, reply_rx): (Sender<String>, Receiver<String>) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            while let Ok(line) = reply_rx.recv() {
+                if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                    break;
+                }
+            }
+        });
+        let events = self.events_tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if events
+                    .send(Msg::Request {
+                        reply: reply_tx.clone(),
+                        line,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::Request { reply, line } => self.handle_request(&reply, &line),
+            Msg::Worker { job, line } => self.handle_worker_line(job, &line),
+            Msg::WorkerEof { job } => self.settle(job),
+        }
+    }
+
+    fn handle_request(&mut self, reply: &Sender<String>, line: &str) {
+        let request = match Request::from_json(line) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = reply.send(resp_err("invalid", &e));
+                return;
+            }
+        };
+        match request {
+            Request::Submit {
+                tenant,
+                priority,
+                deadline_secs,
+                spec,
+            } => {
+                let _ = reply.send(self.submit(tenant, priority, deadline_secs, spec));
+            }
+            Request::Status { job } => {
+                let _ = reply.send(self.status_line(job));
+            }
+            Request::Health => {
+                let _ = reply.send(self.health_line());
+            }
+            Request::Cancel { job } => {
+                let _ = reply.send(self.cancel(job));
+            }
+            Request::Wait { job } => self.wait(reply, job),
+            Request::Shutdown => {
+                let _ = reply.send(resp_ok(&[("draining", "true".to_owned())]));
+                self.enter_drain();
+            }
+        }
+    }
+
+    fn submit(
+        &mut self,
+        tenant: String,
+        priority: u8,
+        deadline_secs: Option<u64>,
+        spec: JobSpec,
+    ) -> String {
+        if self.draining {
+            return resp_err("draining", "daemon is draining; resubmit after restart");
+        }
+        if let Err(e) = spec.validate() {
+            return resp_err("invalid", &e);
+        }
+        let id = self.next_id;
+        match self.scheduler.admit(id, &tenant, priority) {
+            Ok(()) => {}
+            Err(r @ Rejection::Overloaded { .. }) => {
+                return resp_err("overloaded", &r.to_string());
+            }
+            Err(r @ Rejection::QuotaExhausted { .. }) => {
+                return resp_err("quota", &r.to_string());
+            }
+        }
+        self.next_id += 1;
+        let rec = ReplayedJob {
+            id,
+            tenant,
+            priority,
+            deadline_secs,
+            spec,
+            status: JobStatus::Queued,
+            payload: None,
+        };
+        if let Err(e) = self.journal.record_job(&rec) {
+            eprintln!("mempool-serve: journal write failed for job {id}: {e}");
+        }
+        self.jobs.insert(
+            id,
+            Job {
+                rec,
+                attempt: 1,
+                failures: Vec::new(),
+                watchers: Vec::new(),
+                cancel_requested: false,
+            },
+        );
+        resp_ok(&[
+            ("job", id.to_string()),
+            ("status", json_str("queued")),
+        ])
+    }
+
+    fn status_line(&self, id: u64) -> String {
+        let Some(job) = self.jobs.get(&id) else {
+            return resp_err("unknown-job", &format!("no job {id}"));
+        };
+        let mut fields = vec![
+            ("job", id.to_string()),
+            ("status", json_str(&job.rec.status.to_string())),
+            ("attempt", job.attempt.to_string()),
+        ];
+        if let (true, Some(payload)) = (job.rec.status.is_terminal(), &job.rec.payload) {
+            // Nested documents travel as escaped string fields (the wire
+            // dialect is flat); clients re-parse the string.
+            fields.push(("result", json_str(payload)));
+        }
+        resp_ok(&fields)
+    }
+
+    fn health_line(&self) -> String {
+        let mut counts: BTreeMap<JobStatus, usize> = BTreeMap::new();
+        for job in self.jobs.values() {
+            *counts.entry(job.rec.status).or_insert(0) += 1;
+        }
+        let count = |s: JobStatus| counts.get(&s).copied().unwrap_or(0).to_string();
+        resp_ok(&[
+            ("protocol", json_str(PROTOCOL_VERSION)),
+            ("draining", self.draining.to_string()),
+            ("worker_slots", self.config.worker_slots.to_string()),
+            ("active", self.workers.len().to_string()),
+            ("journal_skipped", self.journal_skipped.to_string()),
+            ("queued", count(JobStatus::Queued)),
+            ("running", count(JobStatus::Running)),
+            ("parked", count(JobStatus::Parked)),
+            ("completed", count(JobStatus::Completed)),
+            ("failed", count(JobStatus::Failed)),
+            ("cancelled", count(JobStatus::Cancelled)),
+        ])
+    }
+
+    fn cancel(&mut self, id: u64) -> String {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return resp_err("unknown-job", &format!("no job {id}"));
+        };
+        if job.rec.status.is_terminal() {
+            return resp_ok(&[
+                ("job", id.to_string()),
+                ("status", json_str(&job.rec.status.to_string())),
+            ]);
+        }
+        job.cancel_requested = true;
+        if self.scheduler.cancel_queued(id) || self.retry_at.iter().any(|&(_, j)| j == id) {
+            self.finish(id, JobStatus::Cancelled, "{\"detail\":\"cancelled while queued\"}");
+            return resp_ok(&[("job", id.to_string()), ("status", json_str("cancelled"))]);
+        }
+        if let Some(worker) = self.workers.get(&id) {
+            // The worker parks on SIGTERM; settle() sees the cancel flag
+            // and records the terminal state.
+            sigterm(&worker.child);
+            return resp_ok(&[("job", id.to_string()), ("status", json_str("cancelling"))]);
+        }
+        self.finish(id, JobStatus::Cancelled, "{\"detail\":\"cancelled\"}");
+        resp_ok(&[("job", id.to_string()), ("status", json_str("cancelled"))])
+    }
+
+    fn wait(&mut self, reply: &Sender<String>, id: u64) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            let _ = reply.send(resp_err("unknown-job", &format!("no job {id}")));
+            return;
+        };
+        if job.rec.status.is_terminal() {
+            let payload = job.rec.payload.clone().unwrap_or_else(|| "{}".to_owned());
+            let _ = reply.send(event(
+                "done",
+                id,
+                &[
+                    ("status", json_str(&job.rec.status.to_string())),
+                    ("result", json_str(&payload)),
+                ],
+            ));
+            return;
+        }
+        let _ = reply.send(event(
+            "state",
+            id,
+            &[("status", json_str(&job.rec.status.to_string()))],
+        ));
+        job.watchers.push(reply.clone());
+    }
+
+    fn enter_drain(&mut self) {
+        self.draining = true;
+        for worker in self.workers.values() {
+            sigterm(&worker.child);
+        }
+    }
+
+    fn poll_deadlines(&mut self) {
+        let now = Instant::now();
+        for worker in self.workers.values_mut() {
+            if let Some(deadline) = worker.deadline {
+                if now >= deadline && !worker.killed_for_deadline {
+                    worker.killed_for_deadline = true;
+                    let _ = worker.child.kill();
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        if self.draining {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.retry_at.retain(|&(at, id)| {
+            if at <= now {
+                due.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in due {
+            self.scheduler.readmit(id);
+        }
+        while self.workers.len() < self.config.worker_slots {
+            let Some(id) = self.scheduler.next() else {
+                break;
+            };
+            if self.jobs.get(&id).is_none_or(|j| j.cancel_requested) {
+                self.finish(id, JobStatus::Cancelled, "{\"detail\":\"cancelled while queued\"}");
+                continue;
+            }
+            self.spawn(id);
+        }
+    }
+
+    fn spawn(&mut self, id: u64) {
+        let (attempt, body, deadline_secs) = {
+            let job = &self.jobs[&id];
+            (
+                job.attempt,
+                job.rec.spec.to_json_body(),
+                job.rec.deadline_secs,
+            )
+        };
+        let ckpt = self.ckpt_path(id);
+        let cmd = match &self.config.worker_cmd {
+            Some(cmd) => cmd.clone(),
+            None => match std::env::current_exe() {
+                Ok(exe) => exe,
+                Err(e) => {
+                    self.fail_attempt(id, FailureKind::Exit(-1), format!("no worker exe: {e}"));
+                    return;
+                }
+            },
+        };
+        let spawned = Command::new(&cmd)
+            .arg("job-worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn();
+        let mut child = match spawned {
+            Ok(child) => child,
+            Err(e) => {
+                self.fail_attempt(
+                    id,
+                    FailureKind::Exit(-1),
+                    format!("spawn of {} failed: {e}", cmd.display()),
+                );
+                return;
+            }
+        };
+        if let Some(mut stdin) = child.stdin.take() {
+            let line = format!(
+                "{{\"job\":{id},\"attempt\":{attempt},\"checkpoint\":\"{}\",{body}}}\n",
+                json_escape(&ckpt.display().to_string()),
+            );
+            let _ = stdin.write_all(line.as_bytes());
+        }
+        if let Some(stdout) = child.stdout.take() {
+            let events = self.events_tx.clone();
+            std::thread::spawn(move || {
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if events.send(Msg::Worker { job: id, line }).is_err() {
+                        break;
+                    }
+                }
+                let _ = events.send(Msg::WorkerEof { job: id });
+            });
+        }
+        let deadline = deadline_secs
+            .map(Duration::from_secs)
+            .or(self.config.default_deadline)
+            .map(|d| Instant::now() + d);
+        self.workers.insert(
+            id,
+            WorkerProc {
+                child,
+                deadline,
+                killed_for_deadline: false,
+                parked: false,
+                result: None,
+                error: None,
+            },
+        );
+        self.set_state(id, JobStatus::Running);
+    }
+
+    fn handle_worker_line(&mut self, id: u64, line: &str) {
+        if let Some(cycle) = line.strip_prefix("heartbeat ") {
+            let cycle = cycle.trim().to_owned();
+            if let Some(job) = self.jobs.get_mut(&id) {
+                let line = event("heartbeat", id, &[("cycle", cycle)]);
+                job.watchers.retain(|w| w.send(line.clone()).is_ok());
+            }
+            return;
+        }
+        let Some(worker) = self.workers.get_mut(&id) else {
+            return;
+        };
+        if line.starts_with("parked ") {
+            worker.parked = true;
+        } else if let Some(result) = line.strip_prefix("result ") {
+            worker.result = Some(result.trim().to_owned());
+        } else if let Some(error) = line.strip_prefix("error ") {
+            worker.error = Some(error.trim().to_owned());
+        }
+    }
+
+    /// A worker's stdout hit EOF: reap it and decide the job's fate.
+    fn settle(&mut self, id: u64) {
+        let Some(mut worker) = self.workers.remove(&id) else {
+            return;
+        };
+        let status = match worker.child.wait() {
+            Ok(status) => status,
+            Err(e) => {
+                self.fail_attempt(id, FailureKind::Exit(-1), format!("wait failed: {e}"));
+                return;
+            }
+        };
+        let cancel_requested = self
+            .jobs
+            .get(&id)
+            .is_some_and(|job| job.cancel_requested);
+        if worker.parked || status.code() == Some(3) {
+            if cancel_requested {
+                self.finish(id, JobStatus::Cancelled, "{\"detail\":\"cancelled while running\"}");
+            } else if self.draining {
+                self.set_state(id, JobStatus::Parked);
+            } else {
+                // A park outside a drain (e.g. a stray SIGTERM): the
+                // checkpoint is intact, so just resume the job.
+                self.scheduler.readmit(id);
+                self.set_state(id, JobStatus::Queued);
+            }
+            return;
+        }
+        if status.success() {
+            if let Some(result) = worker.result.take() {
+                self.finish(id, JobStatus::Completed, &result);
+            } else {
+                self.fail_attempt(
+                    id,
+                    FailureKind::Exit(0),
+                    "worker exited cleanly without a result".to_owned(),
+                );
+            }
+            return;
+        }
+        if cancel_requested {
+            self.finish(id, JobStatus::Cancelled, "{\"detail\":\"cancelled while running\"}");
+            return;
+        }
+        let (kind, mut detail) = classify_exit(status, worker.killed_for_deadline);
+        if let Some(error) = worker.error.take() {
+            detail = error;
+        }
+        self.fail_attempt(id, kind, detail);
+    }
+
+    /// Records a failed attempt and either schedules the retry (seeded
+    /// backoff, resume from checkpoint) or gives the job up.
+    fn fail_attempt(&mut self, id: u64, kind: FailureKind, detail: String) {
+        let give_up;
+        {
+            let Some(job) = self.jobs.get_mut(&id) else {
+                return;
+            };
+            job.failures.push(TrialFailure {
+                attempt: job.attempt,
+                kind: kind.clone(),
+                detail: detail.clone(),
+            });
+            let line = event(
+                "attempt-failed",
+                id,
+                &[
+                    ("attempt", job.attempt.to_string()),
+                    ("kind", json_str(&kind.to_string())),
+                    ("detail", json_str(&detail)),
+                ],
+            );
+            job.watchers.retain(|w| w.send(line.clone()).is_ok());
+            give_up = self.config.retry.give_up(&job.failures);
+            if !give_up {
+                job.attempt += 1;
+            }
+        }
+        if give_up {
+            let attempts = self.jobs[&id].failures.len();
+            let payload = format!(
+                "{{\"error\":\"{}\",\"kind\":\"{}\",\"attempts\":{attempts}}}",
+                json_escape(&detail),
+                json_escape(&kind.to_string()),
+            );
+            self.finish(id, JobStatus::Failed, &payload);
+        } else {
+            let failures = self.jobs[&id].failures.len() as u32;
+            let delay = self.config.retry.delay(id, failures);
+            self.retry_at.push((Instant::now() + delay, id));
+            self.set_state(id, JobStatus::Queued);
+        }
+    }
+
+    /// Journals and broadcasts a non-terminal state change.
+    fn set_state(&mut self, id: u64, status: JobStatus) {
+        if let Err(e) = self.journal.record_state(id, status) {
+            eprintln!("mempool-serve: journal write failed for job {id}: {e}");
+        }
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.rec.status = status;
+            let line = event("state", id, &[("status", json_str(&status.to_string()))]);
+            job.watchers.retain(|w| w.send(line.clone()).is_ok());
+        }
+    }
+
+    /// Moves a job to a terminal state: journal, quota release, watcher
+    /// notification, checkpoint cleanup (kept on failure for postmortems).
+    fn finish(&mut self, id: u64, status: JobStatus, payload: &str) {
+        self.scheduler.release(id);
+        self.retry_at.retain(|&(_, j)| j != id);
+        if let Err(e) = self.journal.record_done(id, status, payload) {
+            eprintln!("mempool-serve: journal write failed for job {id}: {e}");
+        }
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.rec.status = status;
+            job.rec.payload = Some(payload.to_owned());
+            let line = event(
+                "done",
+                id,
+                &[
+                    ("status", json_str(&status.to_string())),
+                    ("result", json_str(payload)),
+                ],
+            );
+            job.watchers.retain(|w| w.send(line.clone()).is_ok());
+            job.watchers.clear();
+        }
+        if status != JobStatus::Failed {
+            let ckpt = self.ckpt_path(id);
+            let _ = std::fs::remove_file(&ckpt);
+            let _ = std::fs::remove_file(ckpt.with_extension("manifest"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientError, ServeClient};
+    use crate::protocol::RunSpec;
+    use std::path::Path;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mempool-serve-daemon-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn run_spec() -> JobSpec {
+        JobSpec::Run(RunSpec {
+            config_spec: "topology=top1,small=true,scramble=false".to_owned(),
+            program: "ecall\n".to_owned(),
+            max_cycles: 1_000,
+            checkpoint_every: 128,
+            metrics: false,
+        })
+    }
+
+    struct Harness {
+        client: ServeClient,
+        flag: Arc<AtomicBool>,
+        thread: std::thread::JoinHandle<io::Result<DaemonSummary>>,
+    }
+
+    fn start(dir: &Path, config: DaemonConfig) -> Harness {
+        let flag = Arc::new(AtomicBool::new(false));
+        let socket = config.socket.clone();
+        let thread = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || run_daemon(config, &flag))
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() {
+            assert!(Instant::now() < deadline, "daemon never bound {dir:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Harness {
+            client: ServeClient::connect(&socket),
+            flag,
+            thread,
+        }
+    }
+
+    #[test]
+    fn daemon_serves_health_rejects_garbage_and_drains_clean() {
+        let dir = scratch("basic");
+        let harness = start(
+            &dir,
+            DaemonConfig {
+                socket: dir.join("serve.sock"),
+                state_dir: dir.join("state"),
+                worker_cmd: Some(PathBuf::from("/bin/false")),
+                ..DaemonConfig::default()
+            },
+        );
+        let health = harness.client.health().expect("health");
+        assert_eq!(health["protocol"], PROTOCOL_VERSION);
+        assert_eq!(health["draining"], "false");
+
+        let bad = JobSpec::Run(RunSpec {
+            program: "not an instruction".to_owned(),
+            ..match run_spec() {
+                JobSpec::Run(s) => s,
+                _ => unreachable!(),
+            }
+        });
+        match harness.client.submit("t", 0, None, &bad) {
+            Err(ClientError::Rejected { kind, .. }) => assert_eq!(kind, "invalid"),
+            other => panic!("expected invalid rejection, got {other:?}"),
+        }
+
+        harness.flag.store(true, Ordering::Relaxed);
+        let summary = harness.thread.join().expect("join").expect("daemon");
+        assert_eq!(summary, DaemonSummary::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_worker_is_retried_then_given_up_deterministically() {
+        let dir = scratch("giveup");
+        let harness = start(
+            &dir,
+            DaemonConfig {
+                socket: dir.join("serve.sock"),
+                state_dir: dir.join("state"),
+                worker_slots: 1,
+                // /bin/false fails identically every attempt, so the
+                // repeat-failure rule gives up after exactly two.
+                worker_cmd: Some(PathBuf::from("/bin/false")),
+                // Enough backoff that the wait subscription registers
+                // before the second (final) attempt fails.
+                retry: RetryPolicy {
+                    backoff_base_ms: 100,
+                    backoff_cap_ms: 100,
+                    ..RetryPolicy::default()
+                },
+                ..DaemonConfig::default()
+            },
+        );
+        let id = harness
+            .client
+            .submit("team", 1, None, &run_spec())
+            .expect("submit");
+        let mut attempts_seen = 0;
+        let done = harness
+            .client
+            .wait(id, &mut |fields| {
+                if fields.get("event").map(String::as_str) == Some("attempt-failed") {
+                    attempts_seen += 1;
+                }
+            })
+            .expect("wait");
+        assert_eq!(done["status"], "failed");
+        assert!(attempts_seen >= 1, "attempt failures stream to waiters");
+        let result = mempool_traffic::parse_flat_json(&done["result"]).expect("result parses");
+        assert_eq!(result["attempts"], "2", "gave up on the second identical failure");
+        assert_eq!(result["kind"], "exit(1)");
+        let result = crate::journal::replay(&dir.join("state").join("jobs.journal"))
+            .expect("journal replays");
+        assert_eq!(result.jobs[0].status, JobStatus::Failed);
+
+        harness.flag.store(true, Ordering::Relaxed);
+        let summary = harness.thread.join().expect("join").expect("daemon");
+        assert_eq!(summary.failed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overload_quota_and_cancel_are_typed_over_the_socket() {
+        let dir = scratch("overload");
+        let harness = start(
+            &dir,
+            DaemonConfig {
+                socket: dir.join("serve.sock"),
+                state_dir: dir.join("state"),
+                // No slots: everything stays queued, so the depth bound
+                // and cancellation are exercised deterministically.
+                worker_slots: 0,
+                scheduler: SchedulerConfig {
+                    queue_depth: 1,
+                    default_quota: 8,
+                    quotas: [("blocked".to_owned(), 0)].into_iter().collect(),
+                },
+                worker_cmd: Some(PathBuf::from("/bin/false")),
+                ..DaemonConfig::default()
+            },
+        );
+        match harness.client.submit("blocked", 0, None, &run_spec()) {
+            Err(ClientError::Rejected { kind, .. }) => assert_eq!(kind, "quota"),
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        let first = harness.client.submit("a", 0, None, &run_spec()).expect("fits");
+        match harness.client.submit("b", 0, None, &run_spec()) {
+            Err(ClientError::Rejected { kind, .. }) => assert_eq!(kind, "overloaded"),
+            other => panic!("expected overloaded rejection, got {other:?}"),
+        }
+        let cancelled = harness.client.cancel(first).expect("cancel");
+        assert_eq!(cancelled["status"], "cancelled");
+        let status = harness.client.status(first).expect("status");
+        assert_eq!(status["status"], "cancelled");
+
+        harness.flag.store(true, Ordering::Relaxed);
+        let summary = harness.thread.join().expect("join").expect("daemon");
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.queued, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -878,7 +878,16 @@ pub(crate) fn sibling_path(path: &Path, suffix: &str) -> std::path::PathBuf {
 /// atomically rewrites the file from the parsed trials (so a final line
 /// truncated by a kill never collides with the next append), and returns
 /// the recorded trials plus the manifest opened for appending.
-pub(crate) fn open_manifest(
+///
+/// Exposed so external supervisors (`mempool-serve` campaign workers) can
+/// drive the trial loop themselves while keeping the manifest as the
+/// single source of truth.
+///
+/// # Errors
+///
+/// I/O errors and [`CampaignError::ManifestMismatch`] when the manifest on
+/// disk belongs to a different campaign.
+pub fn open_manifest(
     config: &ClusterConfig,
     campaign: &CampaignConfig,
     manifest: &Path,
@@ -902,7 +911,11 @@ pub(crate) fn open_manifest(
 }
 
 /// Appends one trial line to the open manifest and syncs it to disk.
-pub(crate) fn append_trial(file: &mut std::fs::File, trial: &Trial) -> io::Result<()> {
+///
+/// # Errors
+///
+/// The underlying write or sync failure.
+pub fn append_trial(file: &mut std::fs::File, trial: &Trial) -> io::Result<()> {
     writeln!(file, "{}", format_trial_line(trial))?;
     file.sync_all()
 }

@@ -26,9 +26,9 @@ use crate::campaign::{
     sibling_path, CampaignConfig, CampaignError, CampaignReport, Trial, TrialStop,
     TrialSupervision,
 };
-use crate::{Pattern, Windows};
+use crate::supervise::{classify_exit, json_escape, parse_flat_json, RetryPolicy};
+use crate::{FailureKind, Pattern, TrialFailure, Windows};
 use mempool::{CancelToken, ClusterConfig, SanitizerConfig};
-use mempool_rng::{Rng, SeedableRng, StdRng};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -36,50 +36,6 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-
-/// How a trial attempt failed, in the classification the issue contract
-/// names: `panic|signal|timeout|oom|exit`, plus the sanitizer class this
-/// layer adds.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FailureKind {
-    /// The trial (or its worker process) panicked.
-    Panic,
-    /// The worker process died on a signal other than `SIGKILL`.
-    Signal(i32),
-    /// The wall-clock deadline or sim-cycle budget tripped.
-    Timeout,
-    /// The worker process was `SIGKILL`ed without the executor asking —
-    /// the kernel OOM killer's signature (or an outside `kill -9`).
-    Oom,
-    /// The worker process exited with a nonzero code.
-    Exit(i32),
-    /// The invariant sanitizer recorded violations during the trial.
-    Sanitizer,
-}
-
-impl fmt::Display for FailureKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FailureKind::Panic => write!(f, "panic"),
-            FailureKind::Signal(sig) => write!(f, "signal({sig})"),
-            FailureKind::Timeout => write!(f, "timeout"),
-            FailureKind::Oom => write!(f, "oom"),
-            FailureKind::Exit(code) => write!(f, "exit({code})"),
-            FailureKind::Sanitizer => write!(f, "sanitizer"),
-        }
-    }
-}
-
-/// One failed attempt of a supervised trial.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TrialFailure {
-    /// 1-based attempt number that failed.
-    pub attempt: u32,
-    /// The failure classification.
-    pub kind: FailureKind,
-    /// Human-readable detail (panic message, signal, cancel cause, ...).
-    pub detail: String,
-}
 
 /// A trial the executor gave up on, with its full failure history.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -244,38 +200,25 @@ impl Executor {
         Some(t)
     }
 
-    /// Seeded exponential backoff with jitter: `base * 2^(attempt-1)`
-    /// capped at `backoff_cap_ms`, plus a jitter draw in `[0, base)` from
-    /// a stream determined by `(backoff_seed, seed, attempt)`.
-    fn backoff_delay(&self, seed: u64, attempt: u32) -> Duration {
-        let base = self.exec.backoff_base_ms;
-        if base == 0 {
-            return Duration::ZERO;
+    /// The shared retry policy this executor's knobs configure.
+    fn policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.exec.max_attempts,
+            backoff_base_ms: self.exec.backoff_base_ms,
+            backoff_cap_ms: self.exec.backoff_cap_ms,
+            backoff_seed: self.exec.backoff_seed,
         }
-        let shift = u64::from(attempt.saturating_sub(1)).min(16);
-        let exp = base.saturating_mul(1u64 << shift);
-        let capped = exp.min(self.exec.backoff_cap_ms.max(base));
-        let mut rng = StdRng::seed_from_u64(
-            self.exec
-                .backoff_seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                ^ seed.rotate_left(17)
-                ^ u64::from(attempt),
-        );
-        Duration::from_millis(capped + rng.gen_range(0..base))
+    }
+
+    /// Seeded exponential backoff with jitter (see [`RetryPolicy::delay`]).
+    fn backoff_delay(&self, seed: u64, attempt: u32) -> Duration {
+        self.policy().delay(seed, attempt)
     }
 
     /// Quarantine once the attempt budget is spent, or as soon as the same
-    /// failure repeats — two consecutive identical failures mean the
-    /// problem is deterministic and further retries are wasted work.
+    /// failure repeats (see [`RetryPolicy::give_up`]).
     fn quarantine_due(&self, failures: &[TrialFailure]) -> bool {
-        if failures.len() >= self.exec.max_attempts.max(1) as usize {
-            return true;
-        }
-        match failures {
-            [.., a, b] => a.kind == b.kind && a.detail == b.detail,
-            _ => false,
-        }
+        self.policy().give_up(failures)
     }
 
     // -- in-process mode ---------------------------------------------------
@@ -729,45 +672,6 @@ fn parse_worker_line(line: &str) -> WorkerMsg {
     WorkerMsg::Error(format!("unknown worker line: {line}"))
 }
 
-/// Classifies a worker process exit per the `panic|signal|timeout|oom|exit`
-/// contract. `SIGKILL` without the executor having asked for it is the OOM
-/// killer's signature (or an outside `kill -9`) — either way the work is
-/// recoverable from the trial checkpoint, so the classification only
-/// matters for reporting and quarantine matching.
-fn classify_exit(status: std::process::ExitStatus, killed_for_deadline: bool) -> (FailureKind, String) {
-    #[cfg(unix)]
-    {
-        use std::os::unix::process::ExitStatusExt;
-        if let Some(sig) = status.signal() {
-            if killed_for_deadline {
-                return (
-                    FailureKind::Timeout,
-                    "deadline exceeded (worker killed)".to_owned(),
-                );
-            }
-            if sig == 9 {
-                return (FailureKind::Oom, "worker SIGKILLed (possible OOM)".to_owned());
-            }
-            return (
-                FailureKind::Signal(sig),
-                format!("worker terminated by signal {sig}"),
-            );
-        }
-    }
-    match status.code() {
-        // 101 is the Rust runtime's panic exit code.
-        Some(101) => (FailureKind::Panic, "worker panicked".to_owned()),
-        Some(code) => (
-            FailureKind::Exit(code),
-            format!("worker exited with code {code}"),
-        ),
-        None => (
-            FailureKind::Signal(0),
-            "worker ended without an exit code".to_owned(),
-        ),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Worker side.
 // ---------------------------------------------------------------------------
@@ -808,97 +712,6 @@ pub struct WorkerJob {
     pub cycle_budget: Option<u64>,
     /// Whether to attach the invariant sanitizer.
     pub sanitize: bool,
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_unescape(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next()? {
-            '"' => out.push('"'),
-            '\\' => out.push('\\'),
-            'n' => out.push('\n'),
-            'r' => out.push('\r'),
-            't' => out.push('\t'),
-            'u' => {
-                let hex: String = chars.by_ref().take(4).collect();
-                if hex.len() != 4 {
-                    return None;
-                }
-                let code = u32::from_str_radix(&hex, 16).ok()?;
-                out.push(char::from_u32(code)?);
-            }
-            _ => return None,
-        }
-    }
-    Some(out)
-}
-
-/// Parses a flat JSON object (string / number / bool / null values only)
-/// into raw `key -> value` pairs; string values are unescaped, everything
-/// else kept as its bare token.
-fn parse_flat_json(s: &str) -> Option<BTreeMap<String, String>> {
-    let s = s.trim();
-    let body = s.strip_prefix('{')?.strip_suffix('}')?;
-    let mut fields = BTreeMap::new();
-    let mut rest = body.trim_start();
-    while !rest.is_empty() {
-        rest = rest.strip_prefix('"')?;
-        let key_end = rest.find('"')?;
-        let key = rest[..key_end].to_owned();
-        rest = rest[key_end + 1..].trim_start().strip_prefix(':')?.trim_start();
-        let value;
-        if let Some(after) = rest.strip_prefix('"') {
-            // A string value: scan for the first unescaped quote.
-            let mut end = None;
-            let mut escaped = false;
-            for (i, c) in after.char_indices() {
-                if escaped {
-                    escaped = false;
-                } else if c == '\\' {
-                    escaped = true;
-                } else if c == '"' {
-                    end = Some(i);
-                    break;
-                }
-            }
-            let end = end?;
-            value = json_unescape(&after[..end])?;
-            rest = after[end + 1..].trim_start();
-        } else {
-            let end = rest.find([',', '}']).unwrap_or(rest.len());
-            value = rest[..end].trim().to_owned();
-            rest = &rest[end..];
-        }
-        fields.insert(key, value);
-        rest = rest.trim_start();
-        if let Some(after) = rest.strip_prefix(',') {
-            rest = after.trim_start();
-        } else {
-            break;
-        }
-    }
-    Some(fields)
 }
 
 impl WorkerJob {

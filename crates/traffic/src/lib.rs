@@ -29,15 +29,20 @@ mod exec;
 mod experiment;
 mod gen;
 mod replay;
+mod supervise;
 
 pub use campaign::{
-    run_campaign, run_campaign_resumable, run_trial, run_trial_checkpointed, run_trial_supervised,
-    trial_cluster, CampaignConfig, CampaignError, CampaignProgress, CampaignReport, Trial,
-    TrialCheckpoint, TrialOutcome, TrialPhase, TrialStop, TrialSupervision,
+    append_trial, open_manifest, run_campaign, run_campaign_resumable, run_trial,
+    run_trial_checkpointed, run_trial_supervised, trial_cluster, CampaignConfig, CampaignError,
+    CampaignProgress, CampaignReport, Trial, TrialCheckpoint, TrialOutcome, TrialPhase, TrialStop,
+    TrialSupervision,
 };
 pub use exec::{
-    run_trial_worker, Executor, ExecutorConfig, ExecutorReport, FailureKind, QuarantinedTrial,
-    TrialFailure, WorkerJob,
+    run_trial_worker, Executor, ExecutorConfig, ExecutorReport, QuarantinedTrial, WorkerJob,
+};
+pub use supervise::{
+    classify_exit, json_escape, json_unescape, parse_config_spec, parse_flat_json,
+    render_config_spec, FailureKind, RetryPolicy, TrialFailure,
 };
 pub use experiment::{
     md1_latency, run_point, run_point_with_metrics, run_sweep, saturation_throughput,

@@ -1,0 +1,367 @@
+//! Shared process-supervision primitives: failure classification, seeded
+//! retry/backoff policy, the flat JSON-line codec every worker protocol in
+//! the suite speaks, and the opaque cluster-config spec exchanged between
+//! supervisors and workers.
+//!
+//! The campaign [`Executor`](crate::Executor) introduced these pieces for
+//! crash-isolated fault campaigns; `mempool-serve` reuses them to supervise
+//! arbitrary run/bench/campaign jobs. They live here — below both — so the
+//! two supervisors classify, back off, and quarantine identically.
+
+use mempool::{ClusterConfig, Topology};
+use mempool_rng::{Rng, SeedableRng, StdRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// How a supervised attempt failed, in the classification the executor
+/// contract names: `panic|signal|timeout|oom|exit`, plus the sanitizer
+/// class the campaign layer adds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job (or its worker process) panicked.
+    Panic,
+    /// The worker process died on a signal other than `SIGKILL`.
+    Signal(i32),
+    /// The wall-clock deadline or sim-cycle budget tripped.
+    Timeout,
+    /// The worker process was `SIGKILL`ed without the supervisor asking —
+    /// the kernel OOM killer's signature (or an outside `kill -9`).
+    Oom,
+    /// The worker process exited with a nonzero code.
+    Exit(i32),
+    /// The invariant sanitizer recorded violations during the job.
+    Sanitizer,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Signal(sig) => write!(f, "signal({sig})"),
+            FailureKind::Timeout => write!(f, "timeout"),
+            FailureKind::Oom => write!(f, "oom"),
+            FailureKind::Exit(code) => write!(f, "exit({code})"),
+            FailureKind::Sanitizer => write!(f, "sanitizer"),
+        }
+    }
+}
+
+/// One failed attempt of a supervised job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// The failure classification.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message, signal, cancel cause, ...).
+    pub detail: String,
+}
+
+/// The seeded retry policy every supervisor in the suite applies: capped
+/// exponential backoff with deterministic jitter, an attempt budget, and
+/// the repeat-failure give-up rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per job before giving up (minimum 1, default 3).
+    pub max_attempts: u32,
+    /// Base of the exponential backoff between attempts, in milliseconds
+    /// (`0` disables backoff entirely — used by tests).
+    pub backoff_base_ms: u64,
+    /// Upper bound of the exponential backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed of the backoff jitter (deterministic per `(seed, attempt)`).
+    pub backoff_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            backoff_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Seeded exponential backoff with jitter: `base * 2^(attempt-1)`
+    /// capped at `backoff_cap_ms`, plus a jitter draw in `[0, base)` from
+    /// a stream determined by `(backoff_seed, seed, attempt)`.
+    pub fn delay(&self, seed: u64, attempt: u32) -> Duration {
+        let base = self.backoff_base_ms;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let shift = u64::from(attempt.saturating_sub(1)).min(16);
+        let exp = base.saturating_mul(1u64 << shift);
+        let capped = exp.min(self.backoff_cap_ms.max(base));
+        let mut rng = StdRng::seed_from_u64(
+            self.backoff_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ seed.rotate_left(17)
+                ^ u64::from(attempt),
+        );
+        Duration::from_millis(capped + rng.gen_range(0..base))
+    }
+
+    /// Give up once the attempt budget is spent, or as soon as the same
+    /// failure repeats — two consecutive identical failures mean the
+    /// problem is deterministic and further retries are wasted work.
+    pub fn give_up(&self, failures: &[TrialFailure]) -> bool {
+        if failures.len() >= self.max_attempts.max(1) as usize {
+            return true;
+        }
+        match failures {
+            [.., a, b] => a.kind == b.kind && a.detail == b.detail,
+            _ => false,
+        }
+    }
+}
+
+/// Classifies a worker process exit per the `panic|signal|timeout|oom|exit`
+/// contract. `SIGKILL` without the supervisor having asked for it is the
+/// OOM killer's signature (or an outside `kill -9`) — either way the work
+/// is recoverable from the job checkpoint, so the classification only
+/// matters for reporting and give-up matching.
+pub fn classify_exit(
+    status: std::process::ExitStatus,
+    killed_for_deadline: bool,
+) -> (FailureKind, String) {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            if killed_for_deadline {
+                return (
+                    FailureKind::Timeout,
+                    "deadline exceeded (worker killed)".to_owned(),
+                );
+            }
+            if sig == 9 {
+                return (FailureKind::Oom, "worker SIGKILLed (possible OOM)".to_owned());
+            }
+            return (
+                FailureKind::Signal(sig),
+                format!("worker terminated by signal {sig}"),
+            );
+        }
+    }
+    match status.code() {
+        // 101 is the Rust runtime's panic exit code.
+        Some(101) => (FailureKind::Panic, "worker panicked".to_owned()),
+        Some(code) => (
+            FailureKind::Exit(code),
+            format!("worker exited with code {code}"),
+        ),
+        None => (
+            FailureKind::Signal(0),
+            "worker ended without an exit code".to_owned(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON-line codec.
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for embedding in a flat JSON line.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`json_escape`]; `None` on a malformed escape.
+pub fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Parses a flat JSON object (string / number / bool / null values only)
+/// into raw `key -> value` pairs; string values are unescaped, everything
+/// else kept as its bare token.
+pub fn parse_flat_json(s: &str) -> Option<BTreeMap<String, String>> {
+    let s = s.trim();
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = BTreeMap::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let key_end = rest.find('"')?;
+        let key = rest[..key_end].to_owned();
+        rest = rest[key_end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let value;
+        if let Some(after) = rest.strip_prefix('"') {
+            // A string value: scan for the first unescaped quote.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in after.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end?;
+            value = json_unescape(&after[..end])?;
+            rest = after[end + 1..].trim_start();
+        } else {
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            value = rest[..end].trim().to_owned();
+            rest = &rest[end..];
+        }
+        fields.insert(key, value);
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else {
+            break;
+        }
+    }
+    Some(fields)
+}
+
+// ---------------------------------------------------------------------------
+// The opaque cluster-config spec.
+// ---------------------------------------------------------------------------
+
+/// Renders the supervisor-relevant cluster configuration as the opaque
+/// `config_spec` a worker receives ([`parse_config_spec`] reverses it).
+pub fn render_config_spec(topology: Topology, small: bool, scramble: bool) -> String {
+    format!("topology={topology},small={small},scramble={scramble}")
+}
+
+/// Parses [`render_config_spec`]'s output back into a [`ClusterConfig`]
+/// with the standard resilience layer attached (workers must be able to
+/// absorb injected faults; a fault-free job simply never exercises it).
+///
+/// # Errors
+///
+/// A description of the first malformed entry.
+pub fn parse_config_spec(spec: &str) -> Result<ClusterConfig, String> {
+    let mut topology = None;
+    let mut small = false;
+    let mut scramble = true;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad config spec entry `{part}`"))?;
+        match key {
+            "topology" => {
+                topology = Some(match value {
+                    "ideal" => Topology::Ideal,
+                    "top1" => Topology::Top1,
+                    "top4" => Topology::Top4,
+                    "topH" | "toph" => Topology::TopH,
+                    other => return Err(format!("bad topology `{other}`")),
+                })
+            }
+            "small" => small = value == "true",
+            "scramble" => scramble = value == "true",
+            other => return Err(format!("unknown config spec key `{other}`")),
+        }
+    }
+    let topology = topology.ok_or_else(|| "config spec lacks a topology".to_owned())?;
+    let mut config = if small {
+        ClusterConfig::small(topology)
+    } else {
+        ClusterConfig::paper(topology)
+    };
+    if !scramble {
+        config.seq_region_bytes = None;
+    }
+    config.resilience = mempool::ResilienceConfig::standard();
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_spec_round_trips() {
+        for topology in [Topology::Ideal, Topology::Top1, Topology::Top4, Topology::TopH] {
+            for small in [false, true] {
+                for scramble in [false, true] {
+                    let spec = render_config_spec(topology, small, scramble);
+                    let config = parse_config_spec(&spec).expect("spec parses");
+                    assert_eq!(config.topology, topology, "{spec}");
+                    assert_eq!(config.seq_region_bytes.is_some(), scramble, "{spec}");
+                }
+            }
+        }
+        assert!(parse_config_spec("small=true").is_err(), "topology required");
+        assert!(parse_config_spec("topology=weird").is_err());
+        assert!(parse_config_spec("nonsense").is_err());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            backoff_base_ms: 50,
+            backoff_cap_ms: 300,
+            ..RetryPolicy::default()
+        };
+        let a = policy.delay(7, 1);
+        assert_eq!(a, policy.delay(7, 1), "same (seed, attempt) -> same delay");
+        assert!(a >= Duration::from_millis(50) && a < Duration::from_millis(100));
+        let late = policy.delay(7, 10);
+        assert!(late >= Duration::from_millis(300) && late < Duration::from_millis(350));
+        let off = RetryPolicy {
+            backoff_base_ms: 0,
+            ..policy
+        };
+        assert_eq!(off.delay(7, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn flat_json_rejects_malformed_documents() {
+        assert!(parse_flat_json("{\"a\":1}").is_some());
+        assert!(parse_flat_json("not json").is_none());
+        assert!(parse_flat_json("{\"a\":\"unterminated}").is_none());
+        assert!(parse_flat_json("{\"a\"}").is_none());
+        let fields = parse_flat_json("{\"s\":\"a\\\"b\",\"n\":3,\"b\":true,\"z\":null}")
+            .expect("parses");
+        assert_eq!(fields["s"], "a\"b");
+        assert_eq!(fields["n"], "3");
+        assert_eq!(fields["b"], "true");
+        assert_eq!(fields["z"], "null");
+    }
+}

@@ -10,6 +10,7 @@
 
 use mempool::{Cluster, ClusterConfig, Topology};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Schema tag stamped into every report.
@@ -49,10 +50,15 @@ pub struct BenchConfig {
     /// network).
     pub warmup: u64,
     /// Worker count for the parallel-engine points (`0` = one worker per
-    /// available hardware thread).
+    /// available hardware thread). Ignored when `worker_counts` is
+    /// nonempty.
     pub workers: usize,
     /// Cluster sizes to measure (subset of {16, 64, 256} cores).
     pub core_counts: Vec<usize>,
+    /// Parallel worker counts to sweep (`--bench-workers 2,4,8`): one
+    /// parallel point and one digest cross-check per count. Empty = the
+    /// single [`BenchConfig::effective_workers`] point.
+    pub worker_counts: Vec<usize>,
 }
 
 impl Default for BenchConfig {
@@ -62,6 +68,7 @@ impl Default for BenchConfig {
             warmup: 200,
             workers: 0,
             core_counts: vec![16, 256],
+            worker_counts: Vec::new(),
         }
     }
 }
@@ -109,6 +116,8 @@ pub struct DigestCheck {
     pub topology: Topology,
     /// Total cores.
     pub cores: usize,
+    /// Worker threads of the parallel engine under check.
+    pub workers: usize,
     /// Cycles both engines simulated (warmup + measured window).
     pub cycles: u64,
     /// Final digest of the serial engine.
@@ -171,11 +180,12 @@ impl BenchReport {
         for (i, c) in self.digest_checks.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"topology\": \"{}\", \"cores\": {}, \"cycles\": {}, \
+                "    {{\"topology\": \"{}\", \"cores\": {}, \"workers\": {}, \"cycles\": {}, \
                  \"serial_digest\": \"{:#018x}\", \"parallel_digest\": \"{:#018x}\", \
                  \"match\": {}}}",
                 c.topology,
                 c.cores,
+                c.workers,
                 c.cycles,
                 c.serial_digest,
                 c.parallel_digest,
@@ -229,53 +239,94 @@ fn bench_cluster(
     Ok(cluster)
 }
 
-/// Runs the full benchmark matrix: {serial, parallel} × `core_counts` ×
-/// {ideal, Top4, TopH}, one digest cross-check per cell.
+/// Measures one point and returns its final digest.
+fn measure_point(
+    report: &mut BenchReport,
+    config: &BenchConfig,
+    topology: Topology,
+    cores: usize,
+    engine_workers: usize,
+) -> Result<u64, String> {
+    let engine = if engine_workers == 0 { "serial" } else { "parallel" };
+    let mut cluster = bench_cluster(topology, cores, engine_workers)?;
+    cluster.step_cycles(config.warmup);
+    let start = Instant::now();
+    cluster.step_cycles(config.cycles);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let digest = cluster.state_digest();
+    report.points.push(BenchPoint {
+        topology,
+        cores,
+        engine,
+        workers: engine_workers,
+        cycles: config.cycles,
+        wall_seconds: wall,
+        sim_cycles_per_sec: config.cycles as f64 / wall,
+        core_cycles_per_sec: (config.cycles * cores as u64) as f64 / wall,
+        state_digest: digest,
+    });
+    Ok(digest)
+}
+
+/// Runs the full benchmark matrix: {serial, parallel × worker counts} ×
+/// `core_counts` × {ideal, Top4, TopH}, one digest cross-check per
+/// (cell, worker count).
 ///
 /// # Errors
 ///
 /// Configuration errors (unsupported size) only; measurement itself is
 /// infallible.
 pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
-    let workers = config.effective_workers();
+    run_bench_supervised(config, None).map(|(report, _)| report)
+}
+
+/// [`run_bench`] with an interrupt flag checked between points: when the
+/// flag is raised (SIGINT/SIGTERM), the sweep stops after the point in
+/// flight and returns the partial report plus `true` — measurements
+/// already taken are never lost to an interrupt.
+///
+/// # Errors
+///
+/// Configuration errors (unsupported size) only.
+pub fn run_bench_supervised(
+    config: &BenchConfig,
+    interrupt: Option<&AtomicBool>,
+) -> Result<(BenchReport, bool), String> {
+    let worker_counts = if config.worker_counts.is_empty() {
+        vec![config.effective_workers()]
+    } else {
+        config.worker_counts.clone()
+    };
     let topologies = [Topology::Ideal, Topology::Top4, Topology::TopH];
     let mut report = BenchReport {
         points: Vec::new(),
         digest_checks: Vec::new(),
     };
+    let stop = || interrupt.is_some_and(|flag| flag.load(Ordering::SeqCst));
     for &cores in &config.core_counts {
         for topology in topologies {
-            let mut digests = [0u64; 2];
-            for (slot, engine_workers) in [(0, 0usize), (1, workers)] {
-                let engine = if engine_workers == 0 { "serial" } else { "parallel" };
-                let mut cluster = bench_cluster(topology, cores, engine_workers)?;
-                cluster.step_cycles(config.warmup);
-                let start = Instant::now();
-                cluster.step_cycles(config.cycles);
-                let wall = start.elapsed().as_secs_f64().max(1e-9);
-                digests[slot] = cluster.state_digest();
-                report.points.push(BenchPoint {
+            if stop() {
+                return Ok((report, true));
+            }
+            let serial_digest = measure_point(&mut report, config, topology, cores, 0)?;
+            for &workers in &worker_counts {
+                if stop() {
+                    return Ok((report, true));
+                }
+                let parallel_digest =
+                    measure_point(&mut report, config, topology, cores, workers.max(1))?;
+                report.digest_checks.push(DigestCheck {
                     topology,
                     cores,
-                    engine,
-                    workers: engine_workers,
-                    cycles: config.cycles,
-                    wall_seconds: wall,
-                    sim_cycles_per_sec: config.cycles as f64 / wall,
-                    core_cycles_per_sec: (config.cycles * cores as u64) as f64 / wall,
-                    state_digest: digests[slot],
+                    workers: workers.max(1),
+                    cycles: config.warmup + config.cycles,
+                    serial_digest,
+                    parallel_digest,
                 });
             }
-            report.digest_checks.push(DigestCheck {
-                topology,
-                cores,
-                cycles: config.warmup + config.cycles,
-                serial_digest: digests[0],
-                parallel_digest: digests[1],
-            });
         }
     }
-    Ok(report)
+    Ok((report, false))
 }
 
 #[cfg(test)]
@@ -289,6 +340,7 @@ mod tests {
             warmup: 50,
             workers: 2,
             core_counts: vec![16],
+            worker_counts: Vec::new(),
         };
         let report = run_bench(&config).expect("bench runs");
         assert_eq!(report.points.len(), 6); // 3 topologies × 2 engines
@@ -315,6 +367,30 @@ mod tests {
             json.matches('[').count(),
             json.matches(']').count()
         );
+    }
+
+    #[test]
+    fn worker_sweep_checks_every_count_and_interrupts_cleanly() {
+        let config = BenchConfig {
+            cycles: 200,
+            warmup: 50,
+            core_counts: vec![16],
+            worker_counts: vec![1, 2],
+            ..BenchConfig::default()
+        };
+        let report = run_bench(&config).expect("bench runs");
+        assert_eq!(report.points.len(), 9); // 3 topologies × (serial + 2 parallel)
+        assert_eq!(report.digest_checks.len(), 6); // one per (cell, worker count)
+        assert!(report.digests_match(), "{:#?}", report.digest_checks);
+        assert!(report.to_json().contains("\"workers\": 2"));
+
+        // An already-raised interrupt stops before the first point; the
+        // report comes back (empty here) instead of being discarded.
+        let flag = AtomicBool::new(true);
+        let (partial, interrupted) =
+            run_bench_supervised(&config, Some(&flag)).expect("supervised");
+        assert!(interrupted);
+        assert!(partial.points.is_empty());
     }
 
     #[test]

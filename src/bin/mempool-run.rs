@@ -69,6 +69,7 @@ struct BenchOptions {
     cores: Vec<usize>,
     cycles: u64,
     parallel: usize,
+    bench_workers: Vec<usize>,
 }
 
 /// Options of the `profile` subcommand: one profiled program run with the
@@ -191,10 +192,13 @@ options:
   --cores <16|256|all>    bench cluster sizes (default all)
   --cycles <n>            measured cycles per bench point (default 2000)
   --parallel <n>          worker threads for the parallel-engine points
+  --bench-workers <list>  comma-separated worker counts to sweep (e.g. 2,4,8);
+                          one parallel point and digest check per count
   --help                  this text
 
 exit status: 0 on success (all digests match), 1 on runtime errors or a
-serial/parallel digest divergence, 2 on usage errors";
+serial/parallel digest divergence, 2 on usage errors, 3 when interrupted
+(completed points are still flushed to --out)";
 
 const CAMPAIGN_USAGE: &str = "usage: mempool-run campaign [OPTIONS]
 
@@ -614,6 +618,7 @@ fn parse_bench_args(
     let mut cores = vec![16, 256];
     let mut cycles = 2_000;
     let mut parallel = 0;
+    let mut bench_workers = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &'static str| {
@@ -638,6 +643,22 @@ fn parse_bench_args(
                     .parse()
                     .map_err(|_| invalid("--parallel", "expected a worker count"))?;
             }
+            "--bench-workers" => {
+                let list = value("--bench-workers")?;
+                bench_workers = list
+                    .split(',')
+                    .map(|w| match w.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => Ok(n),
+                        _ => Err(invalid(
+                            "--bench-workers",
+                            &format!("expected nonzero worker counts, got `{w}`"),
+                        )),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if bench_workers.is_empty() {
+                    return Err(invalid("--bench-workers", "expected at least one count"));
+                }
+            }
             "--help" | "-h" => return Err(ParseArgsError::Help),
             _ if arg.starts_with('-') => return Err(ParseArgsError::UnknownOption(arg)),
             _ => return Err(ParseArgsError::UnexpectedArgument(arg)),
@@ -649,6 +670,7 @@ fn parse_bench_args(
         cores,
         cycles,
         parallel,
+        bench_workers,
     })
 }
 
@@ -1081,14 +1103,23 @@ fn main() -> ExitCode {
 /// Runs the benchmark matrix and writes the report; a digest divergence
 /// between the serial and parallel engines is a hard error (exit 1).
 fn run_bench_mode(opts: &BenchOptions) -> Result<(), Error> {
-    use mempool_suite::bench::{run_bench, BenchConfig};
+    use mempool_suite::bench::{run_bench_supervised, BenchConfig};
     let config = BenchConfig {
         cycles: opts.cycles,
         workers: opts.parallel,
         core_counts: opts.cores.clone(),
+        worker_counts: opts.bench_workers.clone(),
         ..BenchConfig::default()
     };
-    let report = run_bench(&config).map_err(Error::Other)?;
+    // SIGINT/SIGTERM stop the sweep after the point in flight; completed
+    // measurements are flushed to the report instead of discarded.
+    #[cfg(unix)]
+    sig::install();
+    #[cfg(unix)]
+    let interrupt = Some(&sig::INTERRUPTED);
+    #[cfg(not(unix))]
+    let interrupt = None;
+    let (report, interrupted) = run_bench_supervised(&config, interrupt).map_err(Error::Other)?;
     std::fs::write(&opts.out, report.to_json()).map_err(|e| Error::io(&opts.out, e))?;
     println!(
         "bench: {} points, {} digest checks -> {}",
@@ -1116,6 +1147,14 @@ fn run_bench_mode(opts: &BenchOptions) -> Result<(), Error> {
         return Err(Error::Other(
             "serial and parallel engines diverged".to_string(),
         ));
+    }
+    if interrupted {
+        eprintln!(
+            "bench interrupted: {} completed point(s) flushed to {}",
+            report.points.len(),
+            opts.out
+        );
+        return Err(Error::Interrupted);
     }
     Ok(())
 }
@@ -1213,45 +1252,9 @@ mod sig {
     }
 }
 
-/// Renders the executor-relevant cluster configuration as the opaque
-/// `config_spec` a trial worker receives (and [`parse_config_spec`]
-/// reverses).
-fn render_config_spec(topology: Topology, small: bool, scramble: bool) -> String {
-    format!("topology={topology},small={small},scramble={scramble}")
-}
-
-/// Parses [`render_config_spec`]'s output back into a [`ClusterConfig`].
-fn parse_config_spec(spec: &str) -> Result<ClusterConfig, String> {
-    let mut topology = None;
-    let mut small = false;
-    let mut scramble = true;
-    for part in spec.split(',') {
-        let (key, value) = part
-            .split_once('=')
-            .ok_or_else(|| format!("bad config spec entry `{part}`"))?;
-        match key {
-            "topology" => {
-                topology = Some(
-                    parse_topology(value).map_err(|_| format!("bad topology `{value}`"))?,
-                )
-            }
-            "small" => small = value == "true",
-            "scramble" => scramble = value == "true",
-            other => return Err(format!("unknown config spec key `{other}`")),
-        }
-    }
-    let topology = topology.ok_or_else(|| "config spec lacks a topology".to_owned())?;
-    let mut config = if small {
-        ClusterConfig::small(topology)
-    } else {
-        ClusterConfig::paper(topology)
-    };
-    if !scramble {
-        config.seq_region_bytes = None;
-    }
-    config.resilience = ResilienceConfig::standard();
-    Ok(config)
-}
+// `render_config_spec` / `parse_config_spec` moved to `mempool_traffic`
+// (shared with the `mempool-serve` daemon's workers).
+use mempool_traffic::{parse_config_spec, render_config_spec};
 
 /// Runs a supervised fault-injection campaign (`campaign --faults ...`)
 /// under the crash-isolated executor.
@@ -1522,6 +1525,7 @@ fn run(opts: &Options) -> Result<(), Error> {
             cores: opts.bench_cores.clone(),
             cycles: opts.bench_cycles,
             parallel: opts.parallel,
+            bench_workers: Vec::new(),
         });
     }
     let mut config = if opts.small {
@@ -1856,9 +1860,20 @@ mod tests {
                 out: "o.json".to_owned(),
                 cores: vec![16],
                 cycles: 2_000,
-                parallel: 0
+                parallel: 0,
+                bench_workers: vec![],
             }
         );
+        let Command::Bench(b) =
+            command(&["bench", "--out", "o.json", "--bench-workers", "2,4,8"]).unwrap()
+        else {
+            panic!("expected bench")
+        };
+        assert_eq!(b.bench_workers, vec![2, 4, 8]);
+        assert!(matches!(
+            command(&["bench", "--out", "o.json", "--bench-workers", "2,0"]),
+            Err((ParseArgsError::InvalidValue { option: "--bench-workers", .. }, _))
+        ));
         // --metrics-json is the shared spelling of the output flag.
         let Command::Bench(b) = command(&["bench", "--metrics-json", "m.json"]).unwrap() else {
             panic!("expected bench")
